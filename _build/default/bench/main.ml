@@ -1,0 +1,203 @@
+(* Benchmark harness.
+
+   Part 1 reproduces every table and figure of the paper's evaluation
+   section (Figures 13-20 plus the flooding comparison) and prints each
+   as a table shaped like the published chart, with the paper's
+   qualitative finding quoted above it for comparison.
+
+   Part 2 times the building blocks with Bechamel: one Test.make per
+   figure (a single trial of that figure's base configuration) and a set
+   of micro-benchmarks for the core operations.
+
+   Environment knobs:
+     RI_NODES   network size for part 1 (default 10000; paper uses 60000)
+     RI_TRIALS  max trials per data point (default 30; the 95%/10% CI
+                rule usually stops earlier)
+     RI_MICRO   set to 0 to skip the Bechamel section *)
+
+open Ri_sim
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+let nodes = getenv_int "RI_NODES" 10000
+
+let spec =
+  let s = Runner.spec_of_env () in
+  { s with Runner.max_trials = getenv_int "RI_TRIALS" s.Runner.max_trials }
+
+let base = Config.scaled Config.base ~num_nodes:nodes
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's figures.                                        *)
+
+let run_figures () =
+  Printf.printf
+    "=====================================================================\n\
+     Routing Indices for Peer-to-Peer Systems - evaluation reproduction\n\
+     NumNodes=%d  QR=%d  trials<=%d  target CI rel-error<=%.0f%%\n\
+     (paper scale is NumNodes=60000; shapes, not absolute counts, carry)\n\
+     =====================================================================\n\n"
+    base.Config.num_nodes base.Config.query_results spec.Runner.max_trials
+    (100. *. spec.Runner.target_rel_error);
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.Ri_experiments.Registry.run ~base ~spec in
+      Ri_experiments.Report.print report;
+      Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+    Ri_experiments.Registry.all;
+  Printf.printf
+    "---------------------------------------------------------------------\n\
+     Extensions the paper sketches but does not evaluate (ablations)\n\
+     ---------------------------------------------------------------------\n\n";
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.Ri_experiments.Registry.run ~base ~spec in
+      Ri_experiments.Report.print report;
+      Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+    Ri_experiments.Registry.extensions
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timings.                                           *)
+
+open Bechamel
+open Toolkit
+
+(* One trial of each figure's base configuration, at a fixed small scale
+   so a run is milliseconds, not seconds. *)
+let micro_nodes = 2000
+
+let micro_base = Config.scaled { Config.base with Config.seed = 7 } ~num_nodes:micro_nodes
+
+let trial_test name cfg =
+  let counter = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr counter;
+         ignore (Trial.run_query cfg ~trial:(!counter mod 8))))
+
+let update_trial_test name cfg =
+  let counter = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr counter;
+         ignore (Trial.run_update cfg ~trial:(!counter mod 8))))
+
+let figure_tests =
+  [
+    (* fig13: scheme comparison - one ERI query trial. *)
+    trial_test "fig13-eri-query"
+      (Config.with_search micro_base (Config.Ri (Config.eri micro_base)));
+    (* fig14: requested results - a 100-result CRI query trial. *)
+    trial_test "fig14-stop100-cri"
+      (Config.with_search
+         { micro_base with Config.stop_condition = 100 }
+         (Config.Ri Config.cri));
+    (* fig15: compression - an 80%-compressed ERI query trial. *)
+    trial_test "fig15-compressed"
+      (Config.with_search
+         { micro_base with Config.compression_ratio = 0.8 }
+         (Config.Ri (Config.eri micro_base)));
+    (* fig16: cycles - ERI query on a tree with extra links. *)
+    trial_test "fig16-tree-cycles"
+      (Config.with_search
+         { micro_base with Config.topology = Config.Tree_with_cycles { extra_links = 33 } }
+         (Config.Ri (Config.eri micro_base)));
+    (* fig17: topology - ERI query on a power-law overlay. *)
+    trial_test "fig17-powerlaw"
+      (Config.with_search
+         (Config.with_topology micro_base Config.Power_law_graph)
+         (Config.Ri (Config.eri micro_base)));
+    (* fig18: update cost - one CRI update batch. *)
+    update_trial_test "fig18-cri-update"
+      (Config.with_search micro_base (Config.Ri Config.cri));
+    (* fig19: update cost under cycles - ERI update on tree+cycles. *)
+    update_trial_test "fig19-eri-update-cycles"
+      (Config.with_search
+         { micro_base with Config.topology = Config.Tree_with_cycles { extra_links = 33 } }
+         (Config.Ri (Config.eri micro_base)));
+    (* fig20: the byte-cost study combines query and update trials; the
+       No-RI query side is its distinct ingredient. *)
+    trial_test "fig20-no-ri-query" (Config.with_search micro_base Config.No_ri);
+    (* flooding comparison. *)
+    trial_test "flood-query"
+      (Config.with_search micro_base (Config.Flooding { ttl = None }));
+  ]
+
+(* Micro-benchmarks of the core operations. *)
+let core_tests =
+  let open Ri_content in
+  let open Ri_core in
+  let width = 30 in
+  let summary =
+    Summary.make ~total:1000.
+      ~by_topic:(Array.init width (fun i -> float_of_int ((i * 37) mod 97)))
+  in
+  let big_ri =
+    let t = Scheme.create Scheme.Cri_kind ~width ~local:summary in
+    for peer = 0 to 99 do
+      Scheme.set_row t ~peer
+        (Scheme.Vector (Summary.scale summary (1. /. float_of_int (peer + 1))))
+    done;
+    t
+  in
+  let setup = Trial.build ~purpose:Trial.For_query micro_base ~trial:3 in
+  [
+    Test.make ~name:"core-estimator-goodness"
+      (Staged.stage (fun () -> ignore (Estimator.goodness summary [ 3; 17 ])));
+    Test.make ~name:"core-export-all-100-peers"
+      (Staged.stage (fun () -> ignore (Scheme.export_all big_ri)));
+    Test.make ~name:"core-rank-100-peers"
+      (Staged.stage (fun () -> ignore (Scheme.rank big_ri ~query:[ 3 ] ~exclude:[])));
+    Test.make ~name:"core-query-prebuilt-net"
+      (Staged.stage (fun () ->
+           ignore
+             (Ri_p2p.Query.run setup.Trial.network ~origin:setup.Trial.origin
+                ~query:setup.Trial.query ~forwarding:Ri_p2p.Query.Ri_guided)));
+  ]
+
+let run_bechamel () =
+  Printf.printf
+    "=====================================================================\n\
+     Bechamel timings (one Test.make per figure at %d nodes, plus core ops)\n\
+     =====================================================================\n\n%!"
+    micro_nodes;
+  let test = Test.make_grouped ~name:"ri" ~fmt:"%s %s" (figure_tests @ core_tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances test in
+  match List.map (fun instance -> Analyze.all ols instance raw) instances with
+  | [] -> ()
+  | clock_results :: _ ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> rows := (name, est) :: !rows
+          | _ -> ())
+        clock_results;
+      let rows = List.sort compare !rows in
+      Printf.printf "%-36s %16s\n" "benchmark" "time/run";
+      Printf.printf "%s\n" (String.make 53 '-');
+      List.iter
+        (fun (name, ns) ->
+          let pretty =
+            if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          Printf.printf "%-36s %16s\n" name pretty)
+        rows;
+      print_newline ()
+
+let () =
+  run_figures ();
+  if getenv_int "RI_MICRO" 1 = 1 then run_bechamel ()

@@ -1,0 +1,264 @@
+(* risim — command-line front end for the Routing Indices simulator.
+
+   Subcommands:
+     list               enumerate the paper's experiments
+     params             print the active (Figure 12) configuration
+     run EXPERIMENT..   reproduce one or more figures
+     all                reproduce every figure
+     query              run a single query trial and print its metrics
+     update             run a single update trial and print its cost *)
+
+open Cmdliner
+open Ri_sim
+
+(* ------------------------------------------------------------------ *)
+(* Shared options.                                                     *)
+
+let nodes_t =
+  let doc =
+    "Network size (NumNodes).  The paper uses 60000; smaller sizes keep \
+     wall-clock short and preserve the qualitative shapes."
+  in
+  Arg.(value & opt int 10000 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let seed_t =
+  let doc = "Master random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let trials_t =
+  let doc = "Maximum trials per data point (the 95%/10% CI rule may stop earlier)." in
+  Arg.(value & opt int 30 & info [ "trials" ] ~docv:"T" ~doc)
+
+let rel_error_t =
+  let doc = "Target relative error of the 95% confidence interval." in
+  Arg.(value & opt float 0.1 & info [ "rel-error" ] ~docv:"E" ~doc)
+
+let topology_t =
+  let topo =
+    Arg.enum
+      [
+        ("tree", Config.Tree);
+        ("tree-cycles", Config.Tree_with_cycles { extra_links = 10 });
+        ("powerlaw", Config.Power_law_graph);
+      ]
+  in
+  let doc = "Overlay topology: $(b,tree), $(b,tree-cycles) or $(b,powerlaw)." in
+  Arg.(value & opt topo Config.Tree & info [ "topology" ] ~docv:"TOPO" ~doc)
+
+let search_names =
+  [ ("cri", `Cri); ("hri", `Hri); ("eri", `Eri); ("no-ri", `No_ri); ("flood", `Flood) ]
+
+let search_t =
+  let doc = "Search mechanism: $(b,cri), $(b,hri), $(b,eri), $(b,no-ri) or $(b,flood)." in
+  Arg.(value & opt (enum search_names) `Eri & info [ "search" ] ~docv:"MECH" ~doc)
+
+let base_config nodes seed =
+  let cfg = Config.scaled Config.base ~num_nodes:nodes in
+  { cfg with Config.seed }
+
+let search_of cfg = function
+  | `Cri -> Config.Ri Config.cri
+  | `Hri -> Config.Ri (Config.hri cfg)
+  | `Eri -> Config.Ri (Config.eri cfg)
+  | `No_ri -> Config.No_ri
+  | `Flood -> Config.Flooding { ttl = None }
+
+let spec_of trials rel_error =
+  {
+    Runner.min_trials = min 5 trials;
+    max_trials = trials;
+    target_rel_error = rel_error;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands.                                                        *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "Paper figures:\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-13s %s\n" e.Ri_experiments.Registry.id
+          e.Ri_experiments.Registry.title)
+      Ri_experiments.Registry.all;
+    Printf.printf "Extensions / ablations:\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-13s %s\n" e.Ri_experiments.Registry.id
+          e.Ri_experiments.Registry.title)
+      Ri_experiments.Registry.extensions
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"Enumerate the paper's experiments and the ablations")
+    Term.(const run $ const ())
+
+let params_cmd =
+  let run nodes seed =
+    Format.printf "%a@." Config.pp (base_config nodes seed)
+  in
+  Cmd.v
+    (Cmd.info "params" ~doc:"Print the active simulation parameters (Figure 12)")
+    Term.(const run $ nodes_t $ seed_t)
+
+let run_experiments ?csv_dir ids nodes seed trials rel_error =
+  let base = base_config nodes seed in
+  let spec = spec_of trials rel_error in
+  Printf.printf "# NumNodes=%d QR=%d seed=%d trials<=%d rel-error<=%.0f%%\n\n"
+    base.Config.num_nodes base.Config.query_results seed trials
+    (100. *. rel_error);
+  let failures =
+    List.filter_map
+      (fun id ->
+        match Ri_experiments.Registry.find id with
+        | None -> Some id
+        | Some e ->
+            let t0 = Unix.gettimeofday () in
+            let report = e.Ri_experiments.Registry.run ~base ~spec in
+            Ri_experiments.Report.print report;
+            Printf.printf "(%.1fs)\n\n" (Unix.gettimeofday () -. t0);
+            (match csv_dir with
+            | None -> ()
+            | Some dir ->
+                let path = Filename.concat dir (id ^ ".csv") in
+                let oc = open_out path in
+                output_string oc (Ri_experiments.Report.to_csv report);
+                close_out oc;
+                Printf.printf "wrote %s\n\n" path);
+            None)
+      ids
+  in
+  match failures with
+  | [] -> `Ok ()
+  | unknown ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown experiment(s): %s (try `risim list')"
+            (String.concat ", " unknown) )
+
+let csv_dir_t =
+  let doc = "Also write each experiment's table as $(docv)/<id>.csv." in
+  Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let run_cmd =
+  let ids_t =
+    let doc = "Experiment id(s), e.g. fig13 (see `risim list')." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run ids nodes seed trials rel_error csv_dir =
+    run_experiments ?csv_dir ids nodes seed trials rel_error
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Reproduce one or more of the paper's figures")
+    Term.(
+      ret (const run $ ids_t $ nodes_t $ seed_t $ trials_t $ rel_error_t $ csv_dir_t))
+
+let all_cmd =
+  let with_extensions_t =
+    Arg.(value & flag & info [ "extensions" ] ~doc:"Also run the ablations.")
+  in
+  let run nodes seed trials rel_error with_extensions =
+    let ids =
+      Ri_experiments.Registry.ids
+      @ if with_extensions then Ri_experiments.Registry.extension_ids else []
+    in
+    match run_experiments ids nodes seed trials rel_error with
+    | `Ok () -> ()
+    | `Error _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Reproduce every figure of the evaluation section")
+    Term.(const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ with_extensions_t)
+
+let query_cmd =
+  let run nodes seed topology search trial =
+    let cfg = base_config nodes seed in
+    let cfg = Config.with_topology cfg topology in
+    let cfg = Config.with_search cfg (search_of cfg search) in
+    match Config.validate cfg with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+        let m = Trial.run_query cfg ~trial in
+        Printf.printf
+          "search=%s topology=%s nodes=%d trial=%d\n\
+           messages=%d (forwards=%d returns=%d results=%d)\n\
+           found=%d satisfied=%b nodes_visited=%d bytes=%.0f\n"
+          (Config.search_name cfg.Config.search)
+          (Config.topology_name cfg.Config.topology)
+          nodes trial m.Trial.messages m.Trial.forwards m.Trial.returns
+          m.Trial.results m.Trial.found m.Trial.satisfied m.Trial.nodes_visited
+          m.Trial.bytes;
+        `Ok ()
+  in
+  let trial_t =
+    Arg.(value & opt int 0 & info [ "trial" ] ~docv:"I" ~doc:"Trial index.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a single query trial and print its metrics")
+    Term.(ret (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t))
+
+let topology_cmd =
+  let run nodes seed topology =
+    let cfg = Config.with_topology (base_config nodes seed) topology in
+    let rng = Ri_util.Prng.create seed in
+    let graph =
+      match cfg.Config.topology with
+      | Config.Tree ->
+          Ri_topology.Tree_gen.random_labels rng ~n:nodes ~fanout:cfg.Config.fanout
+      | Config.Tree_with_cycles { extra_links } ->
+          Ri_topology.Cycle_gen.tree_with_cycles rng ~n:nodes
+            ~fanout:cfg.Config.fanout ~extra_links
+      | Config.Power_law_graph ->
+          Ri_topology.Power_law.generate rng ~n:nodes
+            ~exponent:cfg.Config.outdegree_exponent ()
+    in
+    let open Ri_topology in
+    Printf.printf
+      "topology=%s nodes=%d edges=%d\n\
+       connected=%b cyclomatic=%d mean_degree=%.2f max_degree=%d\n\
+       avg_path_length=%.2f power_law_exponent_estimate=%.2f\n"
+      (Config.topology_name cfg.Config.topology)
+      (Graph.n graph) (Graph.edge_count graph) (Graph.is_connected graph)
+      (Metrics.cyclomatic_number graph)
+      (Metrics.mean_degree graph) (Metrics.max_degree graph)
+      (Metrics.average_path_length ~samples:16 rng graph)
+      (Metrics.estimated_power_law_exponent graph);
+    Printf.printf "degree histogram (degree: nodes):";
+    List.iter
+      (fun (d, c) -> Printf.printf " %d:%d" d c)
+      (Metrics.degree_histogram graph);
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Generate an overlay and print its shape statistics")
+    Term.(const run $ nodes_t $ seed_t $ topology_t)
+
+let update_cmd =
+  let run nodes seed topology search trial =
+    let cfg = base_config nodes seed in
+    let cfg = Config.with_topology cfg topology in
+    let cfg = Config.with_search cfg (search_of cfg search) in
+    match Config.validate cfg with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+        let m = Trial.run_update cfg ~trial in
+        Printf.printf
+          "search=%s topology=%s nodes=%d trial=%d\nupdate_messages=%d bytes=%.0f\n"
+          (Config.search_name cfg.Config.search)
+          (Config.topology_name cfg.Config.topology)
+          nodes trial m.Trial.update_messages m.Trial.update_bytes;
+        `Ok ()
+  in
+  let trial_t =
+    Arg.(value & opt int 0 & info [ "trial" ] ~docv:"I" ~doc:"Trial index.")
+  in
+  Cmd.v
+    (Cmd.info "update" ~doc:"Run a single update trial and print its cost")
+    Term.(ret (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t))
+
+let () =
+  let doc = "Routing Indices for Peer-to-Peer Systems - simulator" in
+  let info = Cmd.info "risim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; params_cmd; run_cmd; all_cmd; query_cmd; update_cmd; topology_cmd ]))

@@ -1,0 +1,1 @@
+examples/churn_demo.ml: Array Churn Document List Local_index Message Network Printf Prng Query Ri_content Ri_core Ri_p2p Ri_topology Ri_util Scheme Topic Tree_gen Update Workload

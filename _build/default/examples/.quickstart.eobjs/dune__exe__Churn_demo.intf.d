@@ -1,0 +1,1 @@
+examples/churn_demo.mli:

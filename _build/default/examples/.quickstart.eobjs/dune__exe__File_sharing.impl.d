@@ -1,0 +1,1 @@
+examples/file_sharing.ml: Config List Printf Ri_sim Ri_util Runner Stats Trial

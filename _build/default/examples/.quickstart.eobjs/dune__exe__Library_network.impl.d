@@ -1,0 +1,1 @@
+examples/library_network.ml: Array Compression Document Format List Local_index Network Printf Prng Query Ri_content Ri_core Ri_p2p Ri_topology Ri_util Scheme Topic Tree_gen Workload

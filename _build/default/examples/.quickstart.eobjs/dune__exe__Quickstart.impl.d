@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Document Format Graph List Local_index Message Network Printf Query Ri_content Ri_core Ri_p2p Ri_topology Scheme Summary Topic Workload

@@ -1,0 +1,98 @@
+(* A federation of digital libraries with a coarse, compressed index.
+
+   Sixty collections exchange documents over a tree-shaped federation.
+   Each library categorises its holdings under a 30-topic taxonomy, but
+   to keep routing indices small the federation hashes topics into a
+   handful of buckets — the paper's "approximate indices".  We watch the
+   same conjunctive query degrade gracefully as the index shrinks, and
+   show a real overcount produced by bucket consolidation.
+
+   Run with: dune exec examples/library_network.exe *)
+
+open Ri_content
+open Ri_core
+open Ri_topology
+open Ri_p2p
+open Ri_util
+
+let universe = Topic.make 30
+
+let nodes = 60
+
+let rng = Prng.create 2024
+
+(* Every library holds 40 documents on two random topics each; library
+   17 additionally holds the twelve "topic 4 AND topic 9" treatises the
+   query is after. *)
+let indices =
+  Array.init nodes (fun v ->
+      let idx = Local_index.create universe in
+      for d = 0 to 39 do
+        let t1 = Prng.int rng 30 and t2 = Prng.int rng 30 in
+        Local_index.add idx
+          (Document.make ~id:((v * 100) + d) ~topics:[ t1; t2 ] ())
+      done;
+      if v = 17 then
+        for d = 40 to 51 do
+          Local_index.add idx
+            (Document.make ~id:((v * 100) + d) ~topics:[ 4; 9 ] ())
+        done;
+      idx)
+
+let graph = Tree_gen.random_labels (Prng.create 7) ~n:nodes ~fanout:3
+
+let query = Workload.query ~topics:[ 4; 9 ] ~stop:12
+
+let run_at ratio =
+  let compression =
+    Compression.of_ratio ~topics:30 ~ratio ~mode:Compression.Overcount
+  in
+  let network =
+    Network.create ~graph
+      ~content:(Network.content_of_local_indices indices)
+      ~scheme:Scheme.Cri_kind ~compression ()
+  in
+  let outcome = Query.run network ~origin:0 ~query ~forwarding:Query.Ri_guided in
+  (network, outcome)
+
+let () =
+  Printf.printf "== Digital-library federation: %d collections, 30-topic taxonomy ==\n"
+    nodes;
+  Printf.printf "\nQuery: %s  (all 12 answers live at library 17)\n\n"
+    (Format.asprintf "%a" (Workload.pp universe) query);
+  Printf.printf "%-22s %12s %10s %10s\n" "index compression" "msgs/query"
+    "found" "satisfied";
+  List.iter
+    (fun ratio ->
+      let _, o = run_at ratio in
+      Printf.printf "%-22s %12d %10d %10b\n"
+        (Printf.sprintf "%.0f%% (%d buckets)" (100. *. ratio)
+           (Compression.width ~topics:30
+              (Compression.of_ratio ~topics:30 ~ratio ~mode:Compression.Overcount)))
+        (Query.messages o) o.Query.found o.Query.satisfied)
+    [ 0.0; 0.5; 0.67; 0.8 ]
+
+let () =
+  (* Demonstrate the overcount itself: what node 0's index claims about
+     the query under heavy compression vs. the truth. *)
+  let network, _ = run_at 0.8 in
+  let ri = Network.ri network 0 in
+  let claimed =
+    List.fold_left
+      (fun acc (_, g) -> acc +. g)
+      0.
+      (Scheme.rank ri
+         ~query:(Network.project_query network query.Workload.topics)
+         ~exclude:[])
+  in
+  let truth =
+    Array.to_list indices
+    |> List.map (fun idx -> Local_index.count_matching idx query.Workload.topics)
+    |> List.fold_left ( + ) 0
+  in
+  Printf.printf
+    "\nAt 80%% compression node 0's index estimates %.0f matching documents\n\
+     reachable through its neighbors; the network holds %d.  Consolidated\n\
+     buckets only ever overcount, so the query still routes - it just\n\
+     wastes a few forwards on paths that looked better than they were.\n"
+    claimed truth

@@ -1,0 +1,1 @@
+lib/content/compression.ml: Array Float List Prng Ri_util Summary

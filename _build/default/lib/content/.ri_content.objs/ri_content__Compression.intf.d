@@ -1,0 +1,1 @@
+lib/content/compression.mli: Ri_util Summary Topic

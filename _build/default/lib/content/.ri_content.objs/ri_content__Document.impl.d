@@ -1,0 +1,1 @@
+lib/content/document.ml: Format Int List Option Printf String Topic

@@ -1,0 +1,1 @@
+lib/content/document.mli: Format Topic

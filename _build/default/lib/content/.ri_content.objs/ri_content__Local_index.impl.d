@@ -1,0 +1,1 @@
+lib/content/local_index.ml: Array Document Hashtbl List Summary Topic

@@ -1,0 +1,1 @@
+lib/content/local_index.mli: Document Summary Topic

@@ -1,0 +1,1 @@
+lib/content/placement.ml: Array Float Fun List Prng Ri_util Sampling Summary Topic

@@ -1,0 +1,1 @@
+lib/content/placement.mli: Ri_util Summary Topic

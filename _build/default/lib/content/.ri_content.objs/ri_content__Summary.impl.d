@@ -1,0 +1,1 @@
+lib/content/summary.ml: Array Float Format List Printf Ri_util String Vecf

@@ -1,0 +1,1 @@
+lib/content/summary.mli: Format Topic

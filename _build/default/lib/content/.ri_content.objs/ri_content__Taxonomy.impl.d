@@ -1,0 +1,1 @@
+lib/content/taxonomy.ml: Array Compression Format List String Topic

@@ -1,0 +1,1 @@
+lib/content/taxonomy.mli: Compression Format Summary Topic

@@ -1,0 +1,1 @@
+lib/content/topic.ml: Array Fun List Printf String

@@ -1,0 +1,1 @@
+lib/content/workload.ml: Array Format List Prng Ri_util Sampling String Topic

@@ -1,0 +1,1 @@
+lib/content/workload.mli: Format Ri_util Topic

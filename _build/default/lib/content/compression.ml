@@ -1,0 +1,100 @@
+open Ri_util
+
+type error_kind = Overcount | Undercount | Mixed
+
+type t =
+  | Exact
+  | Buckets of { buckets : int; mode : error_kind }
+  | Grouped of { assignment : int array; groups : int; mode : error_kind }
+
+let exact = Exact
+
+let grouped ~assignment ~mode =
+  if Array.length assignment = 0 then
+    invalid_arg "Compression.grouped: empty assignment";
+  if Array.exists (fun g -> g < 0) assignment then
+    invalid_arg "Compression.grouped: negative group";
+  let groups = 1 + Array.fold_left max 0 assignment in
+  Grouped { assignment = Array.copy assignment; groups; mode }
+
+let of_ratio ~topics ~ratio ~mode =
+  if ratio < 0. || ratio >= 1. then
+    invalid_arg "Compression.of_ratio: ratio must be in [0, 1)";
+  if topics <= 0 then invalid_arg "Compression.of_ratio: bad topic count";
+  if ratio = 0. then Exact
+  else
+    let buckets =
+      max 1 (int_of_float (Float.round (float_of_int topics *. (1. -. ratio))))
+    in
+    if buckets >= topics then Exact else Buckets { buckets; mode }
+
+let ratio ~topics = function
+  | Exact -> 0.
+  | Buckets { buckets; _ } ->
+      1. -. (float_of_int buckets /. float_of_int topics)
+  | Grouped { groups; _ } -> 1. -. (float_of_int groups /. float_of_int topics)
+
+let width ~topics = function
+  | Exact -> topics
+  | Buckets { buckets; _ } -> buckets
+  | Grouped { groups; _ } -> groups
+
+let project_topic t topic =
+  match t with
+  | Exact -> topic
+  | Buckets { buckets; _ } -> topic mod buckets
+  | Grouped { assignment; _ } ->
+      if topic < 0 || topic >= Array.length assignment then
+        invalid_arg "Compression.project_topic: topic out of range";
+      assignment.(topic)
+
+let consolidate_groups ~groups ~assign ~mode (s : Summary.t) =
+  let members = Array.make groups [] in
+  Array.iteri
+    (fun topic v ->
+      let b = assign topic in
+      members.(b) <- v :: members.(b))
+    s.Summary.by_topic;
+  let consolidate vs =
+    match (vs, mode) with
+    | [], _ -> 0.
+    | _, Overcount -> List.fold_left ( +. ) 0. vs
+    | v :: rest, Undercount -> List.fold_left Float.min v rest
+    | _, Mixed -> List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+  in
+  Summary.make ~total:s.Summary.total ~by_topic:(Array.map consolidate members)
+
+let project_summary t (s : Summary.t) =
+  match t with
+  | Exact -> s
+  | Buckets { buckets; mode } ->
+      consolidate_groups ~groups:buckets ~assign:(fun topic -> topic mod buckets)
+        ~mode s
+  | Grouped { assignment; groups; mode } ->
+      consolidate_groups ~groups ~assign:(fun topic -> assignment.(topic)) ~mode s
+
+let perturb rng ~relative_stddev ~kind (s : Summary.t) =
+  let shape e =
+    match kind with
+    | Overcount -> Float.abs e
+    | Undercount -> -.Float.abs e
+    | Mixed -> e
+  in
+  let by_topic =
+    Array.map
+      (fun x ->
+        if x = 0. then 0.
+        else
+          let e = shape (Prng.gaussian rng ~mean:0. ~stddev:(relative_stddev *. x)) in
+          Float.max 0. (x +. e))
+      s.by_topic
+  in
+  let largest = Array.fold_left Float.max 0. by_topic in
+  let total =
+    let e =
+      if s.total = 0. then 0.
+      else shape (Prng.gaussian rng ~mean:0. ~stddev:(relative_stddev *. s.total))
+    in
+    Float.max largest (Float.max 0. (s.total +. e))
+  in
+  Summary.make ~total ~by_topic

@@ -1,0 +1,19 @@
+type t = { id : int; title : string; topics : Topic.id list }
+
+let make ~id ?title ~topics () =
+  if id < 0 then invalid_arg "Document.make: negative id";
+  if List.exists (fun t -> t < 0) topics then
+    invalid_arg "Document.make: negative topic id";
+  let topics = List.sort_uniq compare topics in
+  let title = Option.value title ~default:(Printf.sprintf "doc%d" id) in
+  { id; title; topics }
+
+let has_topic d t = List.mem t d.topics
+
+let matches d q = List.for_all (has_topic d) q
+
+let compare a b = Int.compare a.id b.id
+
+let pp ppf d =
+  Format.fprintf ppf "#%d %S [%s]" d.id d.title
+    (String.concat "," (List.map string_of_int d.topics))

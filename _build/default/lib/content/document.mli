@@ -1,0 +1,26 @@
+(** Documents.
+
+    A document carries a set of topics (possibly empty — "documents are
+    on zero or more topics", Section 4) and an opaque title for the
+    example applications.  Equality and hashing are by id. *)
+
+type t = private {
+  id : int;
+  title : string;
+  topics : Topic.id list;  (** sorted, duplicate-free *)
+}
+
+val make : id:int -> ?title:string -> topics:Topic.id list -> unit -> t
+(** Topics are sorted and deduplicated.  [title] defaults to
+    ["doc<id>"].  @raise Invalid_argument on a negative id or topic. *)
+
+val has_topic : t -> Topic.id -> bool
+
+val matches : t -> Topic.id list -> bool
+(** [matches d q] is [true] when [d] carries {e every} topic in [q]
+    (queries are conjunctions of subject topics, Section 4).  The empty
+    query matches every document. *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type t = {
+  universe : Topic.t;
+  docs : (int, Document.t) Hashtbl.t;
+  counts : int array;  (* per-topic document counts *)
+  mutable total : int;
+}
+
+let create universe =
+  {
+    universe;
+    docs = Hashtbl.create 16;
+    counts = Array.make (Topic.count universe) 0;
+    total = 0;
+  }
+
+let universe t = t.universe
+
+let add t (d : Document.t) =
+  if Hashtbl.mem t.docs d.id then
+    invalid_arg "Local_index.add: duplicate document id";
+  List.iter (Topic.check t.universe) d.topics;
+  Hashtbl.add t.docs d.id d;
+  List.iter (fun topic -> t.counts.(topic) <- t.counts.(topic) + 1) d.topics;
+  t.total <- t.total + 1
+
+let remove t id =
+  match Hashtbl.find_opt t.docs id with
+  | None -> None
+  | Some d ->
+      Hashtbl.remove t.docs id;
+      List.iter (fun topic -> t.counts.(topic) <- t.counts.(topic) - 1) d.topics;
+      t.total <- t.total - 1;
+      Some d
+
+let mem t id = Hashtbl.mem t.docs id
+
+let size t = t.total
+
+let find t id = Hashtbl.find_opt t.docs id
+
+let documents t =
+  Hashtbl.fold (fun _ d acc -> d :: acc) t.docs []
+  |> List.sort Document.compare
+
+let search t q =
+  List.iter (Topic.check t.universe) q;
+  Hashtbl.fold
+    (fun _ d acc -> if Document.matches d q then d :: acc else acc)
+    t.docs []
+  |> List.sort Document.compare
+
+let count_matching t q =
+  List.iter (Topic.check t.universe) q;
+  Hashtbl.fold
+    (fun _ d acc -> if Document.matches d q then acc + 1 else acc)
+    t.docs 0
+
+let summary t = Summary.of_counts ~total:t.total ~by_topic:t.counts

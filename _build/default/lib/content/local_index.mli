@@ -1,0 +1,42 @@
+(** Per-node document database with a local index.
+
+    "Each node has a local document database that can be accessed through
+    a local index.  The local index receives content queries ... and
+    returns pointers to the documents with the requested content"
+    (Section 3).  The index maintains per-topic counts incrementally, so
+    {!summary} — the [Summary()] function of the RI creation algorithm,
+    Figure 6 — is O(topics). *)
+
+type t
+
+val create : Topic.t -> t
+
+val universe : t -> Topic.t
+
+val add : t -> Document.t -> unit
+(** @raise Invalid_argument if a document with the same id is already
+    stored or the document mentions a topic outside this universe. *)
+
+val remove : t -> int -> Document.t option
+(** Remove by document id; [None] if absent. *)
+
+val mem : t -> int -> bool
+
+val size : t -> int
+(** Number of stored documents. *)
+
+val find : t -> int -> Document.t option
+
+val search : t -> Topic.id list -> Document.t list
+(** All documents matching the conjunctive topic query, in id order. *)
+
+val count_matching : t -> Topic.id list -> int
+(** [List.length (search t q)] without building the list. *)
+
+val summary : t -> Summary.t
+(** Total and per-topic counts of the stored documents.  A document on
+    [k] topics contributes 1 to the total and 1 to each of its [k] topic
+    counts, mirroring the paper's Figure 3 convention. *)
+
+val documents : t -> Document.t list
+(** All documents, in id order. *)

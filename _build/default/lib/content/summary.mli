@@ -1,0 +1,56 @@
+(** Count-vector summaries of document collections.
+
+    A summary is one row of a compound routing index (Figure 3 of the
+    paper): the number of documents in some collection, total and per
+    topic.  Summaries are also what nodes exchange when creating and
+    maintaining RIs — "node A aggregates its RI and sends it to D"
+    (Section 4.2) — so they support the vector arithmetic those
+    algorithms need.  Counts are floats because exponentially aggregated
+    RIs store regular-tree-discounted values (Section 6.2). *)
+
+type t = {
+  total : float;  (** number of documents in the collection *)
+  by_topic : float array;  (** per-topic document counts *)
+}
+
+val zero : topics:int -> t
+
+val make : total:float -> by_topic:float array -> t
+(** @raise Invalid_argument if [total] or any count is negative. *)
+
+val of_counts : total:int -> by_topic:int array -> t
+
+val topics : t -> int
+(** Width of the topic vector. *)
+
+val is_zero : t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Differences are clamped at zero: a summary can never report negative
+    documents (undercounting summaries are legitimate, negative ones are
+    not). *)
+
+val scale : t -> float -> t
+
+val sum : t list -> topics:int -> t
+
+val get : t -> Topic.id -> float
+
+val selectivity : t -> Topic.id -> float
+(** [get s i /. total s], the fraction of the collection on topic [i];
+    [0.] for an empty collection. *)
+
+val max_rel_diff : t -> t -> float
+(** Largest relative change across total and per-topic entries, the
+    "significant enough" test behind the paper's [minUpdate] knob. *)
+
+val euclidean_distance : t -> t -> float
+(** Straight-line distance over (total, per-topic) vectors; the paper
+    suggests this as an alternative update-significance criterion for
+    exponential RIs (Section 6.2). *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

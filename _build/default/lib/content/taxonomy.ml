@@ -1,0 +1,53 @@
+type t = {
+  leaves : Topic.t;
+  categories : Topic.t;
+  assignment : int array;  (* leaf id -> category id *)
+}
+
+let of_groups groups =
+  if groups = [] then invalid_arg "Taxonomy.of_groups: no groups";
+  List.iter
+    (fun (_, subs) ->
+      if subs = [] then invalid_arg "Taxonomy.of_groups: empty group")
+    groups;
+  let category_names = List.map fst groups in
+  let leaf_names = List.concat_map snd groups in
+  let distinct = List.sort_uniq compare leaf_names in
+  if List.length distinct <> List.length leaf_names then
+    invalid_arg "Taxonomy.of_groups: duplicated sub-topic";
+  let assignment =
+    List.concat
+      (List.mapi (fun cat (_, subs) -> List.map (fun _ -> cat) subs) groups)
+  in
+  {
+    leaves = Topic.of_names leaf_names;
+    categories = Topic.of_names category_names;
+    assignment = Array.of_list assignment;
+  }
+
+let leaves t = t.leaves
+
+let categories t = t.categories
+
+let category_of t leaf =
+  Topic.check t.leaves leaf;
+  t.assignment.(leaf)
+
+let leaves_of t cat =
+  Topic.check t.categories cat;
+  List.filter (fun leaf -> t.assignment.(leaf) = cat) (Topic.all t.leaves)
+
+let compression ?(mode = Compression.Overcount) t =
+  Compression.grouped ~assignment:t.assignment ~mode
+
+let summarize t s = Compression.project_summary (compression t) s
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun cat ->
+      Format.fprintf ppf "%s <- %s@ " (Topic.name t.categories cat)
+        (String.concat ", "
+           (List.map (Topic.name t.leaves) (leaves_of t cat))))
+    (Topic.all t.categories);
+  Format.fprintf ppf "@]"

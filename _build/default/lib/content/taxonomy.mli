@@ -1,0 +1,48 @@
+(** Topic taxonomies — semantic index summarization.
+
+    Section 4 of the paper: "a summarization that groups several
+    subtopics into a single topic (e.g., 'indices', 'recovery', and
+    'SQL' into 'databases') may introduce overcounts ... a query for
+    documents on 'SQL' will be converted into a query for documents on
+    'databases', making us believe that there are many documents on
+    'SQL' whereas in reality there may be few or even none."
+
+    A taxonomy maps a fine-grained leaf universe (the sub-topics local
+    indices classify by) onto a coarse category universe (what the
+    routing indices carry).  {!compression} plugs the roll-up into the
+    RI machinery as a {!Compression.Grouped} projection, so leaf queries
+    are converted to category queries exactly as the paper describes —
+    overcounts and all. *)
+
+type t
+
+val of_groups : (string * string list) list -> t
+(** [of_groups [("databases", ["indices"; "recovery"; "SQL"]); ...]]
+    builds both universes: one category per group, one leaf per listed
+    sub-topic.  Category and leaf ids follow list order.
+    @raise Invalid_argument on an empty group list, an empty group, or
+    a duplicated sub-topic name. *)
+
+val leaves : t -> Topic.t
+(** The fine-grained universe documents are tagged with. *)
+
+val categories : t -> Topic.t
+(** The coarse universe routing indices carry. *)
+
+val category_of : t -> Topic.id -> Topic.id
+(** Category holding a leaf topic.
+    @raise Invalid_argument on an out-of-range leaf. *)
+
+val leaves_of : t -> Topic.id -> Topic.id list
+(** Leaf topics of a category, in id order. *)
+
+val summarize : t -> Summary.t -> Summary.t
+(** Roll a leaf-level summary up to category level (sums member counts,
+    the overcounting consolidation of the paper's example). *)
+
+val compression : ?mode:Compression.error_kind -> t -> Compression.t
+(** The taxonomy as an index-compression policy for
+    {!Ri_p2p.Network.create} (default [mode] = [Overcount]: counts in a
+    category are the sums of its sub-topics). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type id = int
+
+type t = { names : string array }
+
+let make ?names c =
+  if c <= 0 then invalid_arg "Topic.make: need a positive topic count";
+  let names =
+    match names with
+    | None -> Array.init c (Printf.sprintf "t%d")
+    | Some l ->
+        if List.length l <> c then
+          invalid_arg "Topic.make: name list length mismatch";
+        Array.of_list l
+  in
+  { names }
+
+let of_names l = make ~names:l (List.length l)
+
+let count t = Array.length t.names
+
+let check t id =
+  if id < 0 || id >= count t then invalid_arg "Topic: id out of range"
+
+let name t id =
+  check t id;
+  t.names.(id)
+
+let find t n = Array.find_index (String.equal n) t.names
+
+let all t = List.init (count t) Fun.id
+
+let paper_example = of_names [ "databases"; "networks"; "theory"; "languages" ]

@@ -1,0 +1,39 @@
+(** Topic universe.
+
+    In the paper's simplified content model, "documents are on zero or
+    more topics, and queries request documents on particular topics"
+    (Section 4).  A universe fixes the number of topics of interest [c]
+    and gives them stable names; topics are referenced by dense integer
+    ids so count vectors can be plain arrays. *)
+
+type id = int
+(** Topic identifier, in [\[0, count u)]. *)
+
+type t
+(** A topic universe. *)
+
+val make : ?names:string list -> int -> t
+(** [make c] is a universe of [c] topics named ["t0" .. "t(c-1)"], or
+    with the given [names] (whose length must then be [c]).
+    @raise Invalid_argument if [c <= 0] or the name list has the wrong
+    length. *)
+
+val of_names : string list -> t
+(** Universe with exactly these topic names. *)
+
+val count : t -> int
+
+val name : t -> id -> string
+(** @raise Invalid_argument on an out-of-range id. *)
+
+val find : t -> string -> id option
+(** Look a topic up by name. *)
+
+val check : t -> id -> unit
+(** @raise Invalid_argument if the id is out of range. *)
+
+val all : t -> id list
+
+val paper_example : t
+(** The four-topic universe of the paper's running example:
+    databases, networks, theory, languages. *)

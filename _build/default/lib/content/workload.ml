@@ -1,0 +1,27 @@
+open Ri_util
+
+type query = { topics : Topic.id list; stop : int }
+
+let query ~topics ~stop =
+  if topics = [] then invalid_arg "Workload.query: empty topic list";
+  if List.exists (fun t -> t < 0) topics then
+    invalid_arg "Workload.query: negative topic id";
+  if stop <= 0 then invalid_arg "Workload.query: stop must be positive";
+  { topics = List.sort_uniq compare topics; stop }
+
+let single t ~stop = query ~topics:[ t ] ~stop
+
+let random_single rng universe ~stop =
+  single (Prng.int rng (Topic.count universe)) ~stop
+
+let random_conjunction rng universe ~arity ~stop =
+  let c = Topic.count universe in
+  if arity <= 0 || arity > c then
+    invalid_arg "Workload.random_conjunction: bad arity";
+  let chosen = Sampling.choose_distinct rng ~k:arity ~n:c in
+  query ~topics:(Array.to_list chosen) ~stop
+
+let pp universe ppf q =
+  Format.fprintf ppf "@[<h>%s (stop=%d)@]"
+    (String.concat " AND " (List.map (Topic.name universe) q.topics))
+    q.stop

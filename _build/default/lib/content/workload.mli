@@ -1,0 +1,25 @@
+(** Queries and query workloads.
+
+    "Users submit queries to any node along with a stop condition (e.g.,
+    the desired number of results)" (Section 3.1).  A query is a
+    conjunction of subject topics plus that stop condition. *)
+
+type query = {
+  topics : Topic.id list;  (** conjunction of subject topics, non-empty *)
+  stop : int;  (** desired number of results, [StopCondition] *)
+}
+
+val query : topics:Topic.id list -> stop:int -> query
+(** @raise Invalid_argument on an empty topic list, a negative topic id
+    or a non-positive stop condition. *)
+
+val single : Topic.id -> stop:int -> query
+
+val random_single : Ri_util.Prng.t -> Topic.t -> stop:int -> query
+(** Query on one uniformly chosen topic. *)
+
+val random_conjunction :
+  Ri_util.Prng.t -> Topic.t -> arity:int -> stop:int -> query
+(** Query on [arity] distinct uniformly chosen topics. *)
+
+val pp : Topic.t -> Format.formatter -> query -> unit

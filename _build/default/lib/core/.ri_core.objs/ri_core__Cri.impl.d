@@ -1,0 +1,1 @@
+lib/core/cri.ml: Array Estimator Float Hashtbl List Printf Ri_content Summary

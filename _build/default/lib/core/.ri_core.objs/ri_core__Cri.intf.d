@@ -1,0 +1,1 @@
+lib/core/cri.mli: Ri_content

@@ -1,0 +1,1 @@
+lib/core/eri.mli: Ri_content

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: List Ri_content Summary

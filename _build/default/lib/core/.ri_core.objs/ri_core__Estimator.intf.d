@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Ri_content

@@ -1,0 +1,1 @@
+lib/core/hri.ml: Array Cost_model Estimator Float Hashtbl List Printf Ri_content Summary

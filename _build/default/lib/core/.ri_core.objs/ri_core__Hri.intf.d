@@ -1,0 +1,1 @@
+lib/core/hri.mli: Cost_model Ri_content

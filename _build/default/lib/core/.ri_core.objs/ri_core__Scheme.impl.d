@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Array Compression Cost_model Cri Eri Float Format Hri List Option Ri_content Summary

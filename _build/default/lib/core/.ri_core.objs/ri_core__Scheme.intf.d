@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Format Ri_content Ri_util

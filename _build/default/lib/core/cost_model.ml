@@ -1,0 +1,23 @@
+type t = { fanout : float }
+
+let make ~fanout =
+  if not (fanout > 1.) then invalid_arg "Cost_model.make: fanout must be > 1";
+  { fanout }
+
+let fanout t = t.fanout
+
+let discount t ~hop =
+  if hop < 1 then invalid_arg "Cost_model.discount: hop must be >= 1";
+  1. /. (t.fanout ** float_of_int (hop - 1))
+
+let messages_to_horizon t ~hops =
+  if hops < 0 then invalid_arg "Cost_model.messages_to_horizon: negative hops";
+  let rec go j acc = if j > hops then acc else go (j + 1) (acc +. (t.fanout ** float_of_int j)) in
+  go 0 0.
+
+let hop_count_goodness t ~per_hop_goodness =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i g -> acc := !acc +. (g *. discount t ~hop:(i + 1)))
+    per_hop_goodness;
+  !acc

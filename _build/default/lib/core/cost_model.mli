@@ -1,0 +1,35 @@
+(** The regular-tree cost model (Section 6.1).
+
+    "The construction of this model assumes that document results are
+    uniformly distributed across the network and that the network is a
+    regular tree with fanout F. ... it takes one message for a client to
+    find all documents at the root of the tree (zero hops), 1 + F
+    messages to get all documents at zero or one hops, 1 + F + F²
+    ... and so on."
+
+    Documents found at hop [j] through a neighbor therefore cost [F^(j-1)]
+    messages each batch, and both the hop-count goodness formula and the
+    exponential RI's aggregation discount hop-[j] counts by [1/F^(j-1)]. *)
+
+type t
+
+val make : fanout:float -> t
+(** @raise Invalid_argument unless [fanout > 1]. *)
+
+val fanout : t -> float
+
+val discount : t -> hop:int -> float
+(** [discount m ~hop] is [1 /. fanout^(hop-1)] for [hop >= 1]: the
+    weight of documents found [hop] forwardings away.
+    @raise Invalid_argument if [hop < 1]. *)
+
+val messages_to_horizon : t -> hops:int -> float
+(** [1 + F + F² + ... + F^hops]: messages to exhaustively reach
+    everything within [hops] of a node in the regular tree. *)
+
+val hop_count_goodness : t -> per_hop_goodness:float array -> float
+(** The paper's [goodness_hc]: [Σ_j per_hop.(j-1) / F^(j-1)], where
+    [per_hop_goodness.(j-1)] is the estimated result count exactly [j]
+    hops away.  Worked example (Section 6.1, F = 3): X with 13 results
+    at one hop and 10 at two gives 13 + 10/3 = 16.33; Y with 0 and 31
+    gives 10.33, "so we would prefer X over Y". *)

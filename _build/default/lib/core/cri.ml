@@ -1,0 +1,65 @@
+open Ri_content
+
+type t = {
+  width : int;
+  mutable local : Summary.t;
+  rows : (int, Summary.t) Hashtbl.t;
+}
+
+let check_width t s name =
+  if Summary.topics s <> t.width then
+    invalid_arg (Printf.sprintf "Cri.%s: summary width mismatch" name)
+
+let create ~width ~local =
+  if width <= 0 then invalid_arg "Cri.create: width must be positive";
+  let t = { width; local; rows = Hashtbl.create 8 } in
+  check_width t local "create";
+  t
+
+let width t = t.width
+
+let local t = t.local
+
+let set_local t s =
+  check_width t s "set_local";
+  t.local <- s
+
+let set_row t ~peer s =
+  check_width t s "set_row";
+  Hashtbl.replace t.rows peer s
+
+let row t ~peer = Hashtbl.find_opt t.rows peer
+
+let remove_row t ~peer = Hashtbl.remove t.rows peer
+
+let peers t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
+
+(* Raw (unclamped) summary subtraction: valid here because every row is a
+   term of the aggregate, so the difference is non-negative up to float
+   rounding, which we clamp away. *)
+let minus (a : Summary.t) (b : Summary.t) =
+  Summary.make
+    ~total:(Float.max 0. (a.total -. b.total))
+    ~by_topic:
+      (Array.init (Array.length a.by_topic) (fun i ->
+           Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))))
+
+let aggregate_with_local t =
+  Hashtbl.fold (fun _ r acc -> Summary.add acc r) t.rows t.local
+
+let export t ~exclude =
+  let all = aggregate_with_local t in
+  match exclude with
+  | None -> all
+  | Some peer -> (
+      match row t ~peer with None -> all | Some r -> minus all r)
+
+let export_all t =
+  let all = aggregate_with_local t in
+  peers t |> List.map (fun p -> (p, minus all (Hashtbl.find t.rows p)))
+
+let goodness t ~peer ~query =
+  match row t ~peer with
+  | None -> 0.
+  | Some r -> Estimator.goodness r query

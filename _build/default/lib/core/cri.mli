@@ -1,0 +1,48 @@
+(** Compound Routing Index (Sections 4-5).
+
+    One CRI lives at each node.  It holds a summary of the node's own
+    local index plus, per neighbor, the aggregate summary of {e all}
+    documents reachable through that neighbor, with no hop information:
+    "we can access 1000 documents through C (i.e., there are 1000
+    documents in C, G and H)".
+
+    Aggregation for export "is done by adding all the vectors in the RI"
+    (Section 4.2), excluding the row of the neighbor the export is sent
+    to. *)
+
+type t
+
+val create : width:int -> local:Ri_content.Summary.t -> t
+(** [width] is the topic-vector width (after any index compression).
+    @raise Invalid_argument if the local summary's width differs. *)
+
+val width : t -> int
+
+val local : t -> Ri_content.Summary.t
+
+val set_local : t -> Ri_content.Summary.t -> unit
+
+val set_row : t -> peer:int -> Ri_content.Summary.t -> unit
+(** Install or replace the row for [peer]. *)
+
+val row : t -> peer:int -> Ri_content.Summary.t option
+
+val remove_row : t -> peer:int -> unit
+(** Forget a neighbor (e.g. on disconnection, Section 4.3).  No-op if
+    absent. *)
+
+val peers : t -> int list
+(** Neighbors with a row, in increasing id order. *)
+
+val export : t -> exclude:int option -> Ri_content.Summary.t
+(** The aggregated RI sent to a neighbor: local summary plus every row
+    except [exclude]'s.  In the paper's Figure 5, A aggregates rows
+    A/B/C and sends D the vector (1400, 50, 380, 10, 90). *)
+
+val export_all : t -> (int * Ri_content.Summary.t) list
+(** [(peer, export ~exclude:peer)] for every peer, computed with one
+    pass over the rows (the full aggregate minus each row), so hub nodes
+    pay O(degree) rather than O(degree²). *)
+
+val goodness : t -> peer:int -> query:int list -> float
+(** {!Estimator.goodness} of the peer's row; [0.] for an unknown peer. *)

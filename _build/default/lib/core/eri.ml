@@ -1,0 +1,73 @@
+open Ri_content
+
+type t = {
+  fanout : float;
+  width : int;
+  mutable local : Summary.t;
+  rows : (int, Summary.t) Hashtbl.t;
+}
+
+let check_width t s name =
+  if Summary.topics s <> t.width then
+    invalid_arg (Printf.sprintf "Eri.%s: summary width mismatch" name)
+
+let create ~fanout ~width ~local =
+  if not (fanout > 1.) then invalid_arg "Eri.create: fanout must be > 1";
+  if width <= 0 then invalid_arg "Eri.create: width must be positive";
+  let t = { fanout; width; local; rows = Hashtbl.create 8 } in
+  check_width t local "create";
+  t
+
+let fanout t = t.fanout
+
+let width t = t.width
+
+let local t = t.local
+
+let set_local t s =
+  check_width t s "set_local";
+  t.local <- s
+
+let set_row t ~peer s =
+  check_width t s "set_row";
+  Hashtbl.replace t.rows peer s
+
+let row t ~peer = Hashtbl.find_opt t.rows peer
+
+let remove_row t ~peer = Hashtbl.remove t.rows peer
+
+let peers t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
+
+let minus (a : Summary.t) (b : Summary.t) =
+  Summary.make
+    ~total:(Float.max 0. (a.total -. b.total))
+    ~by_topic:
+      (Array.init (Array.length a.by_topic) (fun i ->
+           Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))))
+
+let aggregate_rows t =
+  Hashtbl.fold (fun _ r acc -> Summary.add acc r) t.rows
+    (Summary.zero ~topics:t.width)
+
+let finish t rest = Summary.add t.local (Summary.scale rest (1. /. t.fanout))
+
+let export t ~exclude =
+  let rest =
+    let agg = aggregate_rows t in
+    match exclude with
+    | None -> agg
+    | Some peer -> (
+        match row t ~peer with None -> agg | Some r -> minus agg r)
+  in
+  finish t rest
+
+let export_all t =
+  let agg = aggregate_rows t in
+  peers t
+  |> List.map (fun p -> (p, finish t (minus agg (Hashtbl.find t.rows p))))
+
+let goodness t ~peer ~query =
+  match row t ~peer with
+  | None -> 0.
+  | Some r -> Estimator.goodness r query

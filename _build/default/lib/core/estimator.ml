@@ -1,0 +1,11 @@
+open Ri_content
+
+let goodness (s : Summary.t) query =
+  if s.total <= 0. then 0.
+  else
+    List.fold_left
+      (fun acc topic -> acc *. (Summary.get s topic /. s.total))
+      s.total query
+
+let documents_per_message ~goodness ~messages =
+  if messages <= 0. then 0. else goodness /. messages

@@ -1,0 +1,25 @@
+(** Result-count estimation — the "goodness" of a summary for a query.
+
+    Section 4 of the paper: "queries are conjunctions of subject topics,
+    documents can have more than one topic, and document topics are
+    independent.  Thus, we can estimate the number of results in a path
+    as [NumberOfDocuments × Π_i CRI(s_i)/NumberOfDocuments]".
+
+    The worked example: a query for "databases" and "languages" against
+    the RI of Figure 3 yields 20/100 × 30/100 × 100 = 6 through B, 0
+    through C, and 100/200 × 150/200 × 200 = 75 through D. *)
+
+val goodness : Ri_content.Summary.t -> int list -> float
+(** [goodness s query] estimates how many documents of the summarised
+    collection match the conjunctive [query] (a list of indices into the
+    summary's topic vector).  [0.] for an empty collection; the empty
+    query estimates the whole collection.  Overcounting summaries can
+    make per-topic entries exceed the total; the estimate is then allowed
+    to exceed the total as well — it is a hint, not a bound.
+    @raise Invalid_argument on an out-of-range topic index. *)
+
+val documents_per_message : goodness:float -> messages:float -> float
+(** The hop-count RI's neighbor-quality ratio, Section 6.1: "a neighbor
+    that allows us to find 3 documents per message is better than a
+    neighbor that allows us to find 1 document per message".
+    [0.] when [messages] is zero. *)

@@ -1,0 +1,128 @@
+open Ri_content
+
+type t = {
+  horizon : int;
+  tail : bool;  (* hybrid CRI-HRI: keep a beyond-horizon aggregate *)
+  cost : Cost_model.t;
+  width : int;
+  mutable local : Summary.t;
+  rows : (int, Summary.t array) Hashtbl.t;
+}
+
+let check_width t s name =
+  if Summary.topics s <> t.width then
+    invalid_arg (Printf.sprintf "Hri.%s: summary width mismatch" name)
+
+let make_t ~tail ~horizon ~cost ~width ~local =
+  if horizon <= 0 then invalid_arg "Hri.create: horizon must be positive";
+  if width <= 0 then invalid_arg "Hri.create: width must be positive";
+  let t = { horizon; tail; cost; width; local; rows = Hashtbl.create 8 } in
+  check_width t local "create";
+  t
+
+let create ~horizon ~cost ~width ~local =
+  make_t ~tail:false ~horizon ~cost ~width ~local
+
+let create_hybrid ~horizon ~cost ~width ~local =
+  make_t ~tail:true ~horizon ~cost ~width ~local
+
+let has_tail t = t.tail
+
+let row_length t = t.horizon + if t.tail then 1 else 0
+
+let horizon t = t.horizon
+
+let cost_model t = t.cost
+
+let width t = t.width
+
+let local t = t.local
+
+let set_local t s =
+  check_width t s "set_local";
+  t.local <- s
+
+let set_row t ~peer r =
+  if Array.length r <> row_length t then
+    invalid_arg "Hri.set_row: row length must equal the horizon";
+  Array.iter (fun s -> check_width t s "set_row") r;
+  Hashtbl.replace t.rows peer r
+
+let row t ~peer = Hashtbl.find_opt t.rows peer
+
+let remove_row t ~peer = Hashtbl.remove t.rows peer
+
+let peers t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
+
+let minus (a : Summary.t) (b : Summary.t) =
+  Summary.make
+    ~total:(Float.max 0. (a.total -. b.total))
+    ~by_topic:
+      (Array.init (Array.length a.by_topic) (fun i ->
+           Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))))
+
+(* Sum of all rows, per slot. *)
+let aggregate_rows t =
+  let len = row_length t in
+  let acc = Array.init len (fun _ -> Summary.zero ~topics:t.width) in
+  Hashtbl.iter
+    (fun _ r ->
+      for h = 0 to len - 1 do
+        acc.(h) <- Summary.add acc.(h) r.(h)
+      done)
+    t.rows;
+  acc
+
+(* Shift the aggregate one hop outward.  Plain HRI discards the column
+   that crosses the horizon; the hybrid merges it into the tail slot, so
+   the compound-style aggregate beyond the horizon stays complete. *)
+let shift_with_local t agg =
+  if not t.tail then
+    Array.init t.horizon (fun h -> if h = 0 then t.local else agg.(h - 1))
+  else
+    Array.init (t.horizon + 1) (fun h ->
+        if h = 0 then t.local
+        else if h < t.horizon then agg.(h - 1)
+        else Summary.add agg.(t.horizon - 1) agg.(t.horizon))
+
+let export t ~exclude =
+  let agg = aggregate_rows t in
+  let agg =
+    match exclude with
+    | None -> agg
+    | Some peer -> (
+        match row t ~peer with
+        | None -> agg
+        | Some r -> Array.mapi (fun h s -> minus s r.(h)) agg)
+  in
+  shift_with_local t agg
+
+let export_all t =
+  let agg = aggregate_rows t in
+  peers t
+  |> List.map (fun p ->
+         let r = Hashtbl.find t.rows p in
+         let without = Array.mapi (fun h s -> minus s r.(h)) agg in
+         (p, shift_with_local t without))
+
+let goodness t ~peer ~query =
+  match row t ~peer with
+  | None -> 0.
+  | Some r ->
+      (* In hybrid mode the tail slot sits at index [horizon] and is
+         discounted as if everything in it were horizon+1 hops away —
+         the hop_count_goodness formula already does exactly that for a
+         per-hop array one slot longer. *)
+      let per_hop = Array.map (fun s -> Estimator.goodness s query) r in
+      Cost_model.hop_count_goodness t.cost ~per_hop_goodness:per_hop
+
+let total_beyond_hop t ~peer ~hop =
+  match row t ~peer with
+  | None -> 0.
+  | Some r ->
+      let acc = ref 0. in
+      for h = hop to row_length t - 1 do
+        acc := !acc +. r.(h).Summary.total
+      done;
+      !acc

@@ -1,0 +1,178 @@
+open Ri_content
+
+type kind =
+  | Cri_kind
+  | Hri_kind of { horizon : int; fanout : float }
+  | Eri_kind of { fanout : float }
+  | Hybrid_kind of { horizon : int; fanout : float }
+
+let kind_name = function
+  | Cri_kind -> "CRI"
+  | Hri_kind _ -> "HRI"
+  | Eri_kind _ -> "ERI"
+  | Hybrid_kind _ -> "HYB"
+
+let pp_kind ppf = function
+  | Cri_kind -> Format.pp_print_string ppf "CRI"
+  | Hri_kind { horizon; fanout } ->
+      Format.fprintf ppf "HRI(horizon=%d, F=%g)" horizon fanout
+  | Eri_kind { fanout } -> Format.fprintf ppf "ERI(F=%g)" fanout
+  | Hybrid_kind { horizon; fanout } ->
+      Format.fprintf ppf "HYB(horizon=%d, F=%g)" horizon fanout
+
+type payload = Vector of Summary.t | Hop_vector of Summary.t array
+
+type t = C of Cri.t | H of Hri.t | E of Eri.t
+
+let create k ~width ~local =
+  match k with
+  | Cri_kind -> C (Cri.create ~width ~local)
+  | Hri_kind { horizon; fanout } ->
+      H (Hri.create ~horizon ~cost:(Cost_model.make ~fanout) ~width ~local)
+  | Hybrid_kind { horizon; fanout } ->
+      H (Hri.create_hybrid ~horizon ~cost:(Cost_model.make ~fanout) ~width ~local)
+  | Eri_kind { fanout } -> E (Eri.create ~fanout ~width ~local)
+
+let kind = function
+  | C _ -> Cri_kind
+  | H h ->
+      let horizon = Hri.horizon h
+      and fanout = Cost_model.fanout (Hri.cost_model h) in
+      if Hri.has_tail h then Hybrid_kind { horizon; fanout }
+      else Hri_kind { horizon; fanout }
+  | E e -> Eri_kind { fanout = Eri.fanout e }
+
+let width = function
+  | C c -> Cri.width c
+  | H h -> Hri.width h
+  | E e -> Eri.width e
+
+let local = function
+  | C c -> Cri.local c
+  | H h -> Hri.local h
+  | E e -> Eri.local e
+
+let set_local t s =
+  match t with
+  | C c -> Cri.set_local c s
+  | H h -> Hri.set_local h s
+  | E e -> Eri.set_local e s
+
+let shape_error () =
+  invalid_arg "Scheme.set_row: payload shape does not match the scheme"
+
+let set_row t ~peer payload =
+  match (t, payload) with
+  | C c, Vector s -> Cri.set_row c ~peer s
+  | H h, Hop_vector r -> Hri.set_row h ~peer r
+  | E e, Vector s -> Eri.set_row e ~peer s
+  | (C _ | E _), Hop_vector _ | H _, Vector _ -> shape_error ()
+
+let row t ~peer =
+  match t with
+  | C c -> Option.map (fun s -> Vector s) (Cri.row c ~peer)
+  | H h -> Option.map (fun r -> Hop_vector r) (Hri.row h ~peer)
+  | E e -> Option.map (fun s -> Vector s) (Eri.row e ~peer)
+
+let remove_row t ~peer =
+  match t with
+  | C c -> Cri.remove_row c ~peer
+  | H h -> Hri.remove_row h ~peer
+  | E e -> Eri.remove_row e ~peer
+
+let peers = function
+  | C c -> Cri.peers c
+  | H h -> Hri.peers h
+  | E e -> Eri.peers e
+
+let export t ~exclude =
+  match t with
+  | C c -> Vector (Cri.export c ~exclude)
+  | H h -> Hop_vector (Hri.export h ~exclude)
+  | E e -> Vector (Eri.export e ~exclude)
+
+let export_all t =
+  match t with
+  | C c -> List.map (fun (p, s) -> (p, Vector s)) (Cri.export_all c)
+  | H h -> List.map (fun (p, r) -> (p, Hop_vector r)) (Hri.export_all h)
+  | E e -> List.map (fun (p, s) -> (p, Vector s)) (Eri.export_all e)
+
+let goodness t ~peer ~query =
+  match t with
+  | C c -> Cri.goodness c ~peer ~query
+  | H h -> Hri.goodness h ~peer ~query
+  | E e -> Eri.goodness e ~peer ~query
+
+let rank t ~query ~exclude =
+  peers t
+  |> List.filter (fun p -> not (List.mem p exclude))
+  |> List.map (fun p -> (p, goodness t ~peer:p ~query))
+  |> List.stable_sort (fun (p1, g1) (p2, g2) ->
+         match Float.compare g2 g1 with 0 -> compare p1 p2 | c -> c)
+
+let payload_zero k ~width =
+  match k with
+  | Cri_kind | Eri_kind _ -> Vector (Summary.zero ~topics:width)
+  | Hri_kind { horizon; _ } ->
+      Hop_vector (Array.init horizon (fun _ -> Summary.zero ~topics:width))
+  | Hybrid_kind { horizon; _ } ->
+      Hop_vector (Array.init (horizon + 1) (fun _ -> Summary.zero ~topics:width))
+
+let payload_rel_diff a b =
+  match (a, b) with
+  | Vector x, Vector y -> Summary.max_rel_diff x y
+  | Hop_vector x, Hop_vector y ->
+      if Array.length x <> Array.length y then infinity
+      else begin
+        let worst = ref 0. in
+        Array.iteri
+          (fun i sx -> worst := Float.max !worst (Summary.max_rel_diff sx y.(i)))
+          x;
+        !worst
+      end
+  | Vector _, Hop_vector _ | Hop_vector _, Vector _ -> infinity
+
+let payload_distance a b =
+  match (a, b) with
+  | Vector x, Vector y -> Summary.euclidean_distance x y
+  | Hop_vector x, Hop_vector y ->
+      if Array.length x <> Array.length y then infinity
+      else begin
+        let acc = ref 0. in
+        Array.iteri
+          (fun i sx ->
+            let d = Summary.euclidean_distance sx y.(i) in
+            acc := !acc +. (d *. d))
+          x;
+        sqrt !acc
+      end
+  | Vector _, Hop_vector _ | Hop_vector _, Vector _ -> infinity
+
+let payload_total = function
+  | Vector s -> s.Summary.total
+  | Hop_vector r -> Array.fold_left (fun acc s -> acc +. s.Summary.total) 0. r
+
+let payload_entries = function
+  | Vector s -> 1 + Summary.topics s
+  | Hop_vector r ->
+      if Array.length r = 0 then 0
+      else Array.length r * (1 + Summary.topics r.(0))
+
+let storage_entries k ~width ~neighbors =
+  if width <= 0 || neighbors < 0 then
+    invalid_arg "Scheme.storage_entries: bad dimensions";
+  let per_summary = 1 + width in
+  let slots =
+    match k with
+    | Cri_kind | Eri_kind _ -> 1
+    | Hri_kind { horizon; _ } -> horizon
+    | Hybrid_kind { horizon; _ } -> horizon + 1
+  in
+  (* One local-summary row plus one row per neighbor. *)
+  (neighbors + 1) * slots * per_summary
+
+let payload_perturb rng ~relative_stddev ~kind payload =
+  let f = Compression.perturb rng ~relative_stddev ~kind in
+  match payload with
+  | Vector s -> Vector (f s)
+  | Hop_vector r -> Hop_vector (Array.map f r)

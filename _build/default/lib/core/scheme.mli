@@ -1,0 +1,100 @@
+(** Scheme-polymorphic routing-index interface.
+
+    The query-processing and update-propagation algorithms of Section 5
+    are identical across the three RI kinds; only the row representation,
+    the export (aggregation) rule and the goodness estimator differ.
+    This module erases the difference so the P2P layer is written once.
+
+    A {!payload} is what travels in a creation/update message: a plain
+    aggregate summary for CRI and ERI, a per-hop vector for HRI. *)
+
+type kind =
+  | Cri_kind
+  | Hri_kind of { horizon : int; fanout : float }
+  | Eri_kind of { fanout : float }
+  | Hybrid_kind of { horizon : int; fanout : float }
+      (** the hybrid CRI-HRI of Section 6.2: hop-count slots within the
+          horizon plus a compound-style aggregate of everything beyond *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val kind_name : kind -> string
+(** ["CRI"], ["HRI"], ["ERI"] or ["HYB"]. *)
+
+type payload =
+  | Vector of Ri_content.Summary.t  (** CRI / ERI export *)
+  | Hop_vector of Ri_content.Summary.t array  (** HRI export *)
+
+type t
+(** One node's routing index. *)
+
+val create : kind -> width:int -> local:Ri_content.Summary.t -> t
+
+val kind : t -> kind
+
+val width : t -> int
+
+val local : t -> Ri_content.Summary.t
+
+val set_local : t -> Ri_content.Summary.t -> unit
+
+val set_row : t -> peer:int -> payload -> unit
+(** @raise Invalid_argument if the payload shape does not match the
+    scheme (e.g. a [Hop_vector] handed to a CRI). *)
+
+val row : t -> peer:int -> payload option
+
+val remove_row : t -> peer:int -> unit
+
+val peers : t -> int list
+
+val export : t -> exclude:int option -> payload
+
+val export_all : t -> (int * payload) list
+(** One export per known peer, sharing one aggregation pass. *)
+
+val goodness : t -> peer:int -> query:int list -> float
+
+val rank : t -> query:int list -> exclude:int list -> (int * float) list
+(** Peers ordered by decreasing goodness for the query, [exclude]d peers
+    omitted.  Ties break toward the smaller peer id, keeping runs
+    deterministic. *)
+
+(** {2 Payload utilities} *)
+
+val payload_zero : kind -> width:int -> payload
+
+val payload_rel_diff : payload -> payload -> float
+(** Largest relative entry change between two payloads of the same
+    shape — the [minUpdate] significance test.  [infinity] on shape
+    mismatch (a shape change is always significant). *)
+
+val payload_distance : payload -> payload -> float
+(** Euclidean distance between two payloads' entry vectors (summed over
+    hops for HRI) — the absolute update-significance criterion the paper
+    suggests for exponential RIs in Section 6.2.  [infinity] on shape
+    mismatch. *)
+
+val payload_total : payload -> float
+(** Total-documents entry (hop-summed for HRI). *)
+
+val payload_entries : payload -> int
+(** Number of scalar entries, for byte-cost accounting: [(1 + width)]
+    per summary, times the horizon for HRI. *)
+
+val storage_entries : kind -> width:int -> neighbors:int -> int
+(** Scalar counters one node's routing index holds: one row per
+    neighbor plus the local-summary row, each [(1 + width)] counters
+    (times the slot count for hop-structured schemes).  Multiplying by a
+    counter size in bytes gives the paper's Section 4.1 storage figures:
+    "each node of a distributed system would need [s x (c+1) x b]
+    bytes". *)
+
+val payload_perturb :
+  Ri_util.Prng.t ->
+  relative_stddev:float ->
+  kind:Ri_content.Compression.error_kind ->
+  payload ->
+  payload
+(** Apply the Gaussian error model of Appendix A to every summary in the
+    payload (used to make index errors compound across exports). *)

@@ -1,0 +1,1 @@
+lib/experiments/abl_batch.ml: Array Config Float Message Network Report Ri_content Ri_p2p Ri_sim Ri_util Runner Summary Trial Update

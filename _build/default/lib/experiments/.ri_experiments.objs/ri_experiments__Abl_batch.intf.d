@@ -1,0 +1,1 @@
+lib/experiments/abl_batch.mli: Report Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/abl_decay.ml: Common Config List Report Ri_core Ri_sim Scheme

@@ -1,0 +1,1 @@
+lib/experiments/abl_decay.mli: Report Ri_sim

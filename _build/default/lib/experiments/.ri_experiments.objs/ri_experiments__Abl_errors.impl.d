@@ -1,0 +1,1 @@
+lib/experiments/abl_errors.ml: Common Compression Config List Printf Report Ri_content Ri_sim Trial

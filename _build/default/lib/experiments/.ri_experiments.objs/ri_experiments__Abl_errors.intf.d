@@ -1,0 +1,1 @@
+lib/experiments/abl_errors.mli: Report Ri_sim

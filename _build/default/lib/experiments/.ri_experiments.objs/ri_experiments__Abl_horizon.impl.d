@@ -1,0 +1,1 @@
+lib/experiments/abl_horizon.ml: Common Config List Report Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/abl_horizon.mli: Report Ri_sim

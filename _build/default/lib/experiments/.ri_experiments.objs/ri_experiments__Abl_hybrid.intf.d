@@ -1,0 +1,1 @@
+lib/experiments/abl_hybrid.mli: Report Ri_sim

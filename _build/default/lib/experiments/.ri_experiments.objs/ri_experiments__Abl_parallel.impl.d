@@ -1,0 +1,1 @@
+lib/experiments/abl_parallel.ml: Common Config List Printf Report Ri_sim Ri_util Runner Trial

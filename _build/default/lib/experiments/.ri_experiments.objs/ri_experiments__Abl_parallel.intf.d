@@ -1,0 +1,1 @@
+lib/experiments/abl_parallel.mli: Report Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/abl_storage.ml: Config Report Ri_core Ri_sim Scheme

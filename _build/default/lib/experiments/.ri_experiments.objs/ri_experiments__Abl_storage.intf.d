@@ -1,0 +1,1 @@
+lib/experiments/abl_storage.mli: Report Ri_sim

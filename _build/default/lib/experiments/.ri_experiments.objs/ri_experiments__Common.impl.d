@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Config Ri_sim Runner Trial

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Ri_sim Ri_util

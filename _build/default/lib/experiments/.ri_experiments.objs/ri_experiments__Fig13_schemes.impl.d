@@ -1,0 +1,1 @@
+lib/experiments/fig13_schemes.ml: Common Config List Placement Report Ri_content Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig13_schemes.mli: Report Ri_sim

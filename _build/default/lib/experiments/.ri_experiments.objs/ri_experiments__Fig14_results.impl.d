@@ -1,0 +1,1 @@
+lib/experiments/fig14_results.ml: Common Config List Report Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig14_results.mli: Report Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig15_compression.ml: Common Config List Printf Report Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig15_compression.mli: Report Ri_sim

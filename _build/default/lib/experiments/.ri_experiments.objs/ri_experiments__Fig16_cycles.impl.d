@@ -1,0 +1,1 @@
+lib/experiments/fig16_cycles.ml: Common Config List Report Ri_p2p Ri_sim

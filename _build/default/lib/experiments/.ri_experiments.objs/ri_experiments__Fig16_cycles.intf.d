@@ -1,0 +1,1 @@
+lib/experiments/fig16_cycles.mli: Report Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig17_topology.ml: Common Config List Report Ri_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig17_topology.mli: Report Ri_sim

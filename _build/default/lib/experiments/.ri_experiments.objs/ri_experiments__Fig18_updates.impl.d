@@ -1,0 +1,1 @@
+lib/experiments/fig18_updates.ml: Common Config List Report Ri_sim

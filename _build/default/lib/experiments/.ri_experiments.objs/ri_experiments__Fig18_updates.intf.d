@@ -1,0 +1,1 @@
+lib/experiments/fig18_updates.mli: Report Ri_sim

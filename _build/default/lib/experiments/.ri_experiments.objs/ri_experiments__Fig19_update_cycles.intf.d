@@ -1,0 +1,1 @@
+lib/experiments/fig19_update_cycles.mli: Report Ri_sim

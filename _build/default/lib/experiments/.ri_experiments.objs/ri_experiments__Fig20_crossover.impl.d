@@ -1,0 +1,1 @@
+lib/experiments/fig20_crossover.ml: Common Config List Report Ri_p2p Ri_sim Ri_util

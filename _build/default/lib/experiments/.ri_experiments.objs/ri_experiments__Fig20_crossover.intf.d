@@ -1,0 +1,1 @@
+lib/experiments/fig20_crossover.mli: Report Ri_sim

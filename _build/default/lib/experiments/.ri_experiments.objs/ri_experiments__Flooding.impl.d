@@ -1,0 +1,1 @@
+lib/experiments/flooding.ml: Common Config Report Ri_sim Ri_util

@@ -1,0 +1,1 @@
+lib/experiments/flooding.mli: Report Ri_sim

@@ -1,0 +1,41 @@
+(** Ablation — the exponential RI's assumed fanout (decay), a "key
+    design variable".
+
+    The ERI discounts hop-[j] documents by [1/A^(j-1)]; the paper sets
+    [A] to the tree's true branching factor 4.  A mismatched decay
+    either under-discounts distance (small [A]: updates travel far,
+    routing chases remote documents) or over-discounts it (large [A]:
+    myopic routing, very local updates). *)
+
+open Ri_sim
+open Ri_core
+
+let id = "abl-decay"
+
+let title = "ERI decay sweep (assumed fanout A; true tree fanout is 4)"
+
+let paper_claim =
+  "The base configuration matches the decay to the topology (A = F = 4); \
+   mismatches shift the query/update balance."
+
+let decays = [ 2.; 4.; 8.; 16. ]
+
+let run ~base ~spec =
+  let rows =
+    List.map
+      (fun decay ->
+        let cfg =
+          Config.with_search
+            { base with Config.eri_decay = decay }
+            (Config.Ri (Scheme.Eri_kind { fanout = decay }))
+        in
+        [
+          Report.cell_number ~decimals:0 decay;
+          Report.cell_mean (Common.query_messages cfg ~spec);
+          Report.cell_mean (Common.update_messages cfg ~spec);
+        ])
+      decays
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:[ "Decay A"; "Query msgs"; "Update msgs" ]
+    ~rows

@@ -1,0 +1,34 @@
+(** Ablation — the hop-count RI's horizon, a "key design variable".
+
+    A short horizon means cheap updates but blind routing ("we do not
+    have information beyond the horizon"); a long one converges on
+    compound-RI behaviour at compound-RI update cost. *)
+
+open Ri_sim
+
+let id = "abl-horizon"
+
+let title = "HRI horizon sweep (query vs. update cost)"
+
+let paper_claim =
+  "The horizon trades query quality against update reach: the base \
+   configuration uses H = 5."
+
+let horizons = [ 1; 2; 3; 5; 8 ]
+
+let run ~base ~spec =
+  let rows =
+    List.map
+      (fun horizon ->
+        let cfg = { base with Config.horizon } in
+        let cfg = Config.with_search cfg (Config.Ri (Config.hri cfg)) in
+        [
+          Report.cell_number ~decimals:0 (float_of_int horizon);
+          Report.cell_mean (Common.query_messages cfg ~spec);
+          Report.cell_mean (Common.update_messages cfg ~spec);
+        ])
+      horizons
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:[ "Horizon"; "Query msgs"; "Update msgs" ]
+    ~rows

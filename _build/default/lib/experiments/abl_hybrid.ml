@@ -1,0 +1,52 @@
+(** Ablation — the hybrid CRI-HRI of Section 6.2.
+
+    The paper notes that a hybrid overcomes the hop-count RI's blindness
+    beyond the horizon "but it still does not solve the storage and
+    transmission cost problem".  This ablation quantifies both halves of
+    that sentence: query cost (the hybrid should route like a CRI),
+    update cost (it should pay like one too), and the per-row size. *)
+
+open Ri_sim
+open Ri_core
+
+let id = "abl-hybrid"
+
+let title = "Hybrid CRI-HRI vs. the paper's three schemes"
+
+let paper_claim =
+  "Section 6.2: a hybrid CRI-HRI overcomes the horizon blindness (query \
+   cost near CRI's) but not the storage and transmission cost problem \
+   (update cost and row size near CRI's)."
+
+let row_entries base kind =
+  let width = base.Config.topics in
+  Scheme.payload_entries (Scheme.payload_zero kind ~width)
+
+let run ~base ~spec =
+  (* A deliberately short horizon: the paper's H = 5 sees most of a tree
+     whose depth is log_F(NumNodes), hiding exactly the blindness the
+     hybrid exists to fix. *)
+  let base = { base with Config.horizon = 2 } in
+  let schemes =
+    [
+      ("CRI", Config.cri);
+      ("HRI (H=2)", Config.hri base);
+      ("Hybrid (H=2)", Config.hybrid base);
+      ("ERI", Config.eri base);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, kind) ->
+        let cfg = Config.with_search base (Config.Ri kind) in
+        [
+          Report.cell_text name;
+          Report.cell_mean (Common.query_messages cfg ~spec);
+          Report.cell_mean (Common.update_messages cfg ~spec);
+          Report.cell_number ~decimals:0 (float_of_int (row_entries base kind));
+        ])
+      schemes
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:[ "Routing Index"; "Query msgs"; "Update msgs"; "Row entries" ]
+    ~rows

@@ -1,0 +1,59 @@
+(** Ablation — sequential vs. parallel query forwarding (Section 3.1).
+
+    "Queries can be forwarded to the best neighbors in parallel or
+    sequentially ... A parallel approach yields better response time,
+    but generates higher traffic and may waste resources."  The paper
+    evaluates only the sequential variant; this ablation quantifies the
+    trade-off it set aside.  Response time is proxied by forwarding
+    rounds (parallel) or total messages on the critical path
+    (sequential, where every message is serial by construction). *)
+
+open Ri_sim
+
+let id = "abl-parallel"
+
+let title = "Sequential vs. parallel forwarding (ERI)"
+
+let paper_claim =
+  "Section 3.1: parallel forwarding improves response time at the price \
+   of more messages."
+
+let branches = [ 1; 2; 3 ]
+
+let run ~base ~spec =
+  let cfg = Config.with_search base (Config.Ri (Config.eri base)) in
+  let sequential_msgs = Common.query_messages cfg ~spec in
+  let seq_row =
+    [
+      Report.cell_text "sequential (paper)";
+      Report.cell_mean sequential_msgs;
+      (* Serial forwarding: the response path is the message chain. *)
+      Report.cell_mean sequential_msgs;
+      Report.cell_number 100.;
+    ]
+  in
+  let par_rows =
+    List.map
+      (fun branch ->
+        let msgs = Ri_util.Stats.Acc.create () in
+        let rounds = Ri_util.Stats.Acc.create () in
+        let satisfied = ref 0 in
+        let trials = max spec.Runner.min_trials (spec.Runner.max_trials / 2) in
+        for trial = 0 to trials - 1 do
+          let m = Trial.run_query_parallel cfg ~branch ~trial in
+          Ri_util.Stats.Acc.add msgs (float_of_int m.Trial.par_messages);
+          Ri_util.Stats.Acc.add rounds (float_of_int m.Trial.par_rounds);
+          if m.Trial.par_satisfied then incr satisfied
+        done;
+        [
+          Report.cell_text (Printf.sprintf "parallel, branch %d" branch);
+          Report.cell_mean (Ri_util.Stats.summarize msgs);
+          Report.cell_mean (Ri_util.Stats.summarize rounds);
+          Report.cell_number ~decimals:0
+            (100. *. float_of_int !satisfied /. float_of_int trials);
+        ])
+      branches
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:[ "Forwarding"; "Messages"; "Response (rounds)"; "Hit %" ]
+    ~rows:(seq_row :: par_rows)

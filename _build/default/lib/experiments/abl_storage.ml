@@ -1,0 +1,67 @@
+(** Ablation — the storage analysis of Section 4.1.
+
+    "If s is the counter size in bytes, c is the number of categories,
+    N the number of nodes, and b the branching factor, then a
+    centralized index would require [s x (c+1) x N] bytes, while each
+    node of a distributed system would need [s x (c+1) x b] bytes.
+    Thus, the total for the entire distributed system is
+    [s x (c+1) x b x N] bytes.  Although the RIs require more storage
+    space overall than a centralized index, the cost of the storage
+    space is shared among the network nodes."
+
+    This table evaluates those formulas for the active configuration and
+    all four schemes, at a 2-byte counter (the size the paper assumes in
+    its Figure 20 hash-table arithmetic). *)
+
+open Ri_sim
+open Ri_core
+
+let id = "abl-storage"
+
+let title = "Index storage: centralized vs. per-node routing indices"
+
+let paper_claim =
+  "Section 4.1: RIs need more total storage than one central index, but \
+   each node only pays for its neighbors; per-node cost is tiny and \
+   tunable via summarization."
+
+let counter_bytes = 2.
+
+let run ~base ~spec =
+  ignore spec;
+  let n = float_of_int base.Config.num_nodes in
+  let width = base.Config.topics in
+  (* Mean branching: a tree with fanout F has (N-1) links, so the mean
+     degree is just under 2; use the paper's b = fanout + 1 interior
+     figure as the representative neighbor count. *)
+  let neighbors = base.Config.fanout + 1 in
+  let centralized = counter_bytes *. float_of_int (1 + width) *. n in
+  let row kind_name kind =
+    let per_node =
+      counter_bytes
+      *. float_of_int (Scheme.storage_entries kind ~width ~neighbors)
+    in
+    [
+      Report.cell_text kind_name;
+      Report.cell_number ~decimals:0 per_node;
+      Report.cell_number ~decimals:1 (per_node *. n /. 1e6);
+      Report.cell_number ~decimals:1 (per_node *. n /. centralized);
+    ]
+  in
+  let rows =
+    [
+      [
+        Report.cell_text "centralized (Napster-style)";
+        Report.cell_text "-";
+        Report.cell_number ~decimals:1 (centralized /. 1e6);
+        Report.cell_number ~decimals:1 1.0;
+      ];
+      row "CRI" Config.cri;
+      row "HRI" (Config.hri base);
+      row "Hybrid" (Config.hybrid base);
+      row "ERI" (Config.eri base);
+    ]
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:[ "Index"; "Bytes/node"; "Total MB"; "x centralized" ]
+    ~rows

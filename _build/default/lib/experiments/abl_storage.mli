@@ -1,0 +1,11 @@
+(** Ablation — the storage analysis of Section 4.1 (centralized index
+    vs. per-node routing indices), evaluated analytically for the active
+    configuration. *)
+
+val id : string
+
+val title : string
+
+val paper_claim : string
+
+val run : base:Ri_sim.Config.t -> spec:Ri_sim.Runner.spec -> Report.t

@@ -1,0 +1,38 @@
+(** Figure 13 — "Comparison of CRI, HRI, and ERI".
+
+    Query cost for each routing-index kind and for the No-RI baseline,
+    under a uniform and under an 80/20 document distribution.  The
+    paper: RIs roughly halve the message count versus No-RI; CRI is
+    best, then ERI, then HRI; an 80/20 bias barely helps RIs but hurts
+    No-RI. *)
+
+open Ri_sim
+open Ri_content
+
+let id = "fig13"
+
+let title = "Comparison of CRI, HRI, and ERI (messages per query)"
+
+let paper_claim =
+  "RIs halve the No-RI message count; CRI < ERI < HRI < No-RI.  An 80/20 \
+   document distribution changes RI cost little but degrades No-RI."
+
+let distributions =
+  [ ("uniform", Placement.Uniform); ("80/20", Placement.eighty_twenty) ]
+
+let run ~base ~spec =
+  let rows =
+    List.map
+      (fun (name, search) ->
+        let cfg = Config.with_search base search in
+        Report.cell_text name
+        :: List.map
+             (fun (_, dist) ->
+               Report.cell_mean
+                 (Common.query_messages { cfg with Config.distribution = dist } ~spec))
+             distributions)
+      (Common.all_searches base)
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:("Routing Index" :: List.map fst distributions)
+    ~rows

@@ -1,0 +1,44 @@
+(** Figure 14 — "Number of Results".
+
+    Messages per query as the requested result count (the stop
+    condition) grows from 10 to 100.  The paper plots CRI and ERI ("the
+    performance of HRI is indistinguishable from ERI, so it is omitted")
+    and highlights "the linear shape of the increase, showing that all
+    RIs, as well as No-RI, scale well on this parameter". *)
+
+open Ri_sim
+
+let id = "fig14"
+
+let title = "Messages vs. requested results"
+
+let paper_claim =
+  "Messages grow linearly with the number of requested results; ERI stays \
+   within a small factor of CRI (HRI is indistinguishable from ERI)."
+
+let requested = [ 10; 20; 40; 60; 80; 100 ]
+
+let searches base =
+  [
+    ("CRI", Config.Ri Config.cri);
+    ("ERI", Config.Ri (Config.eri base));
+    ("No-RI", Config.No_ri);
+  ]
+
+let run ~base ~spec =
+  let rows =
+    List.map
+      (fun stop ->
+        Report.cell_number ~decimals:0 (float_of_int stop)
+        :: List.map
+             (fun (_, search) ->
+               let cfg =
+                 Config.with_search { base with Config.stop_condition = stop } search
+               in
+               Report.cell_mean (Common.query_messages cfg ~spec))
+             (searches base))
+      requested
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:("Requested Results" :: List.map fst (searches base))
+    ~rows

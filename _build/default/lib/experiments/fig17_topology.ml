@@ -1,0 +1,42 @@
+(** Figure 17 — "Network topology" and query cost.
+
+    Each search mechanism on the three topologies.  The paper's
+    surprise: "RIs perform better in a power-law network than in a tree
+    network" — queries gravitate to the few highly connected nodes and
+    collect many results there, and power-law graphs have shorter paths
+    — while both factors {e hinder} No-RI, which stumbles around
+    looking for the rare well-connected nodes. *)
+
+open Ri_sim
+
+let id = "fig17"
+
+let title = "Query cost per network topology"
+
+let paper_claim =
+  "RIs do better on a power-law network than on a tree (high-degree hubs \
+   + shorter paths), while No-RI does worse there."
+
+let topologies =
+  [
+    ("Tree", Config.Tree);
+    ("Tree+Cycle", Config.Tree_with_cycles { extra_links = 10 });
+    ("Powerlaw", Config.Power_law_graph);
+  ]
+
+let run ~base ~spec =
+  let rows =
+    List.map
+      (fun (name, search) ->
+        let cfg = Config.with_search base search in
+        Report.cell_text name
+        :: List.map
+             (fun (_, topology) ->
+               Report.cell_mean
+                 (Common.query_messages (Config.with_topology cfg topology) ~spec))
+             topologies)
+      (Common.all_searches base)
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:("Routing Index" :: List.map fst topologies)
+    ~rows

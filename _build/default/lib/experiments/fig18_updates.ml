@@ -1,0 +1,42 @@
+(** Figure 18 — "Updates and Network Topology".
+
+    Messages to propagate one batch of updates, per RI kind and
+    topology.  The paper: "the cost of CRI is much higher when compared
+    with HRI and ERI ... the result of CRI propagating the update to all
+    nodes, while HRI and ERI only propagate the update to a subset",
+    and "network topology has little impact on the update performance". *)
+
+open Ri_sim
+
+let id = "fig18"
+
+let title = "Update cost per RI kind and topology"
+
+let paper_claim =
+  "CRI updates reach every node and cost vastly more than HRI/ERI \
+   updates, which stay in a bounded neighborhood; topology matters \
+   little."
+
+let topologies =
+  [
+    ("Tree", Config.Tree);
+    ("Tree+Cycle", Config.Tree_with_cycles { extra_links = 10 });
+    ("Powerlaw", Config.Power_law_graph);
+  ]
+
+let run ~base ~spec =
+  let rows =
+    List.map
+      (fun (name, search) ->
+        let cfg = Config.with_search base search in
+        Report.cell_text name
+        :: List.map
+             (fun (_, topology) ->
+               Report.cell_mean
+                 (Common.update_messages (Config.with_topology cfg topology) ~spec))
+             topologies)
+      (Common.ri_searches base)
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:("Routing Index" :: List.map fst topologies)
+    ~rows

@@ -1,0 +1,49 @@
+(** Figure 19 — "Updates and Cycle Policy".
+
+    ERI update cost as links are added to a tree, under both cycle
+    policies, propagating "all updates that may change the current index
+    value by more than 1%".  The paper: "the number of messages
+    increases as we add more links, but in both cases the increase is
+    modest (although the increase is more rapid when cycles are
+    ignored)". *)
+
+open Ri_sim
+
+let id = "fig19"
+
+let title = "ERI update cost vs. added links and cycle policy"
+
+let paper_claim =
+  "ERI update cost rises only modestly with added links; the no-op \
+   (ignore) policy rises faster than detect-and-recover."
+
+let added_links = [ 1; 10; 100; 1000; 10000 ]
+
+let policies =
+  [ ("No-op", Ri_p2p.Network.No_op); ("Detect", Ri_p2p.Network.Detect_recover) ]
+
+let run ~base ~spec =
+  let base = Config.with_search base (Config.Ri (Config.eri base)) in
+  let rows =
+    List.map
+      (fun extra ->
+        (* Link counts are quoted at the paper's 60000-node scale and
+           translated to the configured size, preserving cycle density. *)
+        let extra_links = Config.scaled_links base ~paper_links:extra in
+        Report.cell_number ~decimals:0 (float_of_int extra)
+        :: List.map
+             (fun (_, policy) ->
+               let cfg =
+                 {
+                   base with
+                   Config.topology = Config.Tree_with_cycles { extra_links };
+                   cycle_policy = policy;
+                 }
+               in
+               Report.cell_mean (Common.update_messages cfg ~spec))
+             policies)
+      added_links
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:("Added Links (60k scale)" :: List.map fst policies)
+    ~rows

@@ -1,0 +1,64 @@
+(** Figure 20 — "Updates per minute": when do RIs pay off?
+
+    Total bytes per minute for an ERI system and a No-RI system, at the
+    observed Gnutella query load of 1032 queries/minute, 70-byte query
+    messages and 3500-byte update messages, as the update rate grows.
+    The paper: "The crossover point is 36 updates per minute.  That is,
+    as long as there are fewer than 36 updates per minute, using an RI
+    pays off." *)
+
+open Ri_sim
+
+let id = "fig20"
+
+let title = "Bytes per minute vs. update rate (ERI vs. No-RI)"
+
+let paper_claim =
+  "ERI traffic grows with the update rate while No-RI stays flat; the \
+   paper's crossover is 36 updates/min at 1032 queries/min (70 B \
+   queries, 3500 B updates)."
+
+let queries_per_minute = 1032.
+
+let update_rates = [ 1.; 10.; 19.; 28.; 37.; 46. ]
+
+let run ~base ~spec =
+  let bytes = Ri_p2p.Message.gnutella_bytes in
+  let eri_cfg =
+    Config.with_search { base with Config.bytes } (Config.Ri (Config.eri base))
+  in
+  let nori_cfg = Config.with_search { base with Config.bytes } Config.No_ri in
+  let eri_query = Common.query_messages eri_cfg ~spec in
+  let nori_query = Common.query_messages nori_cfg ~spec in
+  let eri_update = Common.update_messages eri_cfg ~spec in
+  let qb = float_of_int bytes.Ri_p2p.Message.query_bytes in
+  let ub = float_of_int bytes.Ri_p2p.Message.update_bytes in
+  let query_traffic mean = queries_per_minute *. mean.Ri_util.Stats.mean *. qb in
+  let eri_bytes u = query_traffic eri_query +. (u *. eri_update.Ri_util.Stats.mean *. ub) in
+  let nori_bytes _ = query_traffic nori_query in
+  let crossover =
+    let saving = query_traffic nori_query -. query_traffic eri_query in
+    let per_update = eri_update.Ri_util.Stats.mean *. ub in
+    if per_update <= 0. then infinity else saving /. per_update
+  in
+  let mb v = v /. 1_000_000. in
+  let rows =
+    List.map
+      (fun u ->
+        [
+          Report.cell_number ~decimals:0 u;
+          Report.cell_number ~decimals:2 (mb (eri_bytes u));
+          Report.cell_number ~decimals:2 (mb (nori_bytes u));
+        ])
+      update_rates
+    @ [
+        [
+          Report.cell_text "crossover (upd/min)";
+          Report.cell_number ~decimals:1 crossover;
+          Report.cell_text "-";
+        ];
+      ]
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:[ "Updates/min"; "ERI MB/min"; "No-RI MB/min" ]
+    ~rows

@@ -1,0 +1,16 @@
+(** Figure 20 — bytes per minute vs. update rate; the ERI / No-RI crossover.
+
+    See the implementation's header comment for the experiment's design
+    and the paper passage it reproduces. *)
+
+val id : string
+(** Registry handle. *)
+
+val title : string
+
+val paper_claim : string
+(** The published qualitative finding this experiment checks. *)
+
+val run : base:Ri_sim.Config.t -> spec:Ri_sim.Runner.spec -> Report.t
+(** Execute the sweep against the given base configuration, each data
+    point run to the spec's confidence target. *)

@@ -1,0 +1,69 @@
+open Ri_util
+
+type cell = { text : string; value : float option }
+
+let cell_text text = { text; value = None }
+
+let cell_mean (s : Stats.summary) =
+  {
+    text = Printf.sprintf "%.1f ±%.1f" s.Stats.mean s.Stats.ci95;
+    value = Some s.Stats.mean;
+  }
+
+let cell_number ?(decimals = 1) v =
+  { text = Printf.sprintf "%.*f" decimals v; value = Some v }
+
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  header : string list;
+  rows : cell list list;
+}
+
+let make ~id ~title ~paper_claim ~header ~rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Report.make: row width mismatch")
+    rows;
+  { id; title; paper_claim; header; rows }
+
+let value_at t ~row ~col =
+  match List.nth_opt t.rows row with
+  | None -> None
+  | Some r -> ( match List.nth_opt r col with None -> None | Some c -> c.value)
+
+let to_string t =
+  let table = Text_table.create ~header:t.header () in
+  List.iter (fun row -> Text_table.add_row table (List.map (fun c -> c.text) row)) t.rows;
+  Printf.sprintf "== %s: %s ==\npaper: %s\n%s" t.id t.title t.paper_claim
+    (Text_table.render table)
+
+let print t =
+  print_string (to_string t);
+  print_newline ()
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," (List.map csv_escape t.header));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      let cells =
+        List.map
+          (fun c ->
+            match c.value with
+            | Some v -> Printf.sprintf "%g" v
+            | None -> csv_escape c.text)
+          row
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Experiment reports.
+
+    Each experiment renders its measurements as a table whose rows and
+    columns mirror the corresponding figure of the paper, plus the
+    paper's own finding as a note so bench output can be eyeballed
+    against the publication directly.  Numeric cells keep their raw
+    values alongside the formatted strings so tests can assert on
+    shapes without reparsing. *)
+
+type cell = { text : string; value : float option }
+
+val cell_text : string -> cell
+
+val cell_mean : Ri_util.Stats.summary -> cell
+(** Mean with its 95% CI, e.g. ["218.0 ±14.2"]. *)
+
+val cell_number : ?decimals:int -> float -> cell
+
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;  (** the published qualitative result *)
+  header : string list;
+  rows : cell list list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  paper_claim:string ->
+  header:string list ->
+  rows:cell list list ->
+  t
+
+val value_at : t -> row:int -> col:int -> float option
+(** Numeric value of a body cell (0-indexed), if any. *)
+
+val print : t -> unit
+(** Render to stdout: heading, claim, aligned table. *)
+
+val to_string : t -> string
+
+val to_csv : t -> string
+(** Header row plus one line per body row; numeric cells emit their raw
+    value, text cells are quoted when they contain a comma or quote. *)

@@ -1,0 +1,1 @@
+lib/p2p/churn.ml: Array List Message Network Queue Ri_core Scheme Update

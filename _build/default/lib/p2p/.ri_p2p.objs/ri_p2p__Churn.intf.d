@@ -1,0 +1,1 @@
+lib/p2p/churn.mli: Message Network

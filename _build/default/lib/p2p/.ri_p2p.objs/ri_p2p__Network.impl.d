@@ -1,0 +1,1 @@
+lib/p2p/network.ml: Array Compression List Local_index Placement Prng Queue Ri_content Ri_core Ri_topology Ri_util Scheme Summary Topic

@@ -1,0 +1,1 @@
+lib/p2p/network.mli: Ri_content Ri_core Ri_topology Ri_util

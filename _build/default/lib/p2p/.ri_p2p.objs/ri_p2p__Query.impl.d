@@ -1,0 +1,1 @@
+lib/p2p/query.ml: Array Hashtbl List Message Network Option Prng Queue Ri_content Ri_core Ri_util Scheme Seq

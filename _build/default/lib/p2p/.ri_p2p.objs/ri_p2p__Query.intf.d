@@ -1,0 +1,1 @@
+lib/p2p/query.mli: Message Network Ri_content Ri_util

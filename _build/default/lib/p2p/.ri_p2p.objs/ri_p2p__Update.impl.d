@@ -1,0 +1,1 @@
+lib/p2p/update.ml: Hashtbl List Message Network Queue Ri_content Ri_core Scheme

@@ -1,0 +1,1 @@
+lib/p2p/update.mli: Message Network Ri_content Ri_core

@@ -1,0 +1,95 @@
+open Ri_core
+
+let connect net u v ~counters =
+  Network.add_link net u v;
+  if Network.has_ri net then begin
+    (* Initial exchange: each side aggregates its RI (the other side has
+       no row yet, so no exclusion applies) and sends it across. *)
+    let to_v = Network.export_to net u ~peer:v in
+    let to_u = Network.export_to net v ~peer:u in
+    counters.Message.update_messages <- counters.Message.update_messages + 2;
+    (* Both endpoints now reach more documents; tell everyone else,
+       pairing each outgoing aggregate with its pre-connection value so
+       receivers judge exactly the connection's effect. *)
+    let seeds_u =
+      Update.seeds_for_change net ~at:u ~except:[ v ] ~mutate:(fun () ->
+          Scheme.set_row (Network.ri net u) ~peer:v to_u)
+    in
+    let seeds_v =
+      Update.seeds_for_change net ~at:v ~except:[ u ] ~mutate:(fun () ->
+          Scheme.set_row (Network.ri net v) ~peer:u to_v)
+    in
+    Update.wave net ~seeds:(seeds_u @ seeds_v) ~already_reached:[ u; v ]
+      ~counters
+  end
+
+type connect_result = Connected | Rejected_cycle
+
+let reachable net src dst =
+  let n = Network.size net in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  let found = ref false in
+  while not (!found || Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        if v = dst then found := true
+        else if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+      (Network.neighbors net u)
+  done;
+  !found
+
+let connect_avoiding_cycles net u v ~counters =
+  (* One probe message to test connectivity (in a deployment this is a
+     path-discovery exchange; we charge the minimum). *)
+  counters.Message.update_messages <- counters.Message.update_messages + 1;
+  if reachable net u v then Rejected_cycle
+  else begin
+    connect net u v ~counters;
+    Connected
+  end
+
+let drop_side net a b ~counters =
+  if Network.has_ri net then begin
+    let seeds =
+      Update.seeds_for_change net ~at:a ~except:[ b ] ~mutate:(fun () ->
+          Scheme.remove_row (Network.ri net a) ~peer:b)
+    in
+    Update.wave net ~seeds ~already_reached:[ a ] ~counters
+  end
+
+let disconnect_link net u v ~counters =
+  drop_side net u v ~counters;
+  drop_side net v u ~counters;
+  Network.remove_link net u v
+
+let disconnect_node net v ~counters =
+  let former = Array.to_list (Network.neighbors net v) in
+  (* The former neighbors detect the loss, clean up and spread the news,
+     without any participation of the leaving node. *)
+  List.iter
+    (fun u ->
+      if Network.has_ri net then begin
+        let seeds =
+          Update.seeds_for_change net ~at:u ~except:[] ~mutate:(fun () ->
+              Scheme.remove_row (Network.ri net u) ~peer:v)
+        in
+        Update.wave net ~seeds ~already_reached:[ u ] ~counters
+      end)
+    former;
+  List.iter (fun u -> Network.remove_link net u v) former;
+  (* The departed node itself starts over: when it later rejoins, it
+     must look like "a newly connected node [that] sends a summary of
+     its local index" (Section 5.1), not one advertising a network it
+     can no longer reach.  Local cleanup costs no messages. *)
+  if Network.has_ri net then begin
+    let ri = Network.ri net v in
+    List.iter (fun peer -> Scheme.remove_row ri ~peer) (Scheme.peers ri)
+  end;
+  former

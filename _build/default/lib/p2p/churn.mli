@@ -1,0 +1,45 @@
+(** Node and link churn (Sections 4.2 and 4.3).
+
+    Connecting two nodes: "node A aggregates its RI and sends it to D
+    ... Similarly, D aggregates its RI (excluding the row for A if it is
+    already in the RI) and sends its aggregated RI to A", after which
+    both inform their other neighbors that they can now reach more
+    documents.
+
+    Disconnection needs no cooperation from the leaving node: "Node D
+    detects the disconnection and updates its RI by removing the row for
+    I.  Then D informs its neighbors of the change ... Not requiring the
+    participation of a disconnecting node is an important feature in a
+    P2P system where nodes can come and go at will."
+
+    All RI traffic is charged to the given counters. *)
+
+val connect : Network.t -> int -> int -> counters:Message.counters -> unit
+(** Establish the link, exchange aggregated RIs (two update messages),
+    then propagate outward from both endpoints.
+    @raise Invalid_argument if the link already exists, the endpoints
+    are equal, or this would create a cycle on a network built with the
+    CRI/[No_op] combination (which cannot tolerate cycles). *)
+
+type connect_result = Connected | Rejected_cycle
+
+val connect_avoiding_cycles :
+  Network.t -> int -> int -> counters:Message.counters -> connect_result
+(** The {e cycle avoidance} policy of Section 7: "we do not allow nodes
+    to create an 'update' connection to other nodes if such connection
+    would create a cycle".  If the endpoints are already connected
+    through the overlay the request is refused (at the cost of one probe
+    message, charged to the counters); otherwise behaves as {!connect}.
+    The paper's caveat applies: "in the absence of global information we
+    may end [up] with a suboptimal update network". *)
+
+val disconnect_link : Network.t -> int -> int -> counters:Message.counters -> unit
+(** Drop the link; each endpoint removes the other's row and propagates
+    its shrunken aggregate.  @raise Invalid_argument if absent. *)
+
+val disconnect_node : Network.t -> int -> counters:Message.counters -> int list
+(** Take a node off the network: every neighbor detects the loss,
+    removes the row, and propagates — without any participation of the
+    departed node.  Returns the former neighbor list.  The departed
+    node's own RI rows are cleared locally (no messages), so a later
+    {!connect} behaves like the fresh join of Section 5.1. *)

@@ -1,0 +1,47 @@
+type counters = {
+  mutable query_forwards : int;
+  mutable query_returns : int;
+  mutable result_messages : int;
+  mutable update_messages : int;
+}
+
+let create () =
+  {
+    query_forwards = 0;
+    query_returns = 0;
+    result_messages = 0;
+    update_messages = 0;
+  }
+
+let reset c =
+  c.query_forwards <- 0;
+  c.query_returns <- 0;
+  c.result_messages <- 0;
+  c.update_messages <- 0
+
+let query_messages c = c.query_forwards + c.query_returns + c.result_messages
+
+let total_messages c = query_messages c + c.update_messages
+
+let add dst src =
+  dst.query_forwards <- dst.query_forwards + src.query_forwards;
+  dst.query_returns <- dst.query_returns + src.query_returns;
+  dst.result_messages <- dst.result_messages + src.result_messages;
+  dst.update_messages <- dst.update_messages + src.update_messages
+
+type byte_costs = { query_bytes : int; result_bytes : int; update_bytes : int }
+
+let paper_base_bytes = { query_bytes = 250; result_bytes = 250; update_bytes = 1000 }
+
+let gnutella_bytes = { query_bytes = 70; result_bytes = 70; update_bytes = 3500 }
+
+let bytes_of b c =
+  float_of_int
+    (((c.query_forwards + c.query_returns) * b.query_bytes)
+    + (c.result_messages * b.result_bytes)
+    + (c.update_messages * b.update_bytes))
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<h>forwards=%d returns=%d results=%d updates=%d@]" c.query_forwards
+    c.query_returns c.result_messages c.update_messages

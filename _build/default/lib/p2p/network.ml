@@ -1,0 +1,332 @@
+open Ri_util
+open Ri_content
+open Ri_core
+
+type cycle_policy = No_op | Detect_recover
+
+type build_mode = Converged | Rooted of int
+
+type content = {
+  summary : int -> Summary.t;
+  count_matching : int -> Topic.id list -> int;
+}
+
+let content_of_local_indices indices =
+  {
+    summary = (fun v -> Local_index.summary indices.(v));
+    count_matching = (fun v q -> Local_index.count_matching indices.(v) q);
+  }
+
+let content_of_placement (p : Placement.t) =
+  {
+    summary = (fun v -> p.summaries.(v));
+    count_matching = (fun v _ -> p.matches.(v));
+  }
+
+type t = {
+  mutable adj : int array array;
+  content : content;
+  scheme_kind : Scheme.kind option;
+  compression : Compression.t;
+  policy : cycle_policy;
+  min_update : float;
+  update_distance_floor : float;
+  perturb : (float * Compression.error_kind) option;
+  rng : Prng.t;
+  ris : Scheme.t array;
+  locals : Summary.t array;
+  mutable converged_iterations : int;
+}
+
+let size t = Array.length t.adj
+
+let neighbors t v = t.adj.(v)
+
+let degree t v = Array.length t.adj.(v)
+
+let has_link t u v = Array.exists (( = ) v) t.adj.(u)
+
+let scheme t = t.scheme_kind
+
+let cycle_policy t = t.policy
+
+let min_update t = t.min_update
+
+let update_distance_floor t = t.update_distance_floor
+
+let has_ri t = Array.length t.ris > 0
+
+let ri t v =
+  if not (has_ri t) then invalid_arg "Network.ri: No-RI network";
+  t.ris.(v)
+
+let local_summary t v = t.locals.(v)
+
+let raw_local_summary t v = t.content.summary v
+
+let count_matching t v q = t.content.count_matching v q
+
+let project_query t q =
+  List.map (Compression.project_topic t.compression) q
+  |> List.sort_uniq compare
+
+let rng t = t.rng
+
+let converged_iterations t = t.converged_iterations
+
+let maybe_perturb t payload =
+  match t.perturb with
+  | None -> payload
+  | Some (relative_stddev, kind) ->
+      Scheme.payload_perturb t.rng ~relative_stddev ~kind payload
+
+let outgoing_exports t v =
+  if not (has_ri t) then []
+  else
+    Scheme.export_all t.ris.(v)
+    |> List.map (fun (p, payload) -> (p, maybe_perturb t payload))
+
+let export_to t v ~peer =
+  if not (has_ri t) then invalid_arg "Network.export_to: No-RI network";
+  maybe_perturb t (Scheme.export t.ris.(v) ~exclude:(Some peer))
+
+let set_local_summary t v summary =
+  let s = Compression.project_summary t.compression summary in
+  t.locals.(v) <- s;
+  if has_ri t then Scheme.set_local t.ris.(v) s
+
+let refresh_local t v = set_local_summary t v (t.content.summary v)
+
+(* BFS spanning forest: returns the visit order and, per node, its parent
+   (-1 for component roots). *)
+let bfs_forest adj =
+  let n = Array.length adj in
+  let parent = Array.make n (-2) in
+  let order = Array.make n 0 in
+  let filled = ref 0 in
+  let q = Queue.create () in
+  for root = 0 to n - 1 do
+    if parent.(root) = -2 then begin
+      parent.(root) <- -1;
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        order.(!filled) <- u;
+        incr filled;
+        Array.iter
+          (fun v ->
+            if parent.(v) = -2 then begin
+              parent.(v) <- u;
+              Queue.add v q
+            end)
+          adj.(u)
+      done
+    end
+  done;
+  (order, parent)
+
+(* Exact converged RIs on the spanning forest: an up pass sends each
+   node's aggregate toward its parent, a down pass distributes the
+   completed aggregates back toward the leaves.  Equivalent to running
+   the Figure 6 algorithm to quiescence on a cycle-free overlay. *)
+let build_forest_exact t order parent =
+  let n = size t in
+  (* Up pass: reverse BFS order, so every child is handled before its
+     parent.  At that point a node's rows hold exactly its children. *)
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let p = parent.(v) in
+    if p >= 0 then begin
+      let payload = maybe_perturb t (Scheme.export t.ris.(v) ~exclude:None) in
+      Scheme.set_row t.ris.(p) ~peer:v payload
+    end
+  done;
+  (* Down pass: BFS order, so a node's parent row is installed before the
+     node distributes exports to its children. *)
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    List.iter
+      (fun (peer, payload) ->
+        if peer <> parent.(v) then
+          Scheme.set_row t.ris.(peer) ~peer:v (maybe_perturb t payload))
+      (Scheme.export_all t.ris.(v))
+  done
+
+let non_tree_edges adj parent =
+  let n = Array.length adj in
+  let is_tree u v = parent.(u) = v || parent.(v) = u in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v -> if u < v && not (is_tree u v) then acc := (u, v) :: !acc)
+      adj.(u)
+  done;
+  !acc
+
+(* Cycle-closing links on a cyclic overlay: the spanning-tree rows are
+   exact; each non-tree link carries what the first creation wave left
+   behind.  Under first-arrival (duplicate-suppressed) flooding, the
+   information that crosses such a link is the far endpoint's own
+   subtree — everything on its parent side reaches the near endpoint
+   faster over the tree — so the crossing row is the far endpoint's
+   export excluding its tree parent, computed from the converged tree
+   state before any non-tree row is installed. *)
+let fill_non_tree_once t parent extra =
+  let crossing v =
+    let exclude = if parent.(v) >= 0 then Some parent.(v) else None in
+    maybe_perturb t (Scheme.export t.ris.(v) ~exclude)
+  in
+  let pending =
+    List.concat_map
+      (fun (u, v) -> [ (u, v, crossing v); (v, u, crossing u) ])
+      extra
+  in
+  List.iter (fun (at, peer, payload) -> Scheme.set_row t.ris.(at) ~peer payload) pending
+
+(* The paper simulator's construction (Appendix A): RI rows only for
+   neighbors strictly further from the originator, each row aggregating
+   the neighbor's entire downstream reach.  A node adjacent to two
+   same-level parents contributes its reach to both rows — the overlap
+   overcount the paper attributes to cycles.  Processing nodes by
+   decreasing BFS depth makes every downstream reach available before it
+   is consumed. *)
+let build_rooted t origin =
+  let n = size t in
+  let depth = Array.make n max_int in
+  depth.(origin) <- 0;
+  let bfs_order = Array.make n 0 in
+  let filled = ref 0 in
+  let q = Queue.create () in
+  Queue.add origin q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    bfs_order.(!filled) <- u;
+    incr filled;
+    Array.iter
+      (fun v ->
+        if depth.(v) = max_int then begin
+          depth.(v) <- depth.(u) + 1;
+          Queue.add v q
+        end)
+      t.adj.(u)
+  done;
+  let reach = Array.make n None in
+  for i = !filled - 1 downto 0 do
+    let v = bfs_order.(i) in
+    Array.iter
+      (fun x ->
+        if depth.(x) = depth.(v) + 1 then
+          match reach.(x) with
+          | Some payload -> Scheme.set_row t.ris.(v) ~peer:x payload
+          | None -> ())
+      t.adj.(v);
+    reach.(v) <- Some (maybe_perturb t (Scheme.export t.ris.(v) ~exclude:None))
+  done;
+  (* Equal-depth neighbors: their creation waves cross on the link
+     simultaneously, so each ends up holding the other's downstream
+     reach.  These are the link rows that let a query arrive at a node
+     through two different parents — the paper's cycle effect. *)
+  for i = 0 to !filled - 1 do
+    let v = bfs_order.(i) in
+    Array.iter
+      (fun x ->
+        if depth.(x) = depth.(v) && x <> v then
+          match reach.(x) with
+          | Some payload -> Scheme.set_row t.ris.(v) ~peer:x payload
+          | None -> ())
+      t.adj.(v)
+  done
+
+let create ~graph ~content ?scheme ?(compression = Compression.exact)
+    ?(cycle_policy = Detect_recover) ?(min_update = 0.01)
+    ?(update_distance_floor = 1.0) ?perturb ?rng ?(mode = Converged) () =
+  let n = Ri_topology.Graph.n graph in
+  let adj = Array.init n (fun v -> Array.copy (Ri_topology.Graph.neighbors graph v)) in
+  let rng = match rng with Some r -> r | None -> Prng.create 0x5eed in
+  let topics = Summary.topics (content.summary 0) in
+  let width = Compression.width ~topics compression in
+  let locals =
+    Array.init n (fun v -> Compression.project_summary compression (content.summary v))
+  in
+  let ris =
+    match scheme with
+    | None -> [||]
+    | Some kind ->
+        Array.init n (fun v -> Scheme.create kind ~width ~local:locals.(v))
+  in
+  let t =
+    {
+      adj;
+      content;
+      scheme_kind = scheme;
+      compression;
+      policy = cycle_policy;
+      min_update;
+      update_distance_floor;
+      perturb;
+      rng;
+      ris;
+      locals;
+      converged_iterations = 0;
+    }
+  in
+  (match (scheme, mode) with
+  | None, _ -> ()
+  | Some _, Rooted origin ->
+      if origin < 0 || origin >= n then
+        invalid_arg "Network.create: rooted origin out of range";
+      build_rooted t origin;
+      t.converged_iterations <- 1
+  | Some kind, Converged ->
+      let order, parent = bfs_forest adj in
+      let extra = non_tree_edges adj parent in
+      let cyclic = extra <> [] in
+      (match (kind, cyclic, cycle_policy) with
+      | (Scheme.Cri_kind | Scheme.Hybrid_kind _), true, No_op ->
+          (* The hybrid's beyond-horizon tail is as undamped as a
+             compound RI, so it cannot ignore cycles either. *)
+          invalid_arg
+            "Network.create: a compound RI under the no-op cycle policy \
+             does not terminate on a cyclic network (paper, Section 7)"
+      | _ -> ());
+      build_forest_exact t order parent;
+      t.converged_iterations <- 1;
+      (* On a cyclic overlay the resting state is the spanning-tree
+         aggregate plus the single first-wave crossing per cycle link —
+         what a finite history of dedup'd/damped creation waves leaves
+         behind.  (An exact fixed point of the export equations need not
+         exist: an undamped CRI diverges on any cycle, and even damped
+         schemes diverge once a node's degree exceeds the assumed
+         fanout, as in power-law hubs.)  Update waves therefore judge
+         significance against sender-carried baselines, not against
+         state self-consistency — see {!Update}. *)
+      if cyclic then fill_non_tree_once t parent extra);
+  t
+
+let remove_from_row row x =
+  let len = Array.length row in
+  let out = Array.make (len - 1) 0 in
+  let j = ref 0 in
+  Array.iter
+    (fun y ->
+      if y <> x then begin
+        out.(!j) <- y;
+        incr j
+      end)
+    row;
+  if !j <> len - 1 then invalid_arg "Network.remove_link: link not present";
+  out
+
+let add_link t u v =
+  if u = v then invalid_arg "Network.add_link: self-loop";
+  if has_link t u v then invalid_arg "Network.add_link: link exists";
+  t.adj.(u) <- Array.append t.adj.(u) [| v |];
+  t.adj.(v) <- Array.append t.adj.(v) [| u |];
+  Array.sort compare t.adj.(u);
+  Array.sort compare t.adj.(v)
+
+let remove_link t u v =
+  if not (has_link t u v) then
+    invalid_arg "Network.remove_link: link not present";
+  t.adj.(u) <- remove_from_row t.adj.(u) v;
+  t.adj.(v) <- remove_from_row t.adj.(v) u

@@ -1,0 +1,233 @@
+open Ri_util
+open Ri_core
+
+type forwarding = Ri_guided | Random_walk
+
+type outcome = {
+  found : int;
+  satisfied : bool;
+  nodes_visited : int;
+  counters : Message.counters;
+}
+
+let messages o = Message.query_messages o.counters
+
+type event =
+  | Forwarded of { sender : int; receiver : int }
+  | Returned of { sender : int; receiver : int }
+  | Results of { at : int; count : int }
+
+type frame = { node : int; from : int; mutable pending : int list }
+
+let run ?rng ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~forwarding =
+  let n = Network.size net in
+  if origin < 0 || origin >= n then invalid_arg "Query.run: origin out of range";
+  (match forwarding with
+  | Ri_guided ->
+      if not (Network.has_ri net) then
+        invalid_arg "Query.run: Ri_guided needs a network with routing indices"
+  | Random_walk -> ());
+  let rng = match rng with Some r -> r | None -> Network.rng net in
+  let projected = Network.project_query net query.Ri_content.Workload.topics in
+  let topics = query.Ri_content.Workload.topics in
+  let counters = Message.create () in
+  let visited = Array.make n false in
+  (* Per directed link, how many times this query has crossed it.  With
+     detect-and-recover a node remembers the query and resumes its
+     neighbor cursor, so each link is used once; with no-op a revisited
+     node keeps no query state and re-descends ("extra messages are
+     generated when we traverse a cycle more than once", Section 8.2) —
+     the second crossing carries the repeat traversal, and the count cap
+     keeps the walk finite, standing in for the TTL any deployed system
+     imposes. *)
+  let max_sends =
+    match Network.cycle_policy net with
+    | Network.Detect_recover -> 1
+    | Network.No_op -> 2
+  in
+  let sent : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let sends u v = Option.value ~default:0 (Hashtbl.find_opt sent (u, v)) in
+  let remaining = ref query.Ri_content.Workload.stop in
+  let found = ref 0 in
+  let nodes_visited = ref 0 in
+  let process_visit u =
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      incr nodes_visited;
+      let local = Network.count_matching net u topics in
+      if local > 0 then begin
+        counters.result_messages <- counters.result_messages + 1;
+        on_event (Results { at = u; count = local });
+        found := !found + local;
+        remaining := !remaining - local
+      end
+    end
+  in
+  let order_neighbors u ~from =
+    let is_candidate v = v <> from && sends u v < max_sends in
+    match forwarding with
+    | Random_walk ->
+        let cands =
+          Array.of_seq
+            (Seq.filter is_candidate (Array.to_seq (Network.neighbors net u)))
+        in
+        Prng.shuffle_in_place rng cands;
+        Array.to_list cands
+    | Ri_guided ->
+        (* Only neighbors the RI knows about are candidates: on a rooted
+           construction that is exactly the downstream neighbors, and on
+           a converged network every link has a row. *)
+        Scheme.rank (Network.ri net u) ~query:projected ~exclude:[]
+        |> List.filter_map (fun (p, _) -> if is_candidate p then Some p else None)
+  in
+  process_visit origin;
+  let stack = ref [] in
+  if !remaining > 0 then
+    stack := [ { node = origin; from = -1; pending = order_neighbors origin ~from:(-1) } ];
+  while !stack <> [] && !remaining > 0 do
+    match !stack with
+    | [] -> ()
+    | top :: rest -> (
+        match top.pending with
+        | [] ->
+            (* Exhausted: return the query to whoever sent it. *)
+            stack := rest;
+            if top.from >= 0 then begin
+              counters.query_returns <- counters.query_returns + 1;
+              on_event (Returned { sender = top.node; receiver = top.from })
+            end
+        | v :: pending ->
+            top.pending <- pending;
+            Hashtbl.replace sent (top.node, v) (sends top.node v + 1);
+            counters.query_forwards <- counters.query_forwards + 1;
+            on_event (Forwarded { sender = top.node; receiver = v });
+            if Network.cycle_policy net = Network.Detect_recover && visited.(v)
+            then begin
+              (* The revisited node detects the duplicate and bounces the
+                 query straight back. *)
+              counters.query_returns <- counters.query_returns + 1;
+              on_event (Returned { sender = v; receiver = top.node })
+            end
+            else begin
+              process_visit v;
+              if !remaining > 0 then
+                stack :=
+                  { node = v; from = top.node; pending = order_neighbors v ~from:top.node }
+                  :: !stack
+            end)
+  done;
+  {
+    found = !found;
+    satisfied = !found >= query.Ri_content.Workload.stop;
+    nodes_visited = !nodes_visited;
+    counters;
+  }
+
+type parallel_outcome = {
+  p_found : int;
+  p_satisfied : bool;
+  p_nodes_visited : int;
+  p_rounds : int;
+  p_counters : Message.counters;
+}
+
+let run_parallel net ~origin ~query ~branch =
+  let n = Network.size net in
+  if origin < 0 || origin >= n then
+    invalid_arg "Query.run_parallel: origin out of range";
+  if branch <= 0 then invalid_arg "Query.run_parallel: branch must be positive";
+  if not (Network.has_ri net) then
+    invalid_arg "Query.run_parallel: needs a network with routing indices";
+  let projected = Network.project_query net query.Ri_content.Workload.topics in
+  let topics = query.Ri_content.Workload.topics in
+  let counters = Message.create () in
+  let visited = Array.make n false in
+  let found = ref 0 in
+  let nodes_visited = ref 0 in
+  let process u =
+    visited.(u) <- true;
+    incr nodes_visited;
+    let local = Network.count_matching net u topics in
+    if local > 0 then begin
+      counters.result_messages <- counters.result_messages + 1;
+      found := !found + local
+    end
+  in
+  process origin;
+  let satisfied () = !found >= query.Ri_content.Workload.stop in
+  let rec expand frontier rounds =
+    if satisfied () || frontier = [] then rounds
+    else begin
+      (* Each frontier node simultaneously forwards to its [branch] best
+         neighbors.  Duplicate deliveries within the round are dropped
+         on receipt, like any repeat under detect-and-recover, but the
+         messages were sent and count. *)
+      let next = ref [] in
+      List.iter
+        (fun (u, from) ->
+          let best =
+            Scheme.rank (Network.ri net u) ~query:projected ~exclude:[]
+            |> List.filter (fun (p, _) -> p <> from)
+            |> List.filteri (fun i _ -> i < branch)
+          in
+          List.iter
+            (fun (v, _) ->
+              counters.query_forwards <- counters.query_forwards + 1;
+              if not visited.(v) then begin
+                process v;
+                next := (v, u) :: !next
+              end)
+            best)
+        frontier;
+      expand !next (rounds + 1)
+    end
+  in
+  let rounds = expand [ (origin, -1) ] 0 in
+  {
+    p_found = !found;
+    p_satisfied = satisfied ();
+    p_nodes_visited = !nodes_visited;
+    p_rounds = rounds;
+    p_counters = counters;
+  }
+
+let flood net ~origin ~query ?ttl () =
+  let n = Network.size net in
+  if origin < 0 || origin >= n then invalid_arg "Query.flood: origin out of range";
+  let ttl = Option.value ttl ~default:max_int in
+  let topics = query.Ri_content.Workload.topics in
+  let counters = Message.create () in
+  let processed = Array.make n false in
+  let found = ref 0 in
+  let nodes_visited = ref 0 in
+  let q = Queue.create () in
+  let process u ~depth ~from =
+    processed.(u) <- true;
+    incr nodes_visited;
+    let local = Network.count_matching net u topics in
+    if local > 0 then begin
+      counters.result_messages <- counters.result_messages + 1;
+      found := !found + local
+    end;
+    if depth < ttl then
+      Array.iter
+        (fun v ->
+          if v <> from then begin
+            counters.query_forwards <- counters.query_forwards + 1;
+            Queue.add (v, u, depth + 1) q
+          end)
+        (Network.neighbors net u)
+  in
+  process origin ~depth:0 ~from:(-1);
+  while not (Queue.is_empty q) do
+    let v, from, depth = Queue.pop q in
+    (* Duplicate deliveries are detected by message id and dropped; the
+       message was sent and counted regardless. *)
+    if not processed.(v) then process v ~depth ~from
+  done;
+  {
+    found = !found;
+    satisfied = !found >= query.Ri_content.Workload.stop;
+    nodes_visited = !nodes_visited;
+    counters;
+  }

@@ -1,0 +1,99 @@
+(** Query processing (Sections 3.1 and 5.2).
+
+    A query enters at an origin node, which answers from its local
+    database and, while the stop condition is unmet, forwards the query
+    {e sequentially} to its neighbors in the order given by its routing
+    index (or in random order for the No-RI baseline).  A node that
+    cannot forward any further returns the query to the neighbor it came
+    from, which tries its next-best neighbor — a depth-first traversal
+    driven by per-node rankings.
+
+    Cycle handling during query processing follows Appendix A:
+    with [Detect_recover] "nodes keep track of the queries ... If a
+    query reaches a node for a second time (due to a cycle) the message
+    is not forwarded any further"; with [No_op] a revisited node
+    processes the query again — it finds only "document results that
+    were already found in a previous iteration" (results are counted
+    once) and forwards to neighbors it has not yet tried, which is where
+    the ignore policy's extra traffic comes from (Figure 16). *)
+
+type forwarding =
+  | Ri_guided  (** rank neighbors by the local routing index *)
+  | Random_walk  (** the paper's No-RI baseline: random neighbor order *)
+
+type outcome = {
+  found : int;  (** ground-truth results located (counted once) *)
+  satisfied : bool;  (** stop condition reached *)
+  nodes_visited : int;  (** distinct nodes that processed the query *)
+  counters : Message.counters;
+}
+
+(** One observable step of a query's life, emitted in order through
+    {!run}'s [on_event] callback — the message-level trace behind the
+    counters. *)
+type event =
+  | Forwarded of { sender : int; receiver : int }
+  | Returned of { sender : int; receiver : int }
+      (** the query bounced back: subtree exhausted or revisit detected *)
+  | Results of { at : int; count : int }
+      (** a result-pointer message to the query's client *)
+
+val messages : outcome -> int
+(** Total query-processing messages: forwards + returns + results. *)
+
+val run :
+  ?rng:Ri_util.Prng.t ->
+  ?on_event:(event -> unit) ->
+  Network.t ->
+  origin:int ->
+  query:Ri_content.Workload.query ->
+  forwarding:forwarding ->
+  outcome
+(** Execute one query.  [rng] (required semantics only for
+    [Random_walk]; defaults to the network's generator) supplies the
+    random neighbor ordering.  [on_event] observes every message as it
+    is sent, in order.
+    @raise Invalid_argument for [Ri_guided] on a No-RI network or an
+    out-of-range origin. *)
+
+type parallel_outcome = {
+  p_found : int;
+  p_satisfied : bool;
+  p_nodes_visited : int;
+  p_rounds : int;
+      (** forwarding rounds until the stop condition was met (or the
+          frontier died) — the response-time proxy of Section 3.1 *)
+  p_counters : Message.counters;
+}
+
+val run_parallel :
+  Network.t ->
+  origin:int ->
+  query:Ri_content.Workload.query ->
+  branch:int ->
+  parallel_outcome
+(** Parallel forwarding (Section 3.1): instead of trying neighbors one
+    at a time, every node holding the query forwards it to its [branch]
+    best neighbors {e simultaneously}; the wave stops expanding at the
+    end of the round in which the stop condition is reached.  "A
+    parallel approach yields better response time, but generates higher
+    traffic and may waste resources" — the [p_rounds] / message
+    trade-off this returns.  [branch >= degree] degenerates into an
+    RI-ordered flood; [branch = 1] follows only the best path (without
+    the sequential algorithm's backtracking).
+    @raise Invalid_argument on a No-RI network, a non-positive [branch]
+    or an out-of-range origin. *)
+
+val flood :
+  Network.t ->
+  origin:int ->
+  query:Ri_content.Workload.query ->
+  ?ttl:int ->
+  unit ->
+  outcome
+(** Gnutella-style flooding: every node forwards the query to all its
+    other neighbors; duplicate deliveries are dropped but still cost a
+    message; the stop condition is ignored ("Gnutella-like systems find
+    all results in the section of the network they explore").  [ttl]
+    bounds the flood radius (Gnutella shipped with 7); omitted means
+    unlimited. *)

@@ -1,0 +1,142 @@
+open Ri_core
+
+type wave_seed = {
+  sender : int;
+  receiver : int;
+  payload : Scheme.payload;
+  baseline : Scheme.payload option;
+}
+
+let significant net ~baseline ~payload =
+  match baseline with
+  | None -> true
+  | Some old ->
+      Scheme.payload_rel_diff old payload > Network.min_update net
+      && Scheme.payload_distance old payload > Network.update_distance_floor net
+
+let seeds_for_change net ~at ~except ~mutate =
+  if not (Network.has_ri net) then begin
+    mutate ();
+    []
+  end
+  else begin
+    let pre = Network.outgoing_exports net at in
+    mutate ();
+    let post = Network.outgoing_exports net at in
+    List.filter_map
+      (fun (peer, payload) ->
+        if List.mem peer except then None
+        else
+          Some
+            {
+              sender = at;
+              receiver = peer;
+              payload;
+              baseline = List.assoc_opt peer pre;
+            })
+      post
+  end
+
+let default_budget net =
+  let n = Network.size net in
+  let degrees = ref 0 in
+  for v = 0 to n - 1 do
+    degrees := !degrees + Network.degree net v
+  done;
+  20 * (n + !degrees)
+
+let wave ?max_messages net ~seeds ~already_reached ~counters =
+  if Network.has_ri net then begin
+    (* Safety valve: on an overlay whose mean degree exceeds the assumed
+       fanout, deltas amplify instead of decaying (each node's
+       accumulated change grows by (degree-1)/F per generation — the
+       Bellman-Ford count-to-infinity failure), so an undamped no-op
+       wave need not terminate.  Real deployments rate-limit and batch;
+       the budget stands in for that. *)
+    let budget =
+      match max_messages with Some b -> b | None -> default_budget net
+    in
+    let reached = Hashtbl.create 64 in
+    List.iter (fun v -> Hashtbl.replace reached v ()) already_reached;
+    let q = Queue.create () in
+    List.iter (fun s -> Queue.add s q) seeds;
+    let detect = Network.cycle_policy net = Network.Detect_recover in
+    let sent = ref 0 in
+    while not (Queue.is_empty q) && !sent < budget do
+      incr sent;
+      let { sender; receiver; payload; baseline } = Queue.pop q in
+      counters.Message.update_messages <- counters.Message.update_messages + 1;
+      let ri = Network.ri net receiver in
+      let baseline =
+        match baseline with Some _ as b -> b | None -> Scheme.row ri ~peer:sender
+      in
+      if significant net ~baseline ~payload then begin
+        let repeat = Hashtbl.mem reached receiver in
+        Hashtbl.replace reached receiver ();
+        (* Detect-and-recover: a node reached for the second time updates
+           its row but breaks the cycle by not forwarding. *)
+        if detect && repeat then Scheme.set_row ri ~peer:sender payload
+        else begin
+          (* Align the stored row with the sender's pre-change export
+             before measuring the onward change: on a cyclic overlay the
+             stored row may lag the sender's current aggregate (the
+             resting state is not a strict fixed point), and that
+             historical drift — already judged insignificant when it
+             accrued — must not be charged to this update. *)
+          (match baseline with
+          | Some b -> Scheme.set_row ri ~peer:sender b
+          | None -> ());
+          let onward =
+            seeds_for_change net ~at:receiver ~except:[ sender ]
+              ~mutate:(fun () -> Scheme.set_row ri ~peer:sender payload)
+          in
+          List.iter (fun s -> Queue.add s q) onward
+        end
+      end
+    done
+  end
+
+let propagate net ~origin ~counters =
+  if Network.has_ri net then
+    let seeds =
+      List.map
+        (fun (peer, payload) ->
+          { sender = origin; receiver = peer; payload; baseline = None })
+        (Network.outgoing_exports net origin)
+    in
+    wave net ~seeds ~already_reached:[ origin ] ~counters
+
+let local_change net ~origin ~summary ~counters =
+  let seeds =
+    seeds_for_change net ~at:origin ~except:[] ~mutate:(fun () ->
+        Network.set_local_summary net origin summary)
+  in
+  wave net ~seeds ~already_reached:[ origin ] ~counters
+
+module Batcher = struct
+  type nonrec t = {
+    net : Network.t;
+    origin : int;
+    mutable latest : Ri_content.Summary.t option;
+    mutable pending : int;
+  }
+
+  let create net ~origin =
+    if origin < 0 || origin >= Network.size net then
+      invalid_arg "Update.Batcher.create: origin out of range";
+    { net; origin; latest = None; pending = 0 }
+
+  let note_local_change t summary =
+    t.latest <- Some summary;
+    t.pending <- t.pending + 1
+
+  let pending t = t.pending
+
+  let flush t ~counters =
+    match t.latest with
+    | None -> ()
+    | Some summary ->
+        t.latest <- None;
+        t.pending <- 0;
+        local_change t.net ~origin:t.origin ~summary ~counters
+end

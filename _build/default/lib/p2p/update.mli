@@ -1,0 +1,113 @@
+(** RI update propagation — the update phase of the Figure 6 algorithm.
+
+    When a node's local index changes it "aggregates all the rows of its
+    compound RI (excluding the row for [the target neighbor]) and sends
+    this information" to each neighbor; a receiver replaces the sender's
+    row and, {e if the change is significant}, re-exports to its own
+    other neighbors, and so on.  Messages are counted so the update-cost
+    experiments (Figures 18-20) can be reproduced.
+
+    Significance combines the paper's two criteria: the [minUpdate]
+    relative test ("we consider significant all updates that may change
+    the current index value by more than 1%", Section 8.2) and the
+    absolute Euclidean floor suggested for exponential RIs ("requiring
+    that the Euclidean distance between the two vectors is greater than
+    a certain number", Section 6.2).
+
+    Each message carries the sender's {e pre-change} export alongside
+    the new one, and receivers judge significance against that baseline:
+    the wave then measures exactly the marginal effect of the update —
+    the honest cost of the change — even on cyclic overlays, where the
+    resting RI state is not a strict fixed point of the export
+    equations.
+
+    Under the [Detect_recover] cycle policy the wave carries the
+    originator's message id and a node reached a second time does not
+    forward further; under [No_op] the wave is damped only by the
+    significance tests (which is why a compound RI — no decay — must not
+    run [No_op] on a cyclic overlay). *)
+
+type wave_seed = {
+  sender : int;
+  receiver : int;
+  payload : Ri_core.Scheme.payload;  (** the new aggregated RI *)
+  baseline : Ri_core.Scheme.payload option;
+      (** the sender's export before the change; when [None] the
+          receiver falls back to comparing against its stored row *)
+}
+
+val local_change :
+  Network.t ->
+  origin:int ->
+  summary:Ri_content.Summary.t ->
+  counters:Message.counters ->
+  unit
+(** Install [summary] as [origin]'s new (uncompressed) local summary and
+    propagate the change.  This is the paper's canonical update: "client
+    I introduces two new documents ... To update the RIs of its
+    neighbors, I summarizes its new local index, aggregates ... and
+    sends". *)
+
+val propagate :
+  Network.t -> origin:int -> counters:Message.counters -> unit
+(** Propagate from a node whose RI was already modified, judging
+    significance against the receivers' stored rows.  Exact on trees
+    (where the resting state is the true fixed point); for cyclic
+    overlays prefer {!local_change} or {!seeds_for_change}, whose
+    baseline-carrying messages isolate the marginal change. *)
+
+val seeds_for_change :
+  Network.t ->
+  at:int ->
+  except:int list ->
+  mutate:(unit -> unit) ->
+  wave_seed list
+(** Run [mutate] (which must only alter node [at]'s RI — rows, local
+    summary, or adjacent links) and return seeds pairing [at]'s exports
+    from before and after the mutation, addressed to every current
+    neighbor not in [except].  Feed them to {!wave}. *)
+
+(** Deferred update batching — "For efficiency, we may delay exporting
+    an update for a short time so we can batch several updates, thus
+    trading RI freshness for a reduced update cost" (Section 4.3).
+
+    A batcher accumulates local-index changes at one node; {!flush}
+    installs the latest state and pays for {e one} propagation, however
+    many changes were noted. *)
+module Batcher : sig
+  type t
+
+  val create : Network.t -> origin:int -> t
+
+  val note_local_change : t -> Ri_content.Summary.t -> unit
+  (** Record a new local summary.  Later notes supersede earlier ones
+      (the summary is absolute, not a delta).  Nothing is sent. *)
+
+  val pending : t -> int
+  (** Changes noted since the last flush. *)
+
+  val flush : t -> counters:Message.counters -> unit
+  (** Propagate the accumulated state as a single update batch; no-op
+      when nothing is pending. *)
+end
+
+val wave :
+  ?max_messages:int ->
+  Network.t ->
+  seeds:wave_seed list ->
+  already_reached:int list ->
+  counters:Message.counters ->
+  unit
+(** Low-level wave driver used by {!local_change}, {!propagate} and
+    {!Churn}: deliver the seed messages, then keep exporting from every
+    node whose RI changed significantly.  [already_reached] marks nodes
+    that count as having seen the wave (for duplicate suppression under
+    [Detect_recover]).
+
+    [max_messages] (default [20 * (nodes + Σ degree)]) bounds the wave:
+    on an overlay whose mean degree exceeds the RI's assumed fanout, a
+    no-op wave's deltas {e amplify} instead of decaying — the
+    Bellman-Ford count-to-infinity failure — and would circulate
+    forever.  Real deployments batch and rate-limit updates; the budget
+    stands in for that and never binds on configurations where the
+    damping works. *)

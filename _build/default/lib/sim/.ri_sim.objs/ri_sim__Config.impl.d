@@ -1,0 +1,1 @@
+lib/sim/config.ml: Compression Float Format Message Network Placement Printf Ri_content Ri_core Ri_p2p Scheme

@@ -1,0 +1,1 @@
+lib/sim/config.mli: Format Ri_content Ri_core Ri_p2p

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Ri_util Stats Sys

@@ -1,0 +1,1 @@
+lib/sim/trial.ml: Array Config Cycle_gen Float Message Network Placement Power_law Prng Query Ri_content Ri_p2p Ri_topology Ri_util Summary Topic Tree_gen Update Workload

@@ -1,0 +1,1 @@
+lib/sim/trial.mli: Config Ri_content Ri_p2p Ri_util

@@ -1,0 +1,35 @@
+open Ri_util
+
+type spec = { min_trials : int; max_trials : int; target_rel_error : float }
+
+let default_spec = { min_trials = 5; max_trials = 30; target_rel_error = 0.1 }
+
+let spec_of_env () =
+  match Sys.getenv_opt "RI_TRIALS" with
+  | None -> default_spec
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some m when m >= 1 ->
+          { default_spec with max_trials = m; min_trials = min default_spec.min_trials m }
+      | _ -> default_spec)
+
+let run spec f =
+  if spec.min_trials < 1 || spec.max_trials < spec.min_trials then
+    invalid_arg "Runner.run: bad trial bounds";
+  let acc = Stats.Acc.create () in
+  let rec go trial =
+    if trial >= spec.max_trials then ()
+    else begin
+      Stats.Acc.add acc (f ~trial);
+      if
+        Stats.Acc.count acc >= spec.min_trials
+        && Stats.converged ~target:spec.target_rel_error
+             ~min_obs:spec.min_trials acc
+      then ()
+      else go (trial + 1)
+    end
+  in
+  go 0;
+  Stats.summarize acc
+
+let mean spec f = (run spec f).Stats.mean

@@ -1,0 +1,28 @@
+(** Repeat-until-confident trial driver.
+
+    "The simulator iterates over different network topologies and
+    document result locations, and outputs the average number of
+    messages necessary to perform the operation plus a confidence
+    interval.  All results were computed with at least a 95% confidence
+    interval of having a relative error of 10% or less" (Section 8.2). *)
+
+type spec = {
+  min_trials : int;
+  max_trials : int;
+  target_rel_error : float;  (** CI half-width over mean, e.g. 0.1 *)
+}
+
+val default_spec : spec
+(** 5 to 30 trials, 10% target relative error. *)
+
+val spec_of_env : unit -> spec
+(** [default_spec], with [max_trials] overridden by the [RI_TRIALS]
+    environment variable when set (useful to trade precision for bench
+    wall-clock). *)
+
+val run : spec -> (trial:int -> float) -> Ri_util.Stats.summary
+(** Call the trial function with [trial = 0, 1, ...] until the 95% CI is
+    within the target relative error (and [min_trials] reached) or
+    [max_trials] have run; summarize the observations. *)
+
+val mean : spec -> (trial:int -> float) -> float

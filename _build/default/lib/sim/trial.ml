@@ -1,0 +1,173 @@
+open Ri_util
+open Ri_content
+open Ri_topology
+open Ri_p2p
+
+type setup = {
+  network : Network.t;
+  universe : Topic.t;
+  query : Workload.query;
+  origin : int;
+  rng : Prng.t;
+}
+
+let topology_graph (cfg : Config.t) rng =
+  match cfg.topology with
+  | Config.Tree ->
+      Tree_gen.random_labels rng ~n:cfg.num_nodes ~fanout:cfg.fanout
+  | Config.Tree_with_cycles { extra_links } ->
+      Cycle_gen.tree_with_cycles rng ~n:cfg.num_nodes ~fanout:cfg.fanout
+        ~extra_links
+  | Config.Power_law_graph ->
+      Power_law.generate rng ~n:cfg.num_nodes ~exponent:cfg.outdegree_exponent ()
+
+type purpose = For_query | For_update
+
+let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Trial.build: " ^ msg));
+  (* One master stream per (seed, trial); independent substreams per
+     subsystem so changes in one never perturb the others. *)
+  let master = Prng.create (cfg.seed + (trial * 0x9e3779b)) in
+  let topo_rng = Prng.split master in
+  let place_rng = Prng.split master in
+  let query_rng = Prng.split master in
+  let net_rng = Prng.split master in
+  let trial_rng = Prng.split master in
+  let universe = Topic.make cfg.topics in
+  let graph = topology_graph cfg topo_rng in
+  let query =
+    Workload.random_single query_rng universe ~stop:cfg.stop_condition
+  in
+  let placement =
+    Placement.distribute place_rng ~universe ~n:cfg.num_nodes
+      ~query_topics:query.topics ~results:cfg.query_results
+      ~distribution:cfg.distribution
+      ~background_per_node:cfg.background_per_node ()
+  in
+  let content = Network.content_of_placement placement in
+  let origin = Prng.int query_rng cfg.num_nodes in
+  let mode =
+    match purpose with
+    | For_update -> Network.Converged
+    | For_query ->
+        (* The paper simulator's construction: RIs built downstream from
+           the query originator (Appendix A), under either cycle
+           policy — the policies then differ in how the query itself
+           handles a revisited node. *)
+        Network.Rooted origin
+  in
+  let network =
+    Network.create ~graph ~content
+      ?scheme:(Config.scheme_kind cfg)
+      ~compression:(Config.compression cfg)
+      ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update ?perturb
+      ~rng:net_rng ~mode ()
+  in
+  { network; universe; query; origin; rng = trial_rng }
+
+type query_metrics = {
+  messages : int;
+  forwards : int;
+  returns : int;
+  results : int;
+  found : int;
+  satisfied : bool;
+  nodes_visited : int;
+  bytes : float;
+}
+
+let metrics_of_outcome (cfg : Config.t) (o : Query.outcome) =
+  {
+    messages = Query.messages o;
+    forwards = o.counters.Message.query_forwards;
+    returns = o.counters.Message.query_returns;
+    results = o.counters.Message.result_messages;
+    found = o.found;
+    satisfied = o.satisfied;
+    nodes_visited = o.nodes_visited;
+    bytes = Message.bytes_of cfg.bytes o.counters;
+  }
+
+let run_query_on (cfg : Config.t) setup =
+  let outcome =
+    match cfg.search with
+    | Config.Ri _ ->
+        Query.run ~rng:setup.rng setup.network ~origin:setup.origin
+          ~query:setup.query ~forwarding:Query.Ri_guided
+    | Config.No_ri ->
+        Query.run ~rng:setup.rng setup.network ~origin:setup.origin
+          ~query:setup.query ~forwarding:Query.Random_walk
+    | Config.Flooding { ttl } ->
+        Query.flood setup.network ~origin:setup.origin ~query:setup.query ?ttl ()
+  in
+  metrics_of_outcome cfg outcome
+
+let run_query cfg ~trial = run_query_on cfg (build ~purpose:For_query cfg ~trial)
+
+let run_query_perturbed (cfg : Config.t) ~relative_stddev ~kind ~trial =
+  run_query_on cfg
+    (build ~purpose:For_query ~perturb:(relative_stddev, kind) cfg ~trial)
+
+type parallel_metrics = {
+  par_messages : int;
+  par_rounds : int;
+  par_found : int;
+  par_satisfied : bool;
+}
+
+let run_query_parallel (cfg : Config.t) ~branch ~trial =
+  (match cfg.search with
+  | Config.Ri _ -> ()
+  | Config.No_ri | Config.Flooding _ ->
+      invalid_arg "Trial.run_query_parallel: needs an RI search mechanism");
+  let setup = build ~purpose:For_query cfg ~trial in
+  let o =
+    Query.run_parallel setup.network ~origin:setup.origin ~query:setup.query
+      ~branch
+  in
+  {
+    par_messages = Message.query_messages o.Query.p_counters;
+    par_rounds = o.Query.p_rounds;
+    par_found = o.Query.p_found;
+    par_satisfied = o.Query.p_satisfied;
+  }
+
+type update_metrics = { update_messages : int; update_bytes : float }
+
+let run_update_on (cfg : Config.t) setup =
+  let counters = Message.create () in
+  (if Network.has_ri setup.network then begin
+     (* One batch of document additions on a random topic at the origin
+        ("client I introduces two new documents about languages",
+        Section 4.3 — batched per Section 4.3's batching remark).  The
+        batch is sized relative to the topic's network-wide count so it
+        clears the minUpdate significance floor near the origin. *)
+     let topic = Prng.int setup.rng cfg.topics in
+     let network_topic_count =
+       let acc = ref 0. in
+       for v = 0 to Network.size setup.network - 1 do
+         acc :=
+           !acc +. Summary.get (Network.raw_local_summary setup.network v) topic
+       done;
+       !acc
+     in
+     let batch =
+       Float.max 1. (Float.round (cfg.update_fraction *. network_topic_count))
+     in
+     let base = Network.raw_local_summary setup.network setup.origin in
+     let by_topic = Array.copy base.Summary.by_topic in
+     by_topic.(topic) <- by_topic.(topic) +. batch;
+     let summary =
+       Summary.make ~total:(base.Summary.total +. batch) ~by_topic
+     in
+     Update.local_change setup.network ~origin:setup.origin ~summary ~counters
+   end);
+  {
+    update_messages = counters.Message.update_messages;
+    update_bytes =
+      float_of_int (counters.Message.update_messages * cfg.bytes.Message.update_bytes);
+  }
+
+let run_update cfg ~trial = run_update_on cfg (build ~purpose:For_update cfg ~trial)

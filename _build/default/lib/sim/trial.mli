@@ -1,0 +1,92 @@
+(** One simulation trial.
+
+    Appendix A: "The simulator starts by generating a network topology.
+    Then it distributes results among the nodes, picks at random a node
+    that will initially receive the query or update, and creates the
+    necessary RIs."  Each trial index derives an independent random
+    stream from the configuration seed, so topology, placement and
+    origin all vary between trials while whole experiments stay
+    reproducible. *)
+
+type setup = {
+  network : Ri_p2p.Network.t;
+  universe : Ri_content.Topic.t;
+  query : Ri_content.Workload.query;
+  origin : int;
+  rng : Ri_util.Prng.t;  (** stream for in-trial randomness *)
+}
+
+(** Which RI construction the trial needs.
+
+    [For_query] uses the paper simulator's rooted construction — RIs
+    built downstream from the query originator (Appendix A).
+    [For_update] needs rows in every direction, so it builds the
+    converged network-wide state. *)
+type purpose = For_query | For_update
+
+val build :
+  ?purpose:purpose ->
+  ?perturb:float * Ri_content.Compression.error_kind ->
+  Config.t ->
+  trial:int ->
+  setup
+(** Generate topology, placement, origin and RIs for trial [trial]
+    (default purpose [For_query]).  [perturb] enables the Gaussian
+    index-error model on every export (Appendix A's second error
+    scenario).
+    @raise Invalid_argument if the configuration is invalid. *)
+
+type query_metrics = {
+  messages : int;  (** forwards + returns + result messages *)
+  forwards : int;
+  returns : int;
+  results : int;
+  found : int;
+  satisfied : bool;
+  nodes_visited : int;
+  bytes : float;  (** query traffic priced per the config's byte costs *)
+}
+
+val run_query : Config.t -> trial:int -> query_metrics
+(** Build a trial and run one query from its origin using the configured
+    search mechanism. *)
+
+val run_query_on : Config.t -> setup -> query_metrics
+(** Run the configured search on an existing setup (lets one setup be
+    shared across search mechanisms for paired comparisons). *)
+
+val run_query_perturbed :
+  Config.t ->
+  relative_stddev:float ->
+  kind:Ri_content.Compression.error_kind ->
+  trial:int ->
+  query_metrics
+(** A query trial whose RIs were built under the Gaussian error model:
+    every exported aggregate is perturbed by [N(0, (sd * entry)^2)],
+    shaped positive / negative / signed per [kind], so errors compound
+    from node to node as in a long-running approximate-index network. *)
+
+type parallel_metrics = {
+  par_messages : int;
+  par_rounds : int;  (** response-time proxy: forwarding rounds *)
+  par_found : int;
+  par_satisfied : bool;
+}
+
+val run_query_parallel : Config.t -> branch:int -> trial:int -> parallel_metrics
+(** Build a trial and run one query with parallel forwarding
+    (Section 3.1), [branch] best neighbors per node per round.
+    @raise Invalid_argument unless the config searches with an RI. *)
+
+type update_metrics = {
+  update_messages : int;
+  update_bytes : float;
+}
+
+val run_update : Config.t -> trial:int -> update_metrics
+(** Build a trial, add [update_doc_count] documents on a random topic at
+    the origin, and propagate one batch of updates through the network
+    (Figure 18's workload).  Zero messages on No-RI/flooding networks,
+    which maintain no indices. *)
+
+val run_update_on : Config.t -> setup -> update_metrics

@@ -1,0 +1,1 @@
+lib/topology/cycle_gen.ml: Graph List Prng Ri_util Tree_gen

@@ -1,0 +1,1 @@
+lib/topology/cycle_gen.mli: Graph Ri_util

@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Array Fun Hashtbl List Queue

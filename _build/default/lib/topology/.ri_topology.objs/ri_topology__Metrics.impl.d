@@ -1,0 +1,1 @@
+lib/topology/metrics.ml: Array Float Fun Graph Hashtbl List Option Ri_util Sampling

@@ -1,0 +1,1 @@
+lib/topology/metrics.mli: Graph Ri_util

@@ -1,0 +1,1 @@
+lib/topology/power_law.ml: Array Fun Graph List Prng Ri_util Sampling

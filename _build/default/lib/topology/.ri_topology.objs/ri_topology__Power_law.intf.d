@@ -1,0 +1,1 @@
+lib/topology/power_law.mli: Graph Ri_util

@@ -1,0 +1,1 @@
+lib/topology/tree_gen.ml: Array Fun Graph List Prng Ri_util

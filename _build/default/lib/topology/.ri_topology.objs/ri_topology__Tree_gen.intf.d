@@ -1,0 +1,1 @@
+lib/topology/tree_gen.mli: Graph Ri_util

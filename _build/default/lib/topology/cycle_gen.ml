@@ -1,0 +1,20 @@
+open Ri_util
+
+let add_random_links g base ~extra =
+  if extra < 0 then invalid_arg "Cycle_gen.add_random_links: negative extra";
+  let n = Graph.n base in
+  let capacity = (n * (n - 1) / 2) - Graph.edge_count base in
+  if extra > capacity then
+    invalid_arg "Cycle_gen.add_random_links: not enough absent pairs";
+  let b = Graph.Builder.create ~n in
+  List.iter (fun (u, v) -> ignore (Graph.Builder.add_edge b u v)) (Graph.edges base);
+  let added = ref 0 in
+  while !added < extra do
+    let u = Prng.int g n and v = Prng.int g n in
+    if u <> v && Graph.Builder.add_edge b u v then incr added
+  done;
+  Graph.Builder.to_graph b
+
+let tree_with_cycles g ~n ~fanout ~extra_links =
+  let tree = Tree_gen.random_labels g ~n ~fanout in
+  add_random_links g tree ~extra:extra_links

@@ -1,0 +1,18 @@
+(** Tree-plus-cycles topologies.
+
+    The paper's second topology "starts with a tree and adds extra
+    vertices [links] at random (creating cycles)" (Section 8.1); the base
+    configuration adds [EL = 10] such links (Figure 12), and Figures 16
+    and 19 sweep the number of added links up to 10000. *)
+
+val add_random_links : Ri_util.Prng.t -> Graph.t -> extra:int -> Graph.t
+(** [add_random_links g base ~extra] returns [base] plus [extra] new
+    edges between uniformly chosen distinct non-adjacent node pairs.
+    Every added link closes a cycle when [base] is connected.
+    @raise Invalid_argument if the requested number of links cannot fit
+    ([extra] exceeds the number of absent node pairs). *)
+
+val tree_with_cycles :
+  Ri_util.Prng.t -> n:int -> fanout:int -> extra_links:int -> Graph.t
+(** Randomly labelled regular tree plus [extra_links] random links: the
+    paper's "tree + cycles" topology. *)

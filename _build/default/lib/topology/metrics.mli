@@ -1,0 +1,33 @@
+(** Graph diagnostics.
+
+    Used by the tests (checking that generated topologies have the shape
+    the paper assumes) and by the experiment reports (e.g. the average
+    path length argument behind Figure 17's power-law result). *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, how_many_nodes)] pairs, sorted by degree, zero-count
+    degrees omitted. *)
+
+val mean_degree : Graph.t -> float
+
+val max_degree : Graph.t -> int
+
+val estimated_power_law_exponent : Graph.t -> float
+(** Least-squares slope of [log count] against [log degree] over the
+    degree histogram (degrees with nonzero counts).  For a power-law
+    graph this estimates the out-degree exponent [o]; expect a clearly
+    negative value.  [nan] when fewer than two distinct degrees exist. *)
+
+val average_path_length : ?samples:int -> Ri_util.Prng.t -> Graph.t -> float
+(** Mean hop distance between reachable node pairs, estimated from BFS
+    runs out of [samples] (default 32) random sources.  Exact when
+    [samples >= n]. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Longest hop distance from the given node to any reachable node. *)
+
+val cyclomatic_number : Graph.t -> int
+(** [m - n + c]: the number of independent cycles.  Zero exactly when the
+    graph is a forest. *)
+
+val is_tree : Graph.t -> bool

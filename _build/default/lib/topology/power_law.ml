@@ -1,0 +1,86 @@
+open Ri_util
+
+let generate g ~n ~exponent ?max_degree ?(min_degree = 1) () =
+  if n < 2 then invalid_arg "Power_law.generate: need at least two nodes";
+  if exponent >= 0. then
+    invalid_arg "Power_law.generate: exponent must be negative";
+  let max_degree =
+    match max_degree with
+    | Some d -> min d (n - 1)
+    | None ->
+        (* Hub degree grows sublinearly with network size, as in the
+           Internet AS graphs the exponent is fitted to; a linear cap
+           would make small networks unrealistically hub-centric (a
+           2-hop ball around a hub covering most of the overlay). *)
+        max min_degree (min (n - 1) (int_of_float (float_of_int n ** 0.45)))
+  in
+  let credits =
+    Sampling.power_law_degrees g ~n ~exponent ~max_degree
+    |> Array.map (max min_degree)
+  in
+  let b = Graph.Builder.create ~n in
+  (* Pool of nodes with remaining credits; each node appears once and is
+     dropped when its credits hit zero.  Pairing attempts that hit a
+     duplicate edge or self-pair burn one try; after [max_tries] stalls we
+     stop wiring credits (PLOD discards leftover credits the same way). *)
+  let pool = Array.init n Fun.id in
+  let pool_len = ref n in
+  let drop slot =
+    pool.(slot) <- pool.(!pool_len - 1);
+    decr pool_len
+  in
+  let stalls = ref 0 in
+  let max_stalls = 50 * n in
+  while !pool_len >= 2 && !stalls < max_stalls do
+    let si = Prng.int g !pool_len in
+    let sj = Prng.int g !pool_len in
+    if si = sj then incr stalls
+    else begin
+      let u = pool.(si) and v = pool.(sj) in
+      if Graph.Builder.add_edge b u v then begin
+        credits.(u) <- credits.(u) - 1;
+        credits.(v) <- credits.(v) - 1;
+        (* Drop the higher slot first so the lower slot stays valid. *)
+        let hi = max si sj and lo = min si sj in
+        let hi_node = pool.(hi) and lo_node = pool.(lo) in
+        if credits.(hi_node) <= 0 then drop hi;
+        if credits.(lo_node) <= 0 then
+          (* [lo] still holds the same node: only the slot at [hi] moved. *)
+          drop lo
+      end
+      else incr stalls
+    end
+  done;
+  let draft = Graph.Builder.to_graph b in
+  match Graph.component_representatives draft with
+  | [] | [ _ ] -> draft
+  | reps ->
+      (* Bridge every smaller component to the giant one, each at a
+         uniformly random member of the giant component — anchoring at a
+         fixed node would graft an artificial mega-hub onto the degree
+         distribution. *)
+      let members rep =
+        let dist = Graph.bfs_distances draft rep in
+        let acc = ref [] in
+        Array.iteri (fun v d -> if d < max_int then acc := v :: !acc) dist;
+        Array.of_list !acc
+      in
+      let components = List.map (fun rep -> (rep, members rep)) reps in
+      let _, giant =
+        List.fold_left
+          (fun ((_, best) as acc) ((_, m) as c) ->
+            if Array.length m > Array.length best then c else acc)
+          (List.hd components) (List.tl components)
+      in
+      let b = Graph.Builder.create ~n in
+      List.iter
+        (fun (u, v) -> ignore (Graph.Builder.add_edge b u v))
+        (Graph.edges draft);
+      List.iter
+        (fun (rep, m) ->
+          if m != giant then begin
+            let anchor = Prng.pick g giant in
+            ignore (Graph.Builder.add_edge b anchor rep)
+          end)
+        components;
+      Graph.Builder.to_graph b

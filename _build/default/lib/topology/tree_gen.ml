@@ -1,0 +1,42 @@
+open Ri_util
+
+let regular ~n ~fanout =
+  if n <= 0 then invalid_arg "Tree_gen.regular: n must be positive";
+  if fanout <= 0 then invalid_arg "Tree_gen.regular: fanout must be positive";
+  let edges = List.init (n - 1) (fun i -> (i / fanout, i + 1)) in
+  Graph.of_edges ~n edges
+
+let random_labels g ~n ~fanout =
+  if n <= 0 then invalid_arg "Tree_gen.random_labels: n must be positive";
+  if fanout <= 0 then
+    invalid_arg "Tree_gen.random_labels: fanout must be positive";
+  let perm = Array.init n Fun.id in
+  Prng.shuffle_in_place g perm;
+  let edges =
+    List.init (n - 1) (fun i -> (perm.(i / fanout), perm.(i + 1)))
+  in
+  Graph.of_edges ~n edges
+
+let random_attachment g ~n ~max_children =
+  if n <= 0 then invalid_arg "Tree_gen.random_attachment: n must be positive";
+  if max_children <= 0 then
+    invalid_arg "Tree_gen.random_attachment: max_children must be positive";
+  let children = Array.make n 0 in
+  (* Nodes that can still accept a child, as a swappable pool. *)
+  let pool = Array.make n 0 in
+  let pool_len = ref 1 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    let slot = Prng.int g !pool_len in
+    let parent = pool.(slot) in
+    edges := (parent, v) :: !edges;
+    children.(parent) <- children.(parent) + 1;
+    if children.(parent) >= max_children then begin
+      (* Remove saturated parent from the pool. *)
+      pool.(slot) <- pool.(!pool_len - 1);
+      decr pool_len
+    end;
+    pool.(!pool_len) <- v;
+    incr pool_len
+  done;
+  Graph.of_edges ~n !edges

@@ -1,0 +1,22 @@
+(** Tree topologies.
+
+    The paper's base topology is "a tree ... with branching factor 4"
+    (Figure 12): a regular tree where every internal node has [F]
+    children.  {!regular} builds exactly that shape; {!random_labels}
+    additionally permutes the node identities so that document placement
+    and query-origin choices are not correlated with construction
+    order. *)
+
+val regular : n:int -> fanout:int -> Graph.t
+(** [regular ~n ~fanout] is the complete-by-levels tree on [n] nodes:
+    node 0 is the root, node [i]'s parent is [(i - 1) / fanout].
+    @raise Invalid_argument if [n <= 0] or [fanout <= 0]. *)
+
+val random_labels : Ri_util.Prng.t -> n:int -> fanout:int -> Graph.t
+(** Same shape as {!regular}, with node ids shuffled uniformly. *)
+
+val random_attachment : Ri_util.Prng.t -> n:int -> max_children:int -> Graph.t
+(** Random recursive tree with bounded branching: each new node attaches
+    to a uniformly chosen existing node that still has fewer than
+    [max_children] children.  A rougher, less regular tree shape for
+    robustness experiments. *)

@@ -1,0 +1,1 @@
+lib/util/sampling.ml: Array Fun Hashtbl Prng

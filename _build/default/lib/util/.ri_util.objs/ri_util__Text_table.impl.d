@@ -1,0 +1,1 @@
+lib/util/text_table.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/util/vecf.ml: Array Float Printf

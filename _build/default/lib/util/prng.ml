@@ -1,0 +1,65 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* David Stafford's "Mix13" 64-bit finaliser, as used by SplitMix64. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g = { state = bits64 g }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec go () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) land mask in
+    if v >= mask - (mask mod bound) then go () else v mod bound
+  in
+  go ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let unit_float g =
+  (* 53 random bits scaled to [0, 1). *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  v *. 0x1p-53
+
+let float g bound = unit_float g *. bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p = unit_float g < p
+
+let gaussian g ~mean ~stddev =
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float g in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (stddev *. r *. cos (2. *. Float.pi *. u2))
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

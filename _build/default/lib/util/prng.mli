@@ -1,0 +1,58 @@
+(** Deterministic pseudo-random number generator.
+
+    The simulator must be reproducible across runs and independent of the
+    OCaml runtime's global [Random] state, so every stochastic component
+    (topology generation, document placement, query origin selection, ...)
+    draws from an explicit {!t} value.
+
+    The implementation is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a
+    64-bit state advanced by a Weyl sequence and finalised with a
+    variant of the MurmurHash3 mixer.  It is fast, has a full 2^64 period,
+    and passes BigCrush when used as here. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split g] derives a new generator from [g], advancing [g].  Streams of
+    the parent and child are statistically independent; use one split per
+    subsystem so adding draws to one subsystem does not perturb others. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate by the Box-Muller transform. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element.  @raise Invalid_argument on empty array. *)

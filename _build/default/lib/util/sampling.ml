@@ -1,0 +1,82 @@
+let choose_distinct g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Sampling.choose_distinct";
+  if k = 0 then [||]
+  else if k * 3 < n then begin
+    (* Sparse draw: rejection with a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = Prng.int g n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+  else begin
+    (* Dense draw: partial Fisher-Yates over the full index table. *)
+    let idx = Array.init n Fun.id in
+    for i = 0 to k - 1 do
+      let j = i + Prng.int g (n - i) in
+      let tmp = idx.(i) in
+      idx.(i) <- idx.(j);
+      idx.(j) <- tmp
+    done;
+    Array.sub idx 0 k
+  end
+
+let weighted_index g w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then invalid_arg "Sampling.weighted_index: zero total";
+  let target = Prng.unit_float g *. total in
+  let n = Array.length w in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else go (i + 1) acc
+  in
+  let i = go 0 0. in
+  if w.(i) < 0. then invalid_arg "Sampling.weighted_index: negative weight";
+  i
+
+(* Cumulative weights of P(k) ∝ k^exponent over [1, max_value]; slot
+   [k-1] holds Σ_{j<=k} j^exponent. *)
+let power_law_cdf ~exponent ~max_value =
+  let cdf = Array.make max_value 0. in
+  let acc = ref 0. in
+  for k = 1 to max_value do
+    acc := !acc +. (float_of_int k ** exponent);
+    cdf.(k - 1) <- !acc
+  done;
+  cdf
+
+let sample_power_law_cdf g cdf =
+  let max_value = Array.length cdf in
+  let target = Prng.unit_float g *. cdf.(max_value - 1) in
+  (* Smallest k with cdf.(k-1) > target. *)
+  let rec bsearch lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) > target then bsearch lo mid else bsearch (mid + 1) hi
+  in
+  bsearch 0 (max_value - 1)
+
+let discrete_power_law g ~exponent ~max_value =
+  if max_value < 1 then invalid_arg "Sampling.discrete_power_law";
+  if max_value = 1 then 1
+  else sample_power_law_cdf g (power_law_cdf ~exponent ~max_value)
+
+let power_law_degrees g ~n ~exponent ~max_degree =
+  let cdf = power_law_cdf ~exponent ~max_value:(max 1 max_degree) in
+  let d = Array.init n (fun _ -> sample_power_law_cdf g cdf) in
+  let total = Array.fold_left ( + ) 0 d in
+  if total land 1 = 1 then begin
+    let i = Prng.int g n in
+    d.(i) <- d.(i) + 1
+  end;
+  d

@@ -1,0 +1,27 @@
+(** Random sampling helpers used by topology generation and document
+    placement. *)
+
+val choose_distinct : Prng.t -> k:int -> n:int -> int array
+(** [choose_distinct g ~k ~n] draws [k] distinct integers uniformly from
+    [\[0, n)], in random order (partial Fisher-Yates on an index table for
+    large draws, rejection for sparse ones).
+    @raise Invalid_argument if [k < 0] or [k > n]. *)
+
+val weighted_index : Prng.t -> float array -> int
+(** [weighted_index g w] picks index [i] with probability
+    [w.(i) / sum w].  Weights must be non-negative with a positive sum.
+    @raise Invalid_argument otherwise. *)
+
+val discrete_power_law : Prng.t -> exponent:float -> max_value:int -> int
+(** [discrete_power_law g ~exponent ~max_value] samples
+    [k] in [\[1, max_value\]] with [P(k) ∝ k^exponent] exactly
+    ([exponent] is negative for the usual decaying laws, e.g. the
+    paper's -2.2088), by inversion on the cumulative weights.  Each call
+    rebuilds the CDF (O(max_value)); bulk callers should prefer
+    {!power_law_degrees}, which builds it once. *)
+
+val power_law_degrees :
+  Prng.t -> n:int -> exponent:float -> max_degree:int -> int array
+(** Degree sequence of [n] samples of {!discrete_power_law}, adjusted so
+    the total is even (one extra half-edge is added to a random node when
+    the sum is odd), as needed by a configuration-model pairing. *)

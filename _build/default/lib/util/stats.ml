@@ -1,0 +1,93 @@
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+
+  let mean t = if t.n = 0 then nan else t.mean
+
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+
+  let stddev t = sqrt (variance t)
+
+  let std_error t =
+    if t.n = 0 then infinity else stddev t /. sqrt (float_of_int t.n)
+
+  let min t = t.min
+
+  let max t = t.max
+end
+
+(* 97.5th percentiles of Student's t for df = 1..30; beyond that the
+   Cornish-Fisher style expansion around the normal quantile is accurate to
+   well under 0.1%. *)
+let t_table =
+  [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+     2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+     2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042 |]
+
+let t_quantile_975 df =
+  if df <= 0 then infinity
+  else if df <= 30 then t_table.(df - 1)
+  else
+    let z = 1.959964 in
+    let d = float_of_int df in
+    z
+    +. ((z ** 3.) +. z) /. (4. *. d)
+    +. ((5. *. (z ** 5.)) +. (16. *. (z ** 3.)) +. (3. *. z))
+       /. (96. *. d *. d)
+
+let ci_halfwidth a =
+  let n = Acc.count a in
+  if n < 2 then infinity else t_quantile_975 (n - 1) *. Acc.std_error a
+
+let relative_error a =
+  let m = Acc.mean a in
+  let hw = ci_halfwidth a in
+  if Float.is_nan m then infinity
+  else if m = 0. then if hw = 0. then 0. else infinity
+  else hw /. Float.abs m
+
+let converged ?(target = 0.1) ?(min_obs = 5) a =
+  Acc.count a >= min_obs
+  &&
+  let m = Acc.mean a in
+  (m = 0. && Acc.variance a = 0.) || relative_error a <= target
+
+type summary = {
+  mean : float;
+  ci95 : float;
+  stddev : float;
+  n : int;
+  min : float;
+  max : float;
+}
+
+let summarize a =
+  {
+    mean = Acc.mean a;
+    ci95 = (if Acc.count a < 2 then 0. else ci_halfwidth a);
+    stddev = Acc.stddev a;
+    n = Acc.count a;
+    min = Acc.min a;
+    max = Acc.max a;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%.1f ±%.1f (n=%d)" s.mean s.ci95 s.n

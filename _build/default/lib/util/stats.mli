@@ -1,0 +1,71 @@
+(** Online statistics and confidence intervals.
+
+    The paper's simulator repeats each experiment over freshly generated
+    topologies and document placements "with at least a 95% confidence
+    interval of having a relative error of 10% or less" (Section 8.2).
+    {!Acc} provides the numerically stable accumulator, and
+    {!ci_halfwidth} / {!converged} implement that stopping rule using the
+    Student-t distribution. *)
+
+module Acc : sig
+  type t
+  (** Welford accumulator: single pass, numerically stable mean and
+      variance. *)
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+  (** Mean of the observations so far; [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+  val stddev : t -> float
+
+  val std_error : t -> float
+  (** Standard error of the mean, [stddev/sqrt n]. *)
+
+  val min : t -> float
+  (** Smallest observation; [infinity] when empty. *)
+
+  val max : t -> float
+  (** Largest observation; [neg_infinity] when empty. *)
+end
+
+val t_quantile_975 : int -> float
+(** [t_quantile_975 df] is the 97.5th percentile of Student's t
+    distribution with [df] degrees of freedom (so a two-sided 95%
+    interval).  Exact table values for small [df], asymptotic expansion
+    beyond. *)
+
+val ci_halfwidth : Acc.t -> float
+(** Half-width of the 95% confidence interval for the mean.  [infinity]
+    with fewer than two observations. *)
+
+val relative_error : Acc.t -> float
+(** [ci_halfwidth a /. |mean a|]; [infinity] when the mean is zero or not
+    enough observations have been seen. *)
+
+val converged : ?target:float -> ?min_obs:int -> Acc.t -> bool
+(** [converged a] is [true] once the 95% CI half-width is within
+    [target] (default [0.1], the paper's 10%) of the mean, with at least
+    [min_obs] (default [5]) observations.  A mean of exactly [0.] with
+    zero variance also counts as converged. *)
+
+type summary = {
+  mean : float;
+  ci95 : float;  (** half-width of the 95% confidence interval *)
+  stddev : float;
+  n : int;  (** number of observations *)
+  min : float;
+  max : float;
+}
+
+val summarize : Acc.t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Renders as ["mean ±ci (n=..)"]. *)

@@ -1,0 +1,82 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable lines : line list;  (* reversed *)
+  width : int;
+}
+
+let create ?aligns ~header () =
+  let width = List.length header in
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> width then
+          invalid_arg "Text_table.create: aligns/header width mismatch";
+        a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  { header; aligns; lines = []; width }
+
+let add_row t row =
+  if List.length row <> t.width then
+    invalid_arg "Text_table.add_row: wrong number of cells";
+  t.lines <- Row row :: t.lines
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let render t =
+  let rows =
+    List.filter_map (function Row r -> Some r | Rule -> None)
+      (List.rev t.lines)
+  in
+  let widths = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let render_cells cells =
+    let parts =
+      List.mapi
+        (fun i cell -> pad (List.nth t.aligns i) widths.(i) cell)
+        cells
+    in
+    String.concat "  " parts
+  in
+  let rule_line =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_cells t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule_line;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun line ->
+      (match line with
+      | Row r -> Buffer.add_string buf (render_cells r)
+      | Rule -> Buffer.add_string buf rule_line);
+      Buffer.add_char buf '\n')
+    (List.rev t.lines);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 1) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let cell_int = string_of_int

@@ -1,0 +1,31 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every experiment prints its results as an aligned table whose rows and
+    columns mirror the corresponding figure in the paper, so that the
+    bench output can be compared against the published charts directly. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table.  [aligns] defaults to [Left] for
+    the first column and [Right] for the rest (label + numbers). *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal rule at this point. *)
+
+val render : t -> string
+(** The full table, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a numeric cell; defaults to one decimal place, with thousands
+    left unseparated so the output stays machine-parsable. *)
+
+val cell_int : int -> string

@@ -1,0 +1,60 @@
+let zeros n = Array.make n 0.
+
+let copy = Array.copy
+
+let check_len a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vecf.%s: length mismatch" name)
+
+let add_into ~dst v =
+  check_len dst v "add_into";
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) +. v.(i)
+  done
+
+let sub_into ~dst v =
+  check_len dst v "sub_into";
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) -. v.(i)
+  done
+
+let scale v k = Array.map (fun x -> x *. k) v
+
+let scale_into v k =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- v.(i) *. k
+  done
+
+let sum = Array.fold_left ( +. ) 0.
+
+let map2 f a b =
+  check_len a b "map2";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let euclidean_distance a b =
+  check_len a b "euclidean_distance";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let max_rel_diff old_ new_ =
+  check_len old_ new_ "max_rel_diff";
+  let worst = ref 0. in
+  for i = 0 to Array.length old_ - 1 do
+    let denom = Float.max (Float.abs old_.(i)) 1. in
+    let d = Float.abs (new_.(i) -. old_.(i)) /. denom in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let approx_equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a
+    || (Float.abs (a.(i) -. b.(i)) <= eps && go (i + 1))
+  in
+  go 0

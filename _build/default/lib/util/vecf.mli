@@ -1,0 +1,37 @@
+(** Small dense float-vector helpers.
+
+    Routing-index rows are per-topic document counts; these operations are
+    the arithmetic backbone of aggregation ({!add_into}, {!scale}) and of
+    the "significant enough to propagate" tests ({!max_rel_diff},
+    {!euclidean_distance}) of Sections 4-6 of the paper. *)
+
+val zeros : int -> float array
+
+val copy : float array -> float array
+
+val add_into : dst:float array -> float array -> unit
+(** [add_into ~dst v] adds [v] elementwise into [dst].
+    @raise Invalid_argument on length mismatch. *)
+
+val sub_into : dst:float array -> float array -> unit
+
+val scale : float array -> float -> float array
+(** Fresh vector [v *. k]. *)
+
+val scale_into : float array -> float -> unit
+
+val sum : float array -> float
+
+val map2 : (float -> float -> float) -> float array -> float array -> float array
+
+val euclidean_distance : float array -> float array -> float
+
+val max_rel_diff : float array -> float array -> float
+(** [max_rel_diff old new_] is the largest elementwise relative change
+    [|new - old| / max(|old|, 1)], the criterion the paper's [minUpdate]
+    parameter thresholds ("updates that may change the current index value
+    by more than 1%").  The [max(.,1)] floor makes changes to empty
+    entries count absolutely, so a count appearing from zero always
+    registers. *)
+
+val approx_equal : ?eps:float -> float array -> float array -> bool

@@ -1,0 +1,1 @@
+test/test_churn.ml: Alcotest Array Churn Graph Message Network Printf Query Ri_content Ri_core Ri_p2p Ri_topology Scheme Summary Workload

@@ -1,0 +1,1 @@
+test/test_compression.ml: Alcotest Array Compression Fun Gen List Prng QCheck QCheck_alcotest Ri_content Ri_util Summary

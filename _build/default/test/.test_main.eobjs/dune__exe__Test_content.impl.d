@@ -1,0 +1,1 @@
+test/test_content.ml: Alcotest Document Gen List Local_index Option QCheck QCheck_alcotest Ri_content Summary Topic

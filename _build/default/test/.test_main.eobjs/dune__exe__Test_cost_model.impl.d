@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Array Cost_model Gen QCheck QCheck_alcotest Ri_core

@@ -1,0 +1,1 @@
+test/test_cri.ml: Alcotest Cri Float Gen List Printf QCheck QCheck_alcotest Ri_content Ri_core Summary

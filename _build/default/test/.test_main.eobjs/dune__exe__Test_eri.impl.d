@@ -1,0 +1,1 @@
+test/test_eri.ml: Alcotest Array Eri List Printf Ri_content Ri_core Summary

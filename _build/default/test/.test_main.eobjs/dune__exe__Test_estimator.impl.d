@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Array Estimator Format QCheck QCheck_alcotest Ri_content Ri_core Summary

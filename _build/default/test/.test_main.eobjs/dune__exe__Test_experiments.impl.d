@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Astring Config List Option Printf Registry Report Ri_experiments Ri_sim Runner

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Churn Compression Cost_model Graph Hri List Message Network Query Ri_content Ri_core Ri_p2p Ri_sim Ri_topology Scheme Summary Update Workload

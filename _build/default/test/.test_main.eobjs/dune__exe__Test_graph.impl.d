@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graph List QCheck QCheck_alcotest Ri_topology Ri_util Tree_gen

@@ -1,0 +1,1 @@
+test/test_hri.ml: Alcotest Array Cost_model Hri List Printf Ri_content Ri_core Summary

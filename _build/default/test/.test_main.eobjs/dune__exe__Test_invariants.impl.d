@@ -1,0 +1,1 @@
+test/test_invariants.ml: Array Churn Float Graph List Message Network Prng QCheck QCheck_alcotest Query Queue Ri_content Ri_core Ri_p2p Ri_topology Ri_util Scheme Summary Tree_gen Update Workload

@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Astring Format Message Ri_p2p

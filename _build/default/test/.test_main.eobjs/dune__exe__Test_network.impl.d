@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Compression Graph List Network Printf Ri_content Ri_core Ri_p2p Ri_topology Scheme Summary Topic

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Churn Float Graph Message Network Ri_content Ri_core Ri_p2p Ri_topology Scheme Summary

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Float Placement Printf Prng QCheck QCheck_alcotest Ri_content Ri_util Summary Topic

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun List Prng Ri_util Stats

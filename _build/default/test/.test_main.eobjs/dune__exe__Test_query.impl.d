@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Graph Message Network Prng QCheck QCheck_alcotest Query Ri_content Ri_core Ri_p2p Ri_topology Ri_util Scheme Summary Topic Tree_gen Workload

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Float Fun List Prng Ri_util Sampling

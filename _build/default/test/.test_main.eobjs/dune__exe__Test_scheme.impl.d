@@ -1,0 +1,1 @@
+test/test_scheme.ml: Alcotest Array Compression Gen List QCheck QCheck_alcotest Ri_content Ri_core Ri_util Scheme Summary

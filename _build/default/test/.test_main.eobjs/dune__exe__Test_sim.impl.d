@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Config List Prng Ri_p2p Ri_sim Ri_util Runner Stats Trial

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Astring Float Format Gen List Prng QCheck QCheck_alcotest Ri_util Stats

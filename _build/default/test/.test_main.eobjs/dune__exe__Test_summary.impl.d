@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Array Format QCheck QCheck_alcotest Ri_content Summary

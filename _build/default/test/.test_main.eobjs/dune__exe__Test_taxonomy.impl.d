@@ -1,0 +1,1 @@
+test/test_taxonomy.ml: Alcotest Array Astring Compression Document Format Graph List Local_index Message Network Query Ri_content Ri_core Ri_p2p Ri_topology Scheme Summary Taxonomy Topic Workload

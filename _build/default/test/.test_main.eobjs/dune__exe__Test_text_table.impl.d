@@ -1,0 +1,1 @@
+test/test_text_table.ml: Alcotest Astring Float List Ri_util String Text_table

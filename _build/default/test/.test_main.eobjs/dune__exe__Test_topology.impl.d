@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Cycle_gen Graph Metrics Power_law Prng Ri_topology Ri_util Tree_gen

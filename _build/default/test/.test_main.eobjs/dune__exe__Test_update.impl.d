@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Fun Graph List Message Network Ri_content Ri_core Ri_p2p Ri_sim Ri_topology Scheme Summary Update

@@ -1,0 +1,1 @@
+test/test_vecf.ml: Alcotest Array Float Gen QCheck QCheck_alcotest Ri_util Vecf

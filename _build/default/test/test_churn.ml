@@ -1,0 +1,149 @@
+(* Churn: connections and disconnections per Sections 4.2-4.3,
+   including the paper's Figure 5 creation example. *)
+
+open Ri_content
+open Ri_core
+open Ri_topology
+open Ri_p2p
+
+let s total by = Summary.of_counts ~total ~by_topic:by
+
+(* The Figure 5 scenario: A-B, A-C on one side and D-I, D-J on the
+   other, initially disconnected (A=0, B=1, C=2, D=3, I=4, J=5). *)
+let locals =
+  [|
+    s 300 [| 30; 80; 0; 10 |];
+    s 100 [| 20; 0; 10; 30 |];
+    s 1000 [| 0; 300; 0; 50 |];
+    s 200 [| 100; 0; 100; 150 |];
+    s 50 [| 25; 0; 15; 50 |];
+    s 50 [| 15; 0; 25; 25 |];
+  |]
+
+let figure5_net () =
+  let graph = Graph.of_edges ~n:6 [ (0, 1); (0, 2); (3, 4); (3, 5) ] in
+  let content =
+    {
+      Network.summary = (fun v -> locals.(v));
+      count_matching = (fun _ _ -> 0);
+    }
+  in
+  Network.create ~graph ~content ~scheme:Scheme.Cri_kind ~min_update:1e-9
+    ~update_distance_floor:1e-9 ()
+
+let vector_row net v peer =
+  match Scheme.row (Network.ri net v) ~peer with
+  | Some (Scheme.Vector r) -> r
+  | _ -> Alcotest.fail (Printf.sprintf "missing row %d at %d" peer v)
+
+let check_row msg net v peer (total, by_topic) =
+  Alcotest.(check bool) msg true
+    (Summary.approx_equal ~eps:1e-6
+       (vector_row net v peer)
+       (Summary.of_counts ~total ~by_topic))
+
+let test_figure5_connect () =
+  (* "When the A-D connection is established, node A ... sends D a
+     vector saying that it has access to 1400 documents, of which 50 are
+     on databases, 380 on networks, 10 on theory, and 90 on languages."
+     D then updates I and J. *)
+  let net = figure5_net () in
+  let counters = Message.create () in
+  Churn.connect net 0 3 ~counters;
+  Alcotest.(check bool) "link exists" true (Network.has_link net 0 3);
+  check_row "D's row for A (Figure 5)" net 3 0 (1400, [| 50; 380; 10; 90 |]);
+  check_row "A's row for D" net 0 3 (300, [| 140; 0; 140; 225 |]);
+  (* The news reaches the rest: I's row for D covers A's side too. *)
+  check_row "I's row for D" net 4 3 (1650, [| 165; 380; 135; 265 |]);
+  check_row "B's row for A" net 1 0 (1600, [| 170; 380; 140; 285 |]);
+  (* Traffic: 2 initial exchanges plus at least one update per remaining
+     node. *)
+  Alcotest.(check bool) "counted messages" true
+    (counters.Message.update_messages >= 6)
+
+let test_connect_then_query_crosses () =
+  let net = figure5_net () in
+  let counters = Message.create () in
+  Churn.connect net 0 3 ~counters;
+  (* A query at B for "languages" can now route across to D's side. *)
+  let content_matches = [| 0; 0; 0; 0; 3; 0 |] in
+  (* Rebuild the network with ground truth on I; reuse the same shape. *)
+  let graph = Graph.of_edges ~n:6 [ (0, 1); (0, 2); (3, 4); (3, 5) ] in
+  let content =
+    {
+      Network.summary = (fun v -> locals.(v));
+      count_matching = (fun v _ -> content_matches.(v));
+    }
+  in
+  let net = Network.create ~graph ~content ~scheme:Scheme.Cri_kind () in
+  Churn.connect net 0 3 ~counters:(Message.create ());
+  let q = Workload.query ~topics:[ 0 ] ~stop:3 in
+  let o = Query.run net ~origin:1 ~query:q ~forwarding:Query.Ri_guided in
+  Alcotest.(check bool) "found across the new link" true (o.Query.found >= 3)
+
+let test_connect_validation () =
+  let net = figure5_net () in
+  Alcotest.check_raises "existing link" (Invalid_argument "Network.add_link: link exists")
+    (fun () -> Churn.connect net 0 1 ~counters:(Message.create ()))
+
+let test_disconnect_link () =
+  let net = figure5_net () in
+  let counters = Message.create () in
+  Churn.connect net 0 3 ~counters;
+  Message.reset counters;
+  Churn.disconnect_link net 0 3 ~counters;
+  Alcotest.(check bool) "link gone" false (Network.has_link net 0 3);
+  Alcotest.(check bool) "rows dropped" true
+    (Scheme.row (Network.ri net 0) ~peer:3 = None
+    && Scheme.row (Network.ri net 3) ~peer:0 = None);
+  (* B hears that A's reach shrank back to 1400 - 300(D side). *)
+  check_row "B's row for A shrinks" net 1 0 (1300, [| 30; 380; 0; 60 |]);
+  Alcotest.(check bool) "traffic counted" true (counters.Message.update_messages > 0)
+
+let test_disconnect_node () =
+  (* "let us suppose that I disconnects ... Node D detects the
+     disconnection and updates its RI by removing the row for I ...
+     without I's participation." *)
+  let net = figure5_net () in
+  let counters = Message.create () in
+  let former = Churn.disconnect_node net 4 ~counters in
+  Alcotest.(check (list int)) "former neighbors" [ 3 ] former;
+  Alcotest.(check int) "isolated" 0 (Network.degree net 4);
+  Alcotest.(check bool) "D forgot I" true
+    (Scheme.row (Network.ri net 3) ~peer:4 = None);
+  (* J learns that D's side shrank by I's 50 documents. *)
+  check_row "J's row for D" net 5 3 (200, [| 100; 0; 100; 150 |])
+
+let test_rejoin_after_disconnect () =
+  let net = figure5_net () in
+  let counters = Message.create () in
+  ignore (Churn.disconnect_node net 4 ~counters);
+  Churn.connect net 4 0 ~counters;
+  (* I reattached under A: A's side now sees I's documents again. *)
+  check_row "B's row for A includes I" net 1 0 (1350, [| 55; 380; 15; 110 |])
+
+let test_no_ri_churn_is_silent () =
+  let graph = Graph.of_edges ~n:3 [ (0, 1) ] in
+  let content =
+    {
+      Network.summary = (fun _ -> Summary.zero ~topics:1);
+      count_matching = (fun _ _ -> 0);
+    }
+  in
+  let net = Network.create ~graph ~content () in
+  let counters = Message.create () in
+  Churn.connect net 1 2 ~counters;
+  ignore (Churn.disconnect_node net 2 ~counters);
+  Alcotest.(check int) "no index traffic" 0 counters.Message.update_messages
+
+let suite =
+  ( "churn",
+    [
+      Alcotest.test_case "figure 5 connect" `Quick test_figure5_connect;
+      Alcotest.test_case "query crosses new link" `Quick test_connect_then_query_crosses;
+      Alcotest.test_case "connect validation" `Quick test_connect_validation;
+      Alcotest.test_case "disconnect link" `Quick test_disconnect_link;
+      Alcotest.test_case "disconnect node" `Quick test_disconnect_node;
+      Alcotest.test_case "rejoin" `Quick test_rejoin_after_disconnect;
+      Alcotest.test_case "no-RI churn silent" `Quick test_no_ri_churn_is_silent;
+    ] )

@@ -1,0 +1,143 @@
+(* Approximate indices: bucket consolidation and the Gaussian error
+   model of Section 8.2 / Appendix A. *)
+
+open Ri_util
+open Ri_content
+
+let test_of_ratio_bucket_counts () =
+  (* The paper's compression levels on the 30-topic base universe. *)
+  let buckets ratio =
+    match Compression.of_ratio ~topics:30 ~ratio ~mode:Compression.Overcount with
+    | Compression.Exact -> 30
+    | Compression.Buckets { buckets; _ } -> buckets
+    | Compression.Grouped { groups; _ } -> groups
+  in
+  Alcotest.(check int) "0%" 30 (buckets 0.0);
+  Alcotest.(check int) "50%" 15 (buckets 0.50);
+  Alcotest.(check int) "67%" 10 (buckets 0.67);
+  Alcotest.(check int) "75%" 8 (buckets 0.75);
+  Alcotest.(check int) "80%" 6 (buckets 0.80);
+  Alcotest.(check int) "83%" 5 (buckets 0.83)
+
+let test_of_ratio_validation () =
+  Alcotest.check_raises "ratio 1"
+    (Invalid_argument "Compression.of_ratio: ratio must be in [0, 1)")
+    (fun () ->
+      ignore
+        (Compression.of_ratio ~topics:4 ~ratio:1.0 ~mode:Compression.Overcount))
+
+let test_ratio_and_width () =
+  let c = Compression.of_ratio ~topics:30 ~ratio:0.5 ~mode:Compression.Overcount in
+  Alcotest.(check (float 1e-9)) "achieved ratio" 0.5 (Compression.ratio ~topics:30 c);
+  Alcotest.(check int) "width" 15 (Compression.width ~topics:30 c);
+  Alcotest.(check int) "exact width" 30 (Compression.width ~topics:30 Compression.exact);
+  Alcotest.(check (float 1e-9)) "exact ratio" 0. (Compression.ratio ~topics:30 Compression.exact)
+
+let test_project_topic () =
+  let c = Compression.Buckets { buckets = 3; mode = Compression.Overcount } in
+  Alcotest.(check int) "t0" 0 (Compression.project_topic c 0);
+  Alcotest.(check int) "t4 -> bucket 1" 1 (Compression.project_topic c 4);
+  Alcotest.(check int) "exact identity" 7
+    (Compression.project_topic Compression.exact 7)
+
+(* The paper's example: 3 "database" documents and 2 "network" ones hash
+   to the same bucket; the consolidated bucket reads 5 (overcount). *)
+let db_net_summary = Summary.make ~total:5. ~by_topic:[| 3.; 2. |]
+
+let test_overcount_mode () =
+  let c = Compression.Buckets { buckets = 1; mode = Compression.Overcount } in
+  let p = Compression.project_summary c db_net_summary in
+  Alcotest.(check int) "width 1" 1 (Summary.topics p);
+  Alcotest.(check (float 1e-9)) "bucket sums to 5" 5. (Summary.get p 0);
+  Alcotest.(check (float 1e-9)) "total preserved" 5. p.Summary.total
+
+let test_undercount_mode () =
+  let c = Compression.Buckets { buckets = 1; mode = Compression.Undercount } in
+  let p = Compression.project_summary c db_net_summary in
+  Alcotest.(check (float 1e-9)) "bucket takes min" 2. (Summary.get p 0)
+
+let test_mixed_mode () =
+  let c = Compression.Buckets { buckets = 1; mode = Compression.Mixed } in
+  let p = Compression.project_summary c db_net_summary in
+  Alcotest.(check (float 1e-9)) "bucket averages" 2.5 (Summary.get p 0)
+
+let test_empty_bucket () =
+  (* 2 buckets over 3 topics: bucket 1 holds only topic 1. *)
+  let c = Compression.Buckets { buckets = 2; mode = Compression.Overcount } in
+  let s = Summary.make ~total:6. ~by_topic:[| 1.; 2.; 3. |] in
+  let p = Compression.project_summary c s in
+  Alcotest.(check (float 1e-9)) "bucket0 = t0+t2" 4. (Summary.get p 0);
+  Alcotest.(check (float 1e-9)) "bucket1 = t1" 2. (Summary.get p 1)
+
+let test_exact_is_identity () =
+  let p = Compression.project_summary Compression.exact db_net_summary in
+  Alcotest.(check bool) "identity" true (Summary.approx_equal p db_net_summary)
+
+let test_perturb_kinds () =
+  let s = Summary.make ~total:100. ~by_topic:[| 40.; 60. |] in
+  let rng = Prng.create 1 in
+  for _ = 1 to 50 do
+    let over =
+      Compression.perturb rng ~relative_stddev:0.2 ~kind:Compression.Overcount s
+    in
+    Alcotest.(check bool) "overcount raises entries" true
+      (Summary.get over 0 >= 40. && Summary.get over 1 >= 60.);
+    let under =
+      Compression.perturb rng ~relative_stddev:0.2 ~kind:Compression.Undercount s
+    in
+    Alcotest.(check bool) "undercount lowers entries" true
+      (Summary.get under 0 <= 40. && Summary.get under 1 <= 60.);
+    Alcotest.(check bool) "entries stay non-negative" true
+      (Array.for_all (fun x -> x >= 0.) under.Summary.by_topic)
+  done
+
+let test_perturb_zero_entries_stay_zero () =
+  let s = Summary.make ~total:10. ~by_topic:[| 0.; 10. |] in
+  let rng = Prng.create 2 in
+  let p = Compression.perturb rng ~relative_stddev:0.5 ~kind:Compression.Mixed s in
+  Alcotest.(check (float 1e-9)) "zero entry untouched" 0. (Summary.get p 0)
+
+let test_perturb_total_covers_entries () =
+  let s = Summary.make ~total:10. ~by_topic:[| 10. |] in
+  let rng = Prng.create 3 in
+  for _ = 1 to 50 do
+    let p =
+      Compression.perturb rng ~relative_stddev:0.5 ~kind:Compression.Mixed s
+    in
+    Alcotest.(check bool) "total >= max entry" true
+      (p.Summary.total >= Summary.get p 0)
+  done
+
+let prop_overcount_never_underreads =
+  (* For any summary and any query topic, the bucket a topic lands in
+     reads at least the topic's true count under sum consolidation —
+     exactly why the paper calls these overcounts. *)
+  QCheck.Test.make ~name:"sum-consolidation only overcounts" ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (array_of_size Gen.(return 12) (float_range 0. 100.)))
+    (fun (buckets, counts) ->
+      let c = Compression.Buckets { buckets; mode = Compression.Overcount } in
+      let s = Summary.make ~total:(Ri_util.Vecf.sum counts) ~by_topic:counts in
+      let p = Compression.project_summary c s in
+      List.for_all
+        (fun t -> Summary.get p (Compression.project_topic c t) >= counts.(t) -. 1e-9)
+        (List.init 12 Fun.id))
+
+let suite =
+  ( "compression",
+    [
+      Alcotest.test_case "ratio -> bucket counts" `Quick test_of_ratio_bucket_counts;
+      Alcotest.test_case "ratio validation" `Quick test_of_ratio_validation;
+      Alcotest.test_case "ratio and width" `Quick test_ratio_and_width;
+      Alcotest.test_case "project topic" `Quick test_project_topic;
+      Alcotest.test_case "overcount mode" `Quick test_overcount_mode;
+      Alcotest.test_case "undercount mode" `Quick test_undercount_mode;
+      Alcotest.test_case "mixed mode" `Quick test_mixed_mode;
+      Alcotest.test_case "empty bucket" `Quick test_empty_bucket;
+      Alcotest.test_case "exact identity" `Quick test_exact_is_identity;
+      Alcotest.test_case "perturb kinds" `Quick test_perturb_kinds;
+      Alcotest.test_case "perturb zero entries" `Quick test_perturb_zero_entries_stay_zero;
+      Alcotest.test_case "perturb total consistency" `Quick test_perturb_total_covers_entries;
+      QCheck_alcotest.to_alcotest prop_overcount_never_underreads;
+    ] )

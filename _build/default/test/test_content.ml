@@ -1,0 +1,115 @@
+(* Content model: topics, documents, local indices, summaries. *)
+
+open Ri_content
+
+let topics4 = Topic.paper_example
+
+let doc id topics = Document.make ~id ~topics ()
+
+let test_topic_universe () =
+  Alcotest.(check int) "count" 4 (Topic.count topics4);
+  Alcotest.(check string) "name" "databases" (Topic.name topics4 0);
+  Alcotest.(check (option int)) "find" (Some 2) (Topic.find topics4 "theory");
+  Alcotest.(check (option int)) "find missing" None (Topic.find topics4 "cooking");
+  Alcotest.(check (list int)) "all" [ 0; 1; 2; 3 ] (Topic.all topics4);
+  Alcotest.check_raises "bad id" (Invalid_argument "Topic: id out of range")
+    (fun () -> ignore (Topic.name topics4 4));
+  Alcotest.check_raises "zero topics"
+    (Invalid_argument "Topic.make: need a positive topic count") (fun () ->
+      ignore (Topic.make 0))
+
+let test_default_names () =
+  let u = Topic.make 3 in
+  Alcotest.(check string) "t0" "t0" (Topic.name u 0);
+  Alcotest.(check string) "t2" "t2" (Topic.name u 2)
+
+let test_document () =
+  let d = Document.make ~id:1 ~topics:[ 3; 1; 3 ] () in
+  Alcotest.(check (list int)) "sorted deduped" [ 1; 3 ] d.Document.topics;
+  Alcotest.(check string) "default title" "doc1" d.Document.title;
+  Alcotest.(check bool) "has topic" true (Document.has_topic d 3);
+  Alcotest.(check bool) "lacks topic" false (Document.has_topic d 0);
+  Alcotest.(check bool) "matches conjunction" true (Document.matches d [ 1; 3 ]);
+  Alcotest.(check bool) "partial match fails" false (Document.matches d [ 1; 2 ]);
+  Alcotest.(check bool) "empty query matches" true (Document.matches d []);
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Document.make: negative id") (fun () ->
+      ignore (Document.make ~id:(-1) ~topics:[] ()))
+
+let test_local_index_crud () =
+  let idx = Local_index.create topics4 in
+  Alcotest.(check int) "empty" 0 (Local_index.size idx);
+  Local_index.add idx (doc 1 [ 0; 3 ]);
+  Local_index.add idx (doc 2 [ 0 ]);
+  Local_index.add idx (doc 3 [ 1 ]);
+  Alcotest.(check int) "size" 3 (Local_index.size idx);
+  Alcotest.(check bool) "mem" true (Local_index.mem idx 2);
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Local_index.add: duplicate document id") (fun () ->
+      Local_index.add idx (doc 1 []));
+  (match Local_index.remove idx 2 with
+  | Some d -> Alcotest.(check int) "removed" 2 d.Document.id
+  | None -> Alcotest.fail "expected removal");
+  Alcotest.(check (option Alcotest.reject)) "gone" None
+    (Option.map (fun _ -> ()) (Local_index.find idx 2));
+  Alcotest.(check int) "size after remove" 2 (Local_index.size idx)
+
+let test_local_index_search () =
+  let idx = Local_index.create topics4 in
+  Local_index.add idx (doc 1 [ 0; 3 ]);
+  Local_index.add idx (doc 2 [ 0 ]);
+  Local_index.add idx (doc 3 [ 0; 3 ]);
+  let hits = Local_index.search idx [ 0; 3 ] in
+  Alcotest.(check (list int)) "conjunction hits in id order" [ 1; 3 ]
+    (List.map (fun d -> d.Document.id) hits);
+  Alcotest.(check int) "count matching" 2 (Local_index.count_matching idx [ 0; 3 ]);
+  Alcotest.(check int) "single topic" 3 (Local_index.count_matching idx [ 0 ])
+
+let test_local_index_summary () =
+  let idx = Local_index.create topics4 in
+  Local_index.add idx (doc 1 [ 0; 3 ]);
+  Local_index.add idx (doc 2 [ 0 ]);
+  let s = Local_index.summary idx in
+  Alcotest.(check (float 1e-9)) "total" 2. s.Summary.total;
+  Alcotest.(check (float 1e-9)) "databases" 2. (Summary.get s 0);
+  Alcotest.(check (float 1e-9)) "languages" 1. (Summary.get s 3);
+  Alcotest.(check (float 1e-9)) "networks" 0. (Summary.get s 1);
+  (* Summary stays consistent after removal. *)
+  ignore (Local_index.remove idx 1);
+  let s = Local_index.summary idx in
+  Alcotest.(check (float 1e-9)) "total after remove" 1. s.Summary.total;
+  Alcotest.(check (float 1e-9)) "languages after remove" 0. (Summary.get s 3)
+
+let prop_summary_counts_match_documents =
+  QCheck.Test.make ~name:"summary equals a recount of the documents"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 40) (int_range 0 15))
+    (fun topic_seeds ->
+      let u = Topic.make 4 in
+      let idx = Local_index.create u in
+      List.iteri
+        (fun i seed ->
+          Local_index.add idx
+            (Document.make ~id:i ~topics:[ seed mod 4; seed / 4 mod 4 ] ()))
+        topic_seeds;
+      let s = Local_index.summary idx in
+      let docs = Local_index.documents idx in
+      s.Summary.total = float_of_int (List.length docs)
+      && List.for_all
+           (fun t ->
+             Summary.get s t
+             = float_of_int
+                 (List.length (List.filter (fun d -> Document.has_topic d t) docs)))
+           [ 0; 1; 2; 3 ])
+
+let suite =
+  ( "content",
+    [
+      Alcotest.test_case "topic universe" `Quick test_topic_universe;
+      Alcotest.test_case "default names" `Quick test_default_names;
+      Alcotest.test_case "document" `Quick test_document;
+      Alcotest.test_case "local index crud" `Quick test_local_index_crud;
+      Alcotest.test_case "local index search" `Quick test_local_index_search;
+      Alcotest.test_case "local index summary" `Quick test_local_index_summary;
+      QCheck_alcotest.to_alcotest prop_summary_counts_match_documents;
+    ] )

@@ -1,0 +1,67 @@
+(* The regular-tree cost model of Section 6.1. *)
+
+open Ri_core
+
+let m = Cost_model.make ~fanout:3.
+
+let test_validation () =
+  Alcotest.check_raises "fanout 1" (Invalid_argument "Cost_model.make: fanout must be > 1")
+    (fun () -> ignore (Cost_model.make ~fanout:1.));
+  Alcotest.(check (float 1e-9)) "fanout accessor" 3. (Cost_model.fanout m)
+
+let test_discount () =
+  Alcotest.(check (float 1e-9)) "hop 1" 1. (Cost_model.discount m ~hop:1);
+  Alcotest.(check (float 1e-9)) "hop 2" (1. /. 3.) (Cost_model.discount m ~hop:2);
+  Alcotest.(check (float 1e-9)) "hop 3" (1. /. 9.) (Cost_model.discount m ~hop:3);
+  Alcotest.check_raises "hop 0" (Invalid_argument "Cost_model.discount: hop must be >= 1")
+    (fun () -> ignore (Cost_model.discount m ~hop:0))
+
+let test_messages_to_horizon () =
+  (* "1 message for the root, 1 + F for one hop, 1 + F + F² for two". *)
+  Alcotest.(check (float 1e-9)) "zero hops" 1. (Cost_model.messages_to_horizon m ~hops:0);
+  Alcotest.(check (float 1e-9)) "one hop" 4. (Cost_model.messages_to_horizon m ~hops:1);
+  Alcotest.(check (float 1e-9)) "two hops" 13. (Cost_model.messages_to_horizon m ~hops:2)
+
+let test_paper_goodness_example () =
+  (* Section 6.1, F = 3: X has 13 DB results at one hop and 10 at two:
+     13 + 10/3 = 16.33; Y has 0 and 31: 31/3 = 10.33; "so we would
+     prefer X over Y". *)
+  let x = Cost_model.hop_count_goodness m ~per_hop_goodness:[| 13.; 10. |] in
+  let y = Cost_model.hop_count_goodness m ~per_hop_goodness:[| 0.; 31. |] in
+  Alcotest.(check (float 0.01)) "X" 16.33 x;
+  Alcotest.(check (float 0.01)) "Y" 10.33 y;
+  Alcotest.(check bool) "prefer X" true (x > y)
+
+let test_goodness_empty () =
+  Alcotest.(check (float 1e-9)) "no hops" 0.
+    (Cost_model.hop_count_goodness m ~per_hop_goodness:[||])
+
+let prop_goodness_bounded_by_undiscounted_sum =
+  QCheck.Test.make ~name:"discounted goodness <= plain sum" ~count:200
+    QCheck.(array_of_size Gen.(int_range 0 8) (float_range 0. 100.))
+    (fun per_hop ->
+      Cost_model.hop_count_goodness m ~per_hop_goodness:per_hop
+      <= Array.fold_left ( +. ) 0. per_hop +. 1e-9)
+
+let prop_closer_documents_worth_more =
+  QCheck.Test.make ~name:"moving documents a hop closer raises goodness"
+    ~count:200
+    QCheck.(pair (float_range 1. 100.) (int_range 0 5))
+    (fun (docs, hop) ->
+      let far = Array.make 8 0. and near = Array.make 8 0. in
+      far.(hop + 1) <- docs;
+      near.(hop) <- docs;
+      Cost_model.hop_count_goodness m ~per_hop_goodness:near
+      > Cost_model.hop_count_goodness m ~per_hop_goodness:far)
+
+let suite =
+  ( "cost_model",
+    [
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "discount" `Quick test_discount;
+      Alcotest.test_case "messages to horizon" `Quick test_messages_to_horizon;
+      Alcotest.test_case "paper example (16.33 / 10.33)" `Quick test_paper_goodness_example;
+      Alcotest.test_case "empty" `Quick test_goodness_empty;
+      QCheck_alcotest.to_alcotest prop_goodness_bounded_by_undiscounted_sum;
+      QCheck_alcotest.to_alcotest prop_closer_documents_worth_more;
+    ] )

@@ -1,0 +1,100 @@
+(* The goodness estimator, validated against the paper's worked
+   examples. *)
+
+open Ri_content
+open Ri_core
+
+(* Figure 3's compound RI at node A. *)
+let row_b = Summary.of_counts ~total:100 ~by_topic:[| 20; 0; 10; 30 |]
+let row_c = Summary.of_counts ~total:1000 ~by_topic:[| 0; 300; 0; 50 |]
+let row_d = Summary.of_counts ~total:200 ~by_topic:[| 100; 0; 100; 150 |]
+
+let db_and_lang = [ 0; 3 ]
+
+let test_paper_example () =
+  (* "the goodness of path B will be 6, of path C will be 0, and of path
+     D will be 75" (Section 4). *)
+  Alcotest.(check (float 1e-9)) "B" 6. (Estimator.goodness row_b db_and_lang);
+  Alcotest.(check (float 1e-9)) "C" 0. (Estimator.goodness row_c db_and_lang);
+  Alcotest.(check (float 1e-9)) "D" 75. (Estimator.goodness row_d db_and_lang)
+
+let test_single_topic_is_count () =
+  Alcotest.(check (float 1e-9)) "single topic reads the count" 300.
+    (Estimator.goodness row_c [ 1 ])
+
+let test_empty_query_is_total () =
+  Alcotest.(check (float 1e-9)) "empty query estimates everything" 1000.
+    (Estimator.goodness row_c [])
+
+let test_empty_collection () =
+  Alcotest.(check (float 1e-9)) "no documents, no results" 0.
+    (Estimator.goodness (Summary.zero ~topics:4) [ 0 ])
+
+let test_repeated_topic_squares_selectivity () =
+  (* Independence assumption: asking for the same topic twice squares
+     its selectivity — 100 * 0.2 * 0.2 = 4 for B and "databases". *)
+  Alcotest.(check (float 1e-9)) "squared" 4. (Estimator.goodness row_b [ 0; 0 ])
+
+let test_overcount_can_exceed_total () =
+  (* An overcounting summary may claim more topic documents than its
+     total; the estimate is a hint, not a bound. *)
+  let s = Summary.make ~total:10. ~by_topic:[| 30. |] in
+  Alcotest.(check (float 1e-9)) "exceeds total" 30. (Estimator.goodness s [ 0 ])
+
+let test_out_of_range () =
+  Alcotest.check_raises "bad topic" (Invalid_argument "Summary.get: topic out of range")
+    (fun () -> ignore (Estimator.goodness row_b [ 9 ]))
+
+let test_documents_per_message () =
+  Alcotest.(check (float 1e-9)) "ratio" 3.
+    (Estimator.documents_per_message ~goodness:9. ~messages:3.);
+  Alcotest.(check (float 1e-9)) "zero messages" 0.
+    (Estimator.documents_per_message ~goodness:9. ~messages:0.)
+
+let summary_gen =
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Summary.pp s)
+    QCheck.Gen.(
+      let* total = float_range 1. 1000. in
+      let* counts = array_size (return 4) (float_range 0. 1000.) in
+      return (Summary.make ~total ~by_topic:counts))
+
+let prop_goodness_nonnegative =
+  QCheck.Test.make ~name:"goodness is non-negative" ~count:200 summary_gen
+    (fun s -> Estimator.goodness s [ 0; 2 ] >= 0.)
+
+let prop_goodness_monotone_in_counts =
+  QCheck.Test.make ~name:"raising a queried count raises goodness" ~count:200
+    summary_gen (fun s ->
+      let bigger =
+        Summary.make ~total:s.Summary.total
+          ~by_topic:
+            (Array.mapi
+               (fun i x -> if i = 0 then x +. 10. else x)
+               s.Summary.by_topic)
+      in
+      Estimator.goodness bigger [ 0 ] > Estimator.goodness s [ 0 ] -. 1e-9)
+
+let prop_conjunction_never_beats_single =
+  QCheck.Test.make
+    ~name:"adding a conjunct cannot raise the estimate (selectivity <= 1)"
+    ~count:200 summary_gen (fun s ->
+      (* Only holds when counts do not exceed the total. *)
+      QCheck.assume (Array.for_all (fun x -> x <= s.Summary.total) s.Summary.by_topic);
+      Estimator.goodness s [ 0; 1 ] <= Estimator.goodness s [ 0 ] +. 1e-9)
+
+let suite =
+  ( "estimator",
+    [
+      Alcotest.test_case "paper example (6, 0, 75)" `Quick test_paper_example;
+      Alcotest.test_case "single topic" `Quick test_single_topic_is_count;
+      Alcotest.test_case "empty query" `Quick test_empty_query_is_total;
+      Alcotest.test_case "empty collection" `Quick test_empty_collection;
+      Alcotest.test_case "repeated topic" `Quick test_repeated_topic_squares_selectivity;
+      Alcotest.test_case "overcounts allowed" `Quick test_overcount_can_exceed_total;
+      Alcotest.test_case "out of range" `Quick test_out_of_range;
+      Alcotest.test_case "documents per message" `Quick test_documents_per_message;
+      QCheck_alcotest.to_alcotest prop_goodness_nonnegative;
+      QCheck_alcotest.to_alcotest prop_goodness_monotone_in_counts;
+      QCheck_alcotest.to_alcotest prop_conjunction_never_beats_single;
+    ] )

@@ -1,0 +1,95 @@
+(* Experiment harness: registry wiring, report structure, and the
+   paper's qualitative claims at miniature scale. *)
+
+open Ri_sim
+open Ri_experiments
+
+let tiny = Config.scaled Config.base ~num_nodes:400
+
+let spec = { Runner.min_trials = 3; max_trials = 4; target_rel_error = 0.5 }
+
+let run id =
+  match Registry.find id with
+  | Some e -> e.Registry.run ~base:tiny ~spec
+  | None -> Alcotest.fail ("unknown experiment " ^ id)
+
+let test_registry_complete () =
+  Alcotest.(check (list string)) "ids in paper order"
+    [ "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "fig18"; "fig19"; "fig20"; "flood" ]
+    Registry.ids;
+  Alcotest.(check bool) "find works" true (Registry.find "fig13" <> None);
+  Alcotest.(check bool) "unknown id" true (Registry.find "fig99" = None)
+
+let test_report_structure () =
+  let r =
+    Report.make ~id:"x" ~title:"t" ~paper_claim:"c" ~header:[ "a"; "b" ]
+      ~rows:[ [ Report.cell_text "row"; Report.cell_number 4. ] ]
+  in
+  Alcotest.(check (option (float 1e-9))) "value_at" (Some 4.)
+    (Report.value_at r ~row:0 ~col:1);
+  Alcotest.(check (option Alcotest.reject)) "text cell has no value" None
+    (Option.map (fun _ -> ()) (Report.value_at r ~row:0 ~col:0));
+  Alcotest.(check (option Alcotest.reject)) "out of range" None
+    (Option.map (fun _ -> ()) (Report.value_at r ~row:7 ~col:0));
+  let s = Report.to_string r in
+  Alcotest.(check bool) "mentions claim" true
+    (Astring.String.is_infix ~affix:"paper: c" s);
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Report.make: row width mismatch") (fun () ->
+      ignore
+        (Report.make ~id:"x" ~title:"t" ~paper_claim:"c" ~header:[ "a"; "b" ]
+           ~rows:[ [ Report.cell_text "row" ] ]))
+
+let value r ~row ~col =
+  match Report.value_at r ~row ~col with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "no value at %d,%d" row col)
+
+let test_fig13_shape () =
+  (* RIs beat the No-RI baseline on both distributions. *)
+  let r = run "fig13" in
+  Alcotest.(check int) "4 rows" 4 (List.length r.Report.rows);
+  List.iter
+    (fun col ->
+      let cri = value r ~row:0 ~col and no_ri = value r ~row:3 ~col in
+      Alcotest.(check bool)
+        (Printf.sprintf "CRI < No-RI (col %d)" col)
+        true (cri < no_ri))
+    [ 1; 2 ]
+
+let test_fig14_shape () =
+  (* Messages grow with the requested result count. *)
+  let r = run "fig14" in
+  let first = value r ~row:0 ~col:1 and last = value r ~row:5 ~col:1 in
+  Alcotest.(check bool) "monotone growth end-to-end" true (last > first)
+
+let test_fig18_shape () =
+  (* CRI update cost dwarfs ERI's on the tree topology. *)
+  let r = run "fig18" in
+  let cri = value r ~row:0 ~col:1 and eri = value r ~row:2 ~col:1 in
+  Alcotest.(check bool) "CRI >> ERI" true (cri > 4. *. eri)
+
+let test_fig20_crossover_positive () =
+  let r = run "fig20" in
+  (* Last row carries the crossover estimate. *)
+  let crossover = value r ~row:6 ~col:1 in
+  Alcotest.(check bool) "positive crossover" true (crossover > 0.)
+
+let test_flood_shape () =
+  (* The two-orders-of-magnitude gap needs the full 60000-node scale;
+     at miniature scale flooding must still clearly lose. *)
+  let r = run "flood" in
+  let ratio = value r ~row:1 ~col:2 in
+  Alcotest.(check bool) "flooding costs more" true (ratio > 1.5)
+
+let suite =
+  ( "experiments",
+    [
+      Alcotest.test_case "registry complete" `Quick test_registry_complete;
+      Alcotest.test_case "report structure" `Quick test_report_structure;
+      Alcotest.test_case "fig13 shape" `Slow test_fig13_shape;
+      Alcotest.test_case "fig14 shape" `Slow test_fig14_shape;
+      Alcotest.test_case "fig18 shape" `Slow test_fig18_shape;
+      Alcotest.test_case "fig20 crossover" `Slow test_fig20_crossover_positive;
+      Alcotest.test_case "flood shape" `Slow test_flood_shape;
+    ] )

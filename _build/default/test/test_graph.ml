@@ -1,0 +1,117 @@
+(* Graph representation and traversals. *)
+
+open Ri_topology
+
+(* The paper's Figure 2/3 overlay: A..J = 0..9.
+   A-B, A-C, A-D, B-E, B-F, C-G, G-H, D-I, D-J. *)
+let paper_edges =
+  [ (0, 1); (0, 2); (0, 3); (1, 4); (1, 5); (2, 6); (6, 7); (3, 8); (3, 9) ]
+
+let paper_graph () = Graph.of_edges ~n:10 paper_edges
+
+let test_counts () =
+  let g = paper_graph () in
+  Alcotest.(check int) "nodes" 10 (Graph.n g);
+  Alcotest.(check int) "edges" 9 (Graph.edge_count g)
+
+let test_neighbors_sorted () =
+  let g = Graph.of_edges ~n:4 [ (0, 3); (0, 1); (0, 2) ] in
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 3 |] (Graph.neighbors g 0);
+  Alcotest.(check int) "degree" 3 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 2)
+
+let test_has_edge () =
+  let g = paper_graph () in
+  Alcotest.(check bool) "present" true (Graph.has_edge g 0 3);
+  Alcotest.(check bool) "symmetric" true (Graph.has_edge g 3 0);
+  Alcotest.(check bool) "absent" false (Graph.has_edge g 4 9)
+
+let test_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop")
+    (fun () -> ignore (Graph.of_edges ~n:2 [ (1, 1) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.of_edges: duplicate edge") (fun () ->
+      ignore (Graph.of_edges ~n:3 [ (0, 1); (1, 0) ]))
+
+let test_edges_listing () =
+  let g = paper_graph () in
+  let listed = Graph.edges g in
+  Alcotest.(check int) "count" 9 (List.length listed);
+  List.iter
+    (fun (u, v) -> Alcotest.(check bool) "u < v" true (u < v))
+    listed;
+  let folded = Graph.fold_edges (fun _ _ acc -> acc + 1) g 0 in
+  Alcotest.(check int) "fold count" 9 folded
+
+let test_bfs_distances () =
+  let g = paper_graph () in
+  let d = Graph.bfs_distances g 0 in
+  Alcotest.(check int) "self" 0 d.(0);
+  Alcotest.(check int) "child" 1 d.(3);
+  Alcotest.(check int) "grandchild" 2 d.(8);
+  Alcotest.(check int) "H is 3 hops" 3 d.(7)
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges ~n:4 [ (0, 1) ] in
+  let d = Graph.bfs_distances g 0 in
+  Alcotest.(check int) "unreachable" max_int d.(3);
+  Alcotest.(check bool) "not connected" false (Graph.is_connected g);
+  Alcotest.(check int) "three components" 3
+    (List.length (Graph.component_representatives g))
+
+let test_bfs_parents () =
+  let g = paper_graph () in
+  let p = Graph.bfs_parents g 0 in
+  Alcotest.(check int) "root" 0 p.(0);
+  Alcotest.(check int) "H's parent is G" 6 p.(7);
+  Alcotest.(check int) "I's parent is D" 3 p.(8)
+
+let test_connected () =
+  Alcotest.(check bool) "paper graph" true (Graph.is_connected (paper_graph ()))
+
+let test_spanning_tree () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let st = Graph.spanning_tree_edges g in
+  Alcotest.(check int) "n-1 edges" 3 (List.length st)
+
+let test_builder () =
+  let b = Graph.Builder.create ~n:3 in
+  Alcotest.(check bool) "add" true (Graph.Builder.add_edge b 0 1);
+  Alcotest.(check bool) "duplicate rejected" false (Graph.Builder.add_edge b 1 0);
+  Alcotest.(check bool) "self rejected" false (Graph.Builder.add_edge b 2 2);
+  Alcotest.(check int) "edge count" 1 (Graph.Builder.edge_count b);
+  Alcotest.(check int) "degree" 1 (Graph.Builder.degree b 0);
+  let g = Graph.Builder.to_graph b in
+  Alcotest.(check int) "graph edges" 1 (Graph.edge_count g);
+  Alcotest.check_raises "range" (Invalid_argument "Graph.Builder: node id out of range")
+    (fun () -> ignore (Graph.Builder.add_edge b 0 5))
+
+let prop_bfs_distance_triangle =
+  (* Distance from a BFS source to a node is at most 1 more than to any
+     of the node's neighbors. *)
+  QCheck.Test.make ~name:"bfs distances are 1-Lipschitz along edges" ~count:50
+    QCheck.(int_range 2 60)
+    (fun n ->
+      let rng = Ri_util.Prng.create n in
+      let g = Tree_gen.random_labels rng ~n ~fanout:3 in
+      let d = Graph.bfs_distances g 0 in
+      Graph.fold_edges
+        (fun u v acc -> acc && abs (d.(u) - d.(v)) <= 1)
+        g true)
+
+let suite =
+  ( "graph",
+    [
+      Alcotest.test_case "counts" `Quick test_counts;
+      Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+      Alcotest.test_case "has_edge" `Quick test_has_edge;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "edges listing" `Quick test_edges_listing;
+      Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+      Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+      Alcotest.test_case "bfs parents" `Quick test_bfs_parents;
+      Alcotest.test_case "connected" `Quick test_connected;
+      Alcotest.test_case "spanning tree" `Quick test_spanning_tree;
+      Alcotest.test_case "builder" `Quick test_builder;
+      QCheck_alcotest.to_alcotest prop_bfs_distance_triangle;
+    ] )

@@ -1,0 +1,256 @@
+(* Cross-module property tests: the invariants that make routing indices
+   trustworthy, checked on randomly generated networks. *)
+
+open Ri_util
+open Ri_content
+open Ri_core
+open Ri_topology
+open Ri_p2p
+
+let make_tree_net ?min_update ?update_distance_floor ~seed ~n ~scheme () =
+  let rng = Prng.create seed in
+  let graph = Tree_gen.random_labels rng ~n ~fanout:3 in
+  let docs = Array.init n (fun _ -> Prng.int rng 9) in
+  let content =
+    {
+      Network.summary =
+        (fun v -> Summary.of_counts ~total:docs.(v) ~by_topic:[| docs.(v) |]);
+      count_matching = (fun v _ -> docs.(v));
+    }
+  in
+  ( Network.create ~graph ~content ~scheme ?min_update ?update_distance_floor (),
+    graph,
+    docs )
+
+(* On a tree, a converged CRI row for neighbor v at node u must count
+   exactly the documents in v's side of the (u, v) edge cut. *)
+let prop_cri_rows_are_exact_subtree_counts =
+  QCheck.Test.make ~name:"converged CRI rows = exact edge-cut counts" ~count:25
+    QCheck.(int_range 2 80)
+    (fun n ->
+      let net, graph, docs = make_tree_net ~seed:(n * 7 + 1) ~n ~scheme:Scheme.Cri_kind () in
+      let ok = ref true in
+      Graph.iter_nodes
+        (fun u ->
+          Array.iter
+            (fun v ->
+              (* Documents on v's side: BFS from v avoiding u. *)
+              let seen = Array.make n false in
+              seen.(u) <- true;
+              seen.(v) <- true;
+              let q = Queue.create () in
+              Queue.add v q;
+              let side = ref docs.(v) in
+              while not (Queue.is_empty q) do
+                let w = Queue.pop q in
+                Array.iter
+                  (fun x ->
+                    if not seen.(x) then begin
+                      seen.(x) <- true;
+                      side := !side + docs.(x);
+                      Queue.add x q
+                    end)
+                  (Graph.neighbors graph w)
+              done;
+              match Scheme.row (Network.ri net u) ~peer:v with
+              | Some (Scheme.Vector s) ->
+                  if Float.abs (s.Summary.total -. float_of_int !side) > 1e-6 then
+                    ok := false
+              | _ -> ok := false)
+            (Graph.neighbors graph u))
+        graph;
+      !ok)
+
+(* The sum of a node's rows plus its local summary covers the whole
+   network exactly (tree, converged CRI). *)
+let prop_cri_coverage_is_total =
+  QCheck.Test.make ~name:"local + all rows = whole network (tree CRI)" ~count:25
+    QCheck.(int_range 2 100)
+    (fun n ->
+      let net, graph, docs = make_tree_net ~seed:(n * 13 + 5) ~n ~scheme:Scheme.Cri_kind () in
+      let total = float_of_int (Array.fold_left ( + ) 0 docs) in
+      let ok = ref true in
+      Graph.iter_nodes
+        (fun u ->
+          let covered =
+            match Scheme.export (Network.ri net u) ~exclude:None with
+            | Scheme.Vector s -> s.Summary.total
+            | Scheme.Hop_vector _ -> nan
+          in
+          if Float.abs (covered -. total) > 1e-6 then ok := false)
+        graph;
+      !ok)
+
+(* HRI and hybrid agree with CRI on the total number of reachable
+   documents when the horizon is large enough to cover the tree. *)
+let prop_schemes_agree_on_totals_within_horizon =
+  QCheck.Test.make ~name:"HRI totals = CRI totals when horizon >= diameter"
+    ~count:15
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let scheme = Scheme.Hri_kind { horizon = n; fanout = 4. } in
+      let net_h, graph, _ = make_tree_net ~seed:(n * 3 + 2) ~n ~scheme () in
+      let net_c, _, _ = make_tree_net ~seed:(n * 3 + 2) ~n ~scheme:Scheme.Cri_kind () in
+      let ok = ref true in
+      Graph.iter_nodes
+        (fun u ->
+          Array.iter
+            (fun v ->
+              let hri_total =
+                match Scheme.row (Network.ri net_h u) ~peer:v with
+                | Some p -> Scheme.payload_total p
+                | None -> nan
+              in
+              let cri_total =
+                match Scheme.row (Network.ri net_c u) ~peer:v with
+                | Some p -> Scheme.payload_total p
+                | None -> nan
+              in
+              if Float.abs (hri_total -. cri_total) > 1e-6 then ok := false)
+            (Graph.neighbors graph u))
+        graph;
+      !ok)
+
+(* An update wave leaves a tree network in exactly the state a fresh
+   converged build of the new content would produce. *)
+let prop_update_wave_reaches_fresh_build_state =
+  QCheck.Test.make ~name:"incremental update = fresh rebuild (tree CRI)" ~count:15
+    QCheck.(pair (int_range 2 50) (int_range 1 50))
+    (fun (n, extra_docs) ->
+      let rng = Prng.create (n + (extra_docs * 61)) in
+      let graph = Tree_gen.random_labels rng ~n ~fanout:3 in
+      let docs = Array.init n (fun _ -> Prng.int rng 9) in
+      let origin = Prng.int rng n in
+      let content arr =
+        {
+          Network.summary =
+            (fun v -> Summary.of_counts ~total:arr.(v) ~by_topic:[| arr.(v) |]);
+          count_matching = (fun v _ -> arr.(v));
+        }
+      in
+      (* Incremental: build with old docs, then propagate the change
+         with thresholds low enough that nothing is suppressed. *)
+      let net =
+        Network.create ~graph ~content:(content docs) ~scheme:Scheme.Cri_kind
+          ~min_update:1e-12 ~update_distance_floor:1e-12 ()
+      in
+      let new_docs = Array.copy docs in
+      new_docs.(origin) <- new_docs.(origin) + extra_docs;
+      Update.local_change net ~origin
+        ~summary:
+          (Summary.of_counts ~total:new_docs.(origin)
+             ~by_topic:[| new_docs.(origin) |])
+        ~counters:(Message.create ());
+      (* Fresh build with the new docs. *)
+      let fresh =
+        Network.create ~graph ~content:(content new_docs) ~scheme:Scheme.Cri_kind ()
+      in
+      let ok = ref true in
+      Graph.iter_nodes
+        (fun u ->
+          Array.iter
+            (fun v ->
+              match
+                ( Scheme.row (Network.ri net u) ~peer:v,
+                  Scheme.row (Network.ri fresh u) ~peer:v )
+              with
+              | Some a, Some b ->
+                  if Scheme.payload_distance a b > 1e-6 then ok := false
+              | _ -> ok := false)
+            (Graph.neighbors graph u))
+        graph;
+      !ok)
+
+(* A sequential RI query can never report more results than the network
+   holds, and never terminates unsatisfied while results remain. *)
+let prop_query_soundness_and_completeness =
+  QCheck.Test.make ~name:"query soundness + completeness (tree CRI)" ~count:40
+    QCheck.(pair (int_range 2 60) (int_range 1 25))
+    (fun (n, stop) ->
+      let net, _, docs = make_tree_net ~seed:(n + (stop * 97)) ~n ~scheme:Scheme.Cri_kind () in
+      let total = Array.fold_left ( + ) 0 docs in
+      let o =
+        Query.run net ~origin:(n / 2)
+          ~query:(Workload.query ~topics:[ 0 ] ~stop)
+          ~forwarding:Query.Ri_guided
+      in
+      o.Query.found <= total
+      && (o.Query.satisfied || o.Query.found = total))
+
+(* Churn round-trip: disconnecting a leaf and reconnecting it somewhere
+   else conserves the network-wide document count as seen from any
+   node. *)
+let prop_churn_conserves_documents =
+  QCheck.Test.make ~name:"churn conserves reachable documents" ~count:20
+    QCheck.(int_range 4 50)
+    (fun n ->
+      (* Thresholds at zero: conservation is exact only when no update
+         is suppressed (approximate indices legitimately drift within
+         the minUpdate band otherwise). *)
+      let net, graph, docs =
+        make_tree_net ~min_update:1e-12 ~update_distance_floor:1e-12
+          ~seed:(n * 31) ~n ~scheme:Scheme.Cri_kind ()
+      in
+      let total = float_of_int (Array.fold_left ( + ) 0 docs) in
+      (* Pick a leaf to re-home. *)
+      let leaf =
+        let rec find v = if Graph.degree graph v = 1 then v else find (v + 1) in
+        find 0
+      in
+      let counters = Message.create () in
+      ignore (Churn.disconnect_node net leaf ~counters);
+      let anchor = if leaf = 0 then 1 else 0 in
+      Churn.connect net leaf anchor ~counters;
+      let covered =
+        match Scheme.export (Network.ri net anchor) ~exclude:None with
+        | Scheme.Vector s -> s.Summary.total
+        | Scheme.Hop_vector _ -> nan
+      in
+      Float.abs (covered -. total) < 1e-6)
+
+(* Rooted construction: every row's total is bounded by the documents in
+   the network (no overcount on trees). *)
+let prop_rooted_rows_bounded_on_trees =
+  QCheck.Test.make ~name:"rooted rows bounded by network total (trees)" ~count:25
+    QCheck.(int_range 2 60)
+    (fun n ->
+      let rng = Prng.create (n * 5 + 3) in
+      let graph = Tree_gen.random_labels rng ~n ~fanout:3 in
+      let docs = Array.init n (fun _ -> Prng.int rng 9) in
+      let content =
+        {
+          Network.summary =
+            (fun v -> Summary.of_counts ~total:docs.(v) ~by_topic:[| docs.(v) |]);
+          count_matching = (fun v _ -> docs.(v));
+        }
+      in
+      let origin = Prng.int rng n in
+      let net =
+        Network.create ~graph ~content ~scheme:Scheme.Cri_kind
+          ~mode:(Network.Rooted origin) ()
+      in
+      let total = float_of_int (Array.fold_left ( + ) 0 docs) in
+      let ok = ref true in
+      Graph.iter_nodes
+        (fun u ->
+          List.iter
+            (fun p ->
+              match Scheme.row (Network.ri net u) ~peer:p with
+              | Some payload ->
+                  if Scheme.payload_total payload > total +. 1e-6 then ok := false
+              | None -> ())
+            (Scheme.peers (Network.ri net u)))
+        graph;
+      !ok)
+
+let suite =
+  ( "invariants",
+    [
+      QCheck_alcotest.to_alcotest prop_cri_rows_are_exact_subtree_counts;
+      QCheck_alcotest.to_alcotest prop_cri_coverage_is_total;
+      QCheck_alcotest.to_alcotest prop_schemes_agree_on_totals_within_horizon;
+      QCheck_alcotest.to_alcotest prop_update_wave_reaches_fresh_build_state;
+      QCheck_alcotest.to_alcotest prop_query_soundness_and_completeness;
+      QCheck_alcotest.to_alcotest prop_churn_conserves_documents;
+      QCheck_alcotest.to_alcotest prop_rooted_rows_bounded_on_trees;
+    ] )

@@ -1,0 +1,67 @@
+(* Message counters and byte-cost accounting. *)
+
+open Ri_p2p
+
+let test_counters () =
+  let c = Message.create () in
+  Alcotest.(check int) "empty" 0 (Message.total_messages c);
+  c.Message.query_forwards <- 3;
+  c.Message.query_returns <- 2;
+  c.Message.result_messages <- 1;
+  c.Message.update_messages <- 7;
+  Alcotest.(check int) "query messages" 6 (Message.query_messages c);
+  Alcotest.(check int) "total" 13 (Message.total_messages c);
+  Message.reset c;
+  Alcotest.(check int) "reset" 0 (Message.total_messages c)
+
+let test_add () =
+  let a = Message.create () and b = Message.create () in
+  a.Message.query_forwards <- 1;
+  b.Message.query_forwards <- 2;
+  b.Message.update_messages <- 5;
+  Message.add a b;
+  Alcotest.(check int) "forwards" 3 a.Message.query_forwards;
+  Alcotest.(check int) "updates" 5 a.Message.update_messages;
+  (* The source is unchanged. *)
+  Alcotest.(check int) "source intact" 2 b.Message.query_forwards
+
+let test_paper_byte_costs () =
+  (* Figure 12: queries 250 B, updates 1000 B. *)
+  Alcotest.(check int) "query size" 250
+    Message.paper_base_bytes.Message.query_bytes;
+  Alcotest.(check int) "update size" 1000
+    Message.paper_base_bytes.Message.update_bytes;
+  (* Figure 20: 70 B queries, 3500 B updates (1750 2-byte buckets). *)
+  Alcotest.(check int) "gnutella query" 70
+    Message.gnutella_bytes.Message.query_bytes;
+  Alcotest.(check int) "gnutella update" 3500
+    Message.gnutella_bytes.Message.update_bytes
+
+let test_bytes_of () =
+  let c = Message.create () in
+  c.Message.query_forwards <- 2;
+  c.Message.query_returns <- 1;
+  c.Message.result_messages <- 3;
+  c.Message.update_messages <- 4;
+  (* 3 query msgs x 250 + 3 results x 250 + 4 updates x 1000. *)
+  Alcotest.(check (float 1e-9)) "priced" 5500.
+    (Message.bytes_of Message.paper_base_bytes c);
+  Alcotest.(check (float 1e-9)) "empty is free" 0.
+    (Message.bytes_of Message.paper_base_bytes (Message.create ()))
+
+let test_pp () =
+  let c = Message.create () in
+  c.Message.query_forwards <- 9;
+  let s = Format.asprintf "%a" Message.pp c in
+  Alcotest.(check bool) "mentions forwards" true
+    (Astring.String.is_infix ~affix:"forwards=9" s)
+
+let suite =
+  ( "message",
+    [
+      Alcotest.test_case "counters" `Quick test_counters;
+      Alcotest.test_case "add" `Quick test_add;
+      Alcotest.test_case "paper byte costs" `Quick test_paper_byte_costs;
+      Alcotest.test_case "bytes_of" `Quick test_bytes_of;
+      Alcotest.test_case "pp" `Quick test_pp;
+    ] )

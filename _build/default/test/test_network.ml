@@ -1,0 +1,194 @@
+(* Network construction: converged and rooted RI states, content
+   plumbing, compression projection. *)
+
+open Ri_content
+open Ri_core
+open Ri_topology
+open Ri_p2p
+
+let universe = Topic.paper_example
+
+(* The paper's running example as actual document databases:
+   A=0, B=1, C=2, D=3, I=4, J=5 with links A-B, A-C, A-D, D-I, D-J.
+   Locals match Figure 4/5: A (300: 30/80/0/10), B (100: 20/0/10/30),
+   C (1000: 0/300/0/50), D (200: 100/0/100/150), I (50: 25/0/15/50),
+   J (50: 15/0/25/25). *)
+let locals =
+  [|
+    (300, [| 30; 80; 0; 10 |]);
+    (100, [| 20; 0; 10; 30 |]);
+    (1000, [| 0; 300; 0; 50 |]);
+    (200, [| 100; 0; 100; 150 |]);
+    (50, [| 25; 0; 15; 50 |]);
+    (50, [| 15; 0; 25; 25 |]);
+  |]
+
+let paper_graph () =
+  Graph.of_edges ~n:6 [ (0, 1); (0, 2); (0, 3); (3, 4); (3, 5) ]
+
+let paper_content () =
+  {
+    Network.summary =
+      (fun v ->
+        let total, by_topic = locals.(v) in
+        Summary.of_counts ~total ~by_topic);
+    count_matching = (fun _ _ -> 0);
+  }
+
+let make ?scheme ?compression ?cycle_policy ?mode () =
+  Network.create ~graph:(paper_graph ()) ~content:(paper_content ()) ?scheme
+    ?compression ?cycle_policy ?mode ()
+
+let get_row net v peer =
+  match Scheme.row (Network.ri net v) ~peer with
+  | Some (Scheme.Vector s) -> s
+  | Some (Scheme.Hop_vector _) -> Alcotest.fail "unexpected hop vector"
+  | None -> Alcotest.fail (Printf.sprintf "missing row %d at %d" peer v)
+
+let check_row msg net v peer (total, by_topic) =
+  let r = get_row net v peer in
+  Alcotest.(check bool) msg true
+    (Summary.approx_equal ~eps:1e-6 r (Summary.of_counts ~total ~by_topic))
+
+let test_figure4_converged_cri () =
+  let net = make ~scheme:Scheme.Cri_kind () in
+  (* Figure 5(b): D's row for A is the aggregate (1400, 50, 380, 10, 90);
+     A's rows for B and C are their local summaries; D's rows for I and
+     J likewise. *)
+  check_row "D's row for A" net 3 0 (1400, [| 50; 380; 10; 90 |]);
+  check_row "A's row for B" net 0 1 (100, [| 20; 0; 10; 30 |]);
+  check_row "A's row for C" net 0 2 (1000, [| 0; 300; 0; 50 |]);
+  check_row "A's row for D" net 0 3 (300, [| 140; 0; 140; 225 |]);
+  check_row "D's row for I" net 3 4 (50, [| 25; 0; 15; 50 |]);
+  (* I's row for D per the aggregation rule: D's local plus the rows for
+     A and J — 200 + 1400 + 50 documents. *)
+  check_row "I's row for D" net 4 3 (1650, [| 165; 380; 135; 265 |])
+
+let test_structure_accessors () =
+  let net = make ~scheme:Scheme.Cri_kind () in
+  Alcotest.(check int) "size" 6 (Network.size net);
+  Alcotest.(check int) "degree of A" 3 (Network.degree net 0);
+  Alcotest.(check bool) "link present" true (Network.has_link net 0 3);
+  Alcotest.(check bool) "link absent" false (Network.has_link net 1 2);
+  Alcotest.(check bool) "has RI" true (Network.has_ri net);
+  Alcotest.(check int) "one pass" 1 (Network.converged_iterations net)
+
+let test_no_ri_network () =
+  let net = make () in
+  Alcotest.(check bool) "no RI" false (Network.has_ri net);
+  Alcotest.check_raises "ri accessor" (Invalid_argument "Network.ri: No-RI network")
+    (fun () -> ignore (Network.ri net 0));
+  Alcotest.(check (list Alcotest.reject)) "no exports" []
+    (List.map (fun _ -> assert false) (Network.outgoing_exports net 0))
+
+let test_rooted_matches_converged_on_tree () =
+  (* On a tree, the rooted construction restricted to the directions a
+     query can take equals the converged rows. *)
+  let conv = make ~scheme:Scheme.Cri_kind () in
+  let rooted = make ~scheme:Scheme.Cri_kind ~mode:(Network.Rooted 0) () in
+  List.iter
+    (fun (v, peer) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "row %d->%d" v peer)
+        true
+        (Summary.approx_equal ~eps:1e-6 (get_row conv v peer)
+           (get_row rooted v peer)))
+    [ (0, 1); (0, 2); (0, 3); (3, 4); (3, 5) ];
+  (* And the rooted RI holds no upstream rows. *)
+  Alcotest.(check bool) "no row back to the origin" true
+    (Scheme.row (Network.ri rooted 3) ~peer:0 = None)
+
+let test_rooted_origin_validation () =
+  Alcotest.check_raises "origin range"
+    (Invalid_argument "Network.create: rooted origin out of range") (fun () ->
+      ignore (make ~scheme:Scheme.Cri_kind ~mode:(Network.Rooted 17) ()))
+
+let test_cri_noop_cycles_rejected () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let content =
+    { Network.summary = (fun _ -> Summary.of_counts ~total:1 ~by_topic:[| 1 |]);
+      count_matching = (fun _ _ -> 0) }
+  in
+  Alcotest.check_raises "cri noop cyclic"
+    (Invalid_argument
+       "Network.create: a compound RI under the no-op cycle policy does not \
+        terminate on a cyclic network (paper, Section 7)") (fun () ->
+      ignore
+        (Network.create ~graph:g ~content ~scheme:Scheme.Cri_kind
+           ~cycle_policy:Network.No_op ()))
+
+let test_cyclic_rows_exist_on_all_links () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let content =
+    { Network.summary = (fun v -> Summary.of_counts ~total:(v + 1) ~by_topic:[| v + 1 |]);
+      count_matching = (fun _ _ -> 0) }
+  in
+  let net = Network.create ~graph:g ~content ~scheme:(Scheme.Eri_kind { fanout = 4. }) () in
+  for v = 0 to 3 do
+    Array.iter
+      (fun u ->
+        Alcotest.(check bool)
+          (Printf.sprintf "row %d at %d" u v)
+          true
+          (Scheme.row (Network.ri net v) ~peer:u <> None))
+      (Network.neighbors net v)
+  done
+
+let test_compression_projection () =
+  let compression =
+    Compression.Buckets { buckets = 2; mode = Compression.Overcount }
+  in
+  let net = make ~scheme:Scheme.Cri_kind ~compression () in
+  (* A's local summary in bucket space: buckets {t0,t2} and {t1,t3}. *)
+  let s = Network.local_summary net 0 in
+  Alcotest.(check int) "projected width" 2 (Summary.topics s);
+  Alcotest.(check (float 1e-9)) "bucket 0 = db+theory" 30. (Summary.get s 0);
+  Alcotest.(check (float 1e-9)) "bucket 1 = net+lang" 90. (Summary.get s 1);
+  Alcotest.(check (list int)) "query projection" [ 0; 1 ]
+    (Network.project_query net [ 0; 1; 2 ]);
+  (* The raw summary stays unprojected. *)
+  Alcotest.(check int) "raw width" 4 (Summary.topics (Network.raw_local_summary net 0))
+
+let test_set_local_summary () =
+  let net = make ~scheme:Scheme.Cri_kind () in
+  Network.set_local_summary net 4 (Summary.of_counts ~total:60 ~by_topic:[| 25; 0; 15; 60 |]);
+  let s = Network.local_summary net 4 in
+  Alcotest.(check (float 1e-9)) "updated" 60. s.Summary.total;
+  Network.refresh_local net 4;
+  Alcotest.(check (float 1e-9)) "refresh re-reads content" 50.
+    (Network.local_summary net 4).Summary.total
+
+let test_link_mutation () =
+  let net = make ~scheme:Scheme.Cri_kind () in
+  Network.add_link net 1 2;
+  Alcotest.(check bool) "added" true (Network.has_link net 1 2);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Network.add_link: link exists")
+    (fun () -> Network.add_link net 1 2);
+  Network.remove_link net 1 2;
+  Alcotest.(check bool) "removed" false (Network.has_link net 1 2);
+  Alcotest.check_raises "missing"
+    (Invalid_argument "Network.remove_link: link not present") (fun () ->
+      Network.remove_link net 1 2)
+
+let test_export_to () =
+  let net = make ~scheme:Scheme.Cri_kind () in
+  match Network.export_to net 0 ~peer:3 with
+  | Scheme.Vector e ->
+      Alcotest.(check (float 1e-9)) "figure 5 vector" 1400. e.Summary.total
+  | Scheme.Hop_vector _ -> Alcotest.fail "expected vector"
+
+let suite =
+  ( "network",
+    [
+      Alcotest.test_case "figure 4/5 converged CRI" `Quick test_figure4_converged_cri;
+      Alcotest.test_case "structure accessors" `Quick test_structure_accessors;
+      Alcotest.test_case "no-RI network" `Quick test_no_ri_network;
+      Alcotest.test_case "rooted = converged on trees" `Quick test_rooted_matches_converged_on_tree;
+      Alcotest.test_case "rooted origin validation" `Quick test_rooted_origin_validation;
+      Alcotest.test_case "CRI no-op cycles rejected" `Quick test_cri_noop_cycles_rejected;
+      Alcotest.test_case "cyclic rows on all links" `Quick test_cyclic_rows_exist_on_all_links;
+      Alcotest.test_case "compression projection" `Quick test_compression_projection;
+      Alcotest.test_case "set local summary" `Quick test_set_local_summary;
+      Alcotest.test_case "link mutation" `Quick test_link_mutation;
+      Alcotest.test_case "export_to" `Quick test_export_to;
+    ] )

@@ -1,0 +1,96 @@
+(* End-to-end reproductions of the paper's worked examples that span
+   several modules — especially the Figure 11 cycle analysis. *)
+
+open Ri_content
+open Ri_core
+open Ri_topology
+open Ri_p2p
+
+(* Figure 11's scenario: A(10 docs) - B(15) - C(20) in a line, horizon 5,
+   regular-tree fanout 3; then C connects to A, closing a 3-cycle. *)
+let docs = [| 10.; 15.; 20. |]
+
+let line_net scheme =
+  let graph = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let content =
+    {
+      Network.summary =
+        (fun v -> Summary.make ~total:docs.(v) ~by_topic:[| docs.(v) |]);
+      count_matching = (fun _ _ -> 0);
+    }
+  in
+  (* Thresholds low enough that the creation waves run to quiescence,
+     as in the paper's analysis. *)
+  Network.create ~graph ~content ~scheme ~cycle_policy:Network.No_op
+    ~min_update:1e-4 ~update_distance_floor:1e-4 ()
+
+let hri_kind = Scheme.Hri_kind { horizon = 5; fanout = 3. }
+
+let hop_row net v peer =
+  match Scheme.row (Network.ri net v) ~peer with
+  | Some (Scheme.Hop_vector r) -> Array.map (fun s -> s.Summary.total) r
+  | _ -> Alcotest.fail "expected a hop vector"
+
+let test_figure11_initial_state () =
+  let net = line_net hri_kind in
+  Alcotest.(check (array (float 1e-6))) "A's row for B"
+    [| 15.; 20.; 0.; 0.; 0. |] (hop_row net 0 1)
+
+let test_figure11_after_cycle () =
+  (* "This new link causes a series of updates that result in the
+     hop-count RI shown on the right side of Figure 11": A's row for B
+     becomes 15 20 10 15 20 and its row for C becomes 20 15 10 20 15. *)
+  let net = line_net hri_kind in
+  Churn.connect net 2 0 ~counters:(Message.create ());
+  Alcotest.(check (array (float 1e-6))) "A's row for B"
+    [| 15.; 20.; 10.; 15.; 20. |] (hop_row net 0 1);
+  Alcotest.(check (array (float 1e-6))) "A's row for C"
+    [| 20.; 15.; 10.; 20.; 15. |] (hop_row net 0 2)
+
+let test_figure11_goodness_error () =
+  (* "the goodness of B, before the cycle was created, was 21.67
+     (15 + 20/3).  After the cycle is created, the goodness increases to
+     23.58 ... a relative error of only 9%." *)
+  let net = line_net hri_kind in
+  let before = Scheme.goodness (Network.ri net 0) ~peer:1 ~query:[ 0 ] in
+  Alcotest.(check (float 0.01)) "before" 21.67 before;
+  Churn.connect net 2 0 ~counters:(Message.create ());
+  let after = Scheme.goodness (Network.ri net 0) ~peer:1 ~query:[ 0 ] in
+  Alcotest.(check (float 0.01)) "after" 23.58 after;
+  let rel_error = (after -. before) /. before in
+  Alcotest.(check bool) "about 9%" true (Float.abs (rel_error -. 0.09) < 0.005)
+
+let test_figure11_eri_variant () =
+  (* Section 7's exponential-RI version of the same scenario: the
+     returning updates decay until insignificant and the goodness of B
+     settles near 23.64 (the paper's cutoff; the true fixed point is
+     23.65). *)
+  let net = line_net (Scheme.Eri_kind { fanout = 3. }) in
+  let before = Scheme.goodness (Network.ri net 0) ~peer:1 ~query:[ 0 ] in
+  Alcotest.(check (float 0.01)) "before" 21.67 before;
+  Churn.connect net 2 0 ~counters:(Message.create ());
+  let after = Scheme.goodness (Network.ri net 0) ~peer:1 ~query:[ 0 ] in
+  Alcotest.(check bool) "settles near 23.6" true
+    (after > 23.5 && after < 23.8)
+
+let test_figure11_update_cost_is_bounded () =
+  (* "the cycle increases the cost of creating/updating the hop-count RI
+     as updates sent by a node return to it ... the cycle is broken when
+     the update reaches the horizon." *)
+  let net = line_net hri_kind in
+  let counters = Message.create () in
+  Churn.connect net 2 0 ~counters;
+  Alcotest.(check bool) "finite, non-trivial traffic" true
+    (counters.Message.update_messages > 4
+    && counters.Message.update_messages < 200)
+
+let suite =
+  ( "paper_examples",
+    [
+      Alcotest.test_case "figure 11 initial state" `Quick test_figure11_initial_state;
+      Alcotest.test_case "figure 11 after the cycle" `Quick test_figure11_after_cycle;
+      Alcotest.test_case "figure 11 goodness error (9%)" `Quick test_figure11_goodness_error;
+      Alcotest.test_case "figure 11, exponential variant" `Quick test_figure11_eri_variant;
+      Alcotest.test_case "figure 11 update cost bounded" `Quick
+        test_figure11_update_cost_is_bounded;
+    ] )

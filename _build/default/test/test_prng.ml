@@ -1,0 +1,141 @@
+(* Deterministic PRNG behaviour: reproducibility, ranges, rough
+   distributional sanity. *)
+
+open Ri_util
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 7 and b = Prng.create 8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check_int "different seeds diverge" 0 !same
+
+let test_copy_independent () =
+  let a = Prng.create 3 in
+  let b = Prng.copy a in
+  let xa = Prng.bits64 a in
+  let xb = Prng.bits64 b in
+  check_bool "copy starts from same state" true (xa = xb);
+  ignore (Prng.bits64 a);
+  let ya = Prng.bits64 a and yb = Prng.bits64 b in
+  check_bool "streams then diverge" true (ya <> yb)
+
+let test_split_changes_parent () =
+  let a = Prng.create 3 in
+  let reference = Prng.copy a in
+  let _child = Prng.split a in
+  check_bool "split advances the parent" true
+    (Prng.bits64 a <> Prng.bits64 reference)
+
+let test_int_bounds () =
+  let g = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_covers_small_range () =
+  let g = Prng.create 5 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int g 4) <- true
+  done;
+  check_bool "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int (Prng.create 1) 0))
+
+let test_int_in () =
+  let g = Prng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in g (-3) 3 in
+    check_bool "inclusive range" true (v >= -3 && v <= 3)
+  done;
+  check_int "degenerate range" 5 (Prng.int_in g 5 5);
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in g 2 1))
+
+let test_unit_float_range () =
+  let g = Prng.create 13 in
+  for _ = 1 to 10_000 do
+    let v = Prng.unit_float g in
+    check_bool "[0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_unit_float_mean () =
+  let g = Prng.create 17 in
+  let acc = ref 0. in
+  let n = 20_000 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.unit_float g
+  done;
+  let mean = !acc /. float_of_int n in
+  check_bool "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_bernoulli () =
+  let g = Prng.create 23 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli g 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  check_bool "p near 0.3" true (Float.abs (p -. 0.3) < 0.02)
+
+let test_gaussian_moments () =
+  let g = Prng.create 29 in
+  let n = 50_000 in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to n do
+    Stats.Acc.add acc (Prng.gaussian g ~mean:2. ~stddev:3.)
+  done;
+  check_bool "mean near 2" true (Float.abs (Stats.Acc.mean acc -. 2.) < 0.1);
+  check_bool "stddev near 3" true (Float.abs (Stats.Acc.stddev acc -. 3.) < 0.1)
+
+let test_shuffle_is_permutation () =
+  let g = Prng.create 31 in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_bool "same multiset" true (sorted = Array.init 100 Fun.id);
+  check_bool "actually shuffled" true (a <> Array.init 100 Fun.id)
+
+let test_pick () =
+  let g = Prng.create 37 in
+  for _ = 1 to 100 do
+    let v = Prng.pick g [| 4; 8; 15 |] in
+    check_bool "member" true (List.mem v [ 4; 8; 15 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick g [||]))
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy independence" `Quick test_copy_independent;
+      Alcotest.test_case "split advances parent" `Quick test_split_changes_parent;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int covers range" `Quick test_int_covers_small_range;
+      Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+      Alcotest.test_case "int_in" `Quick test_int_in;
+      Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+      Alcotest.test_case "unit_float mean" `Quick test_unit_float_mean;
+      Alcotest.test_case "bernoulli rate" `Quick test_bernoulli;
+      Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+      Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+      Alcotest.test_case "pick" `Quick test_pick;
+    ] )

@@ -1,0 +1,105 @@
+(* Sampling helpers: distinct draws, weighted choice, discrete power
+   law. *)
+
+open Ri_util
+
+let test_choose_distinct_basic () =
+  let g = Prng.create 1 in
+  let a = Sampling.choose_distinct g ~k:10 ~n:100 in
+  Alcotest.(check int) "size" 10 (Array.length a);
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let distinct = Array.to_list sorted |> List.sort_uniq compare in
+  Alcotest.(check int) "distinct" 10 (List.length distinct);
+  Array.iter (fun v -> Alcotest.(check bool) "range" true (v >= 0 && v < 100)) a
+
+let test_choose_distinct_full () =
+  let g = Prng.create 2 in
+  let a = Sampling.choose_distinct g ~k:50 ~n:50 in
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation of 0..49" true
+    (sorted = Array.init 50 Fun.id)
+
+let test_choose_distinct_dense_path () =
+  (* k close to n exercises the Fisher-Yates branch. *)
+  let g = Prng.create 3 in
+  let a = Sampling.choose_distinct g ~k:40 ~n:50 in
+  let distinct = Array.to_list a |> List.sort_uniq compare in
+  Alcotest.(check int) "distinct" 40 (List.length distinct)
+
+let test_choose_distinct_errors () =
+  let g = Prng.create 4 in
+  Alcotest.check_raises "k > n" (Invalid_argument "Sampling.choose_distinct")
+    (fun () -> ignore (Sampling.choose_distinct g ~k:5 ~n:3));
+  Alcotest.check_raises "negative k" (Invalid_argument "Sampling.choose_distinct")
+    (fun () -> ignore (Sampling.choose_distinct g ~k:(-1) ~n:3));
+  Alcotest.(check int) "k = 0" 0
+    (Array.length (Sampling.choose_distinct g ~k:0 ~n:3))
+
+let test_weighted_index () =
+  let g = Prng.create 5 in
+  let w = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Sampling.weighted_index g w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(1);
+  let p0 = float_of_int counts.(0) /. float_of_int n in
+  Alcotest.(check bool) "ratio near 1/4" true (Float.abs (p0 -. 0.25) < 0.02)
+
+let test_weighted_index_errors () =
+  let g = Prng.create 6 in
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Sampling.weighted_index: zero total") (fun () ->
+      ignore (Sampling.weighted_index g [| 0.; 0. |]))
+
+let test_power_law_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 5_000 do
+    let k = Sampling.discrete_power_law g ~exponent:(-2.2) ~max_value:100 in
+    Alcotest.(check bool) "in [1, 100]" true (k >= 1 && k <= 100)
+  done
+
+let test_power_law_decay () =
+  let g = Prng.create 8 in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 50_000 do
+    let k = Sampling.discrete_power_law g ~exponent:(-2.2) ~max_value:100 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "P(1) > P(2) > P(4)" true
+    (counts.(1) > counts.(2) && counts.(2) > counts.(4));
+  (* Check the 1-vs-2 ratio against 2^2.2 ≈ 4.59. *)
+  let ratio = float_of_int counts.(1) /. float_of_int counts.(2) in
+  Alcotest.(check bool) "ratio near 2^2.2" true (Float.abs (ratio -. 4.59) < 0.6)
+
+let test_power_law_degenerate () =
+  let g = Prng.create 9 in
+  Alcotest.(check int) "max 1 forces 1" 1
+    (Sampling.discrete_power_law g ~exponent:(-2.) ~max_value:1)
+
+let test_degree_sequence_even () =
+  let g = Prng.create 10 in
+  for _ = 1 to 20 do
+    let d = Sampling.power_law_degrees g ~n:101 ~exponent:(-2.2) ~max_degree:20 in
+    let total = Array.fold_left ( + ) 0 d in
+    Alcotest.(check int) "even total" 0 (total land 1)
+  done
+
+let suite =
+  ( "sampling",
+    [
+      Alcotest.test_case "choose_distinct basic" `Quick test_choose_distinct_basic;
+      Alcotest.test_case "choose_distinct full draw" `Quick test_choose_distinct_full;
+      Alcotest.test_case "choose_distinct dense" `Quick test_choose_distinct_dense_path;
+      Alcotest.test_case "choose_distinct errors" `Quick test_choose_distinct_errors;
+      Alcotest.test_case "weighted_index" `Quick test_weighted_index;
+      Alcotest.test_case "weighted_index errors" `Quick test_weighted_index_errors;
+      Alcotest.test_case "power law bounds" `Quick test_power_law_bounds;
+      Alcotest.test_case "power law decay" `Quick test_power_law_decay;
+      Alcotest.test_case "power law degenerate" `Quick test_power_law_degenerate;
+      Alcotest.test_case "degree sequence even" `Quick test_degree_sequence_even;
+    ] )

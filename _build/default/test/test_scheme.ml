@@ -1,0 +1,165 @@
+(* The scheme-polymorphic RI wrapper and payload utilities. *)
+
+open Ri_content
+open Ri_core
+
+let s total by = Summary.make ~total ~by_topic:by
+
+let kinds =
+  [
+    Scheme.Cri_kind;
+    Scheme.Hri_kind { horizon = 3; fanout = 4. };
+    Scheme.Eri_kind { fanout = 4. };
+    Scheme.Hybrid_kind { horizon = 3; fanout = 4. };
+  ]
+
+let test_kind_roundtrip () =
+  List.iter
+    (fun k ->
+      let t = Scheme.create k ~width:2 ~local:(Summary.zero ~topics:2) in
+      Alcotest.(check bool) "kind preserved" true (Scheme.kind t = k);
+      Alcotest.(check int) "width" 2 (Scheme.width t))
+    kinds
+
+let test_kind_names () =
+  Alcotest.(check string) "cri" "CRI" (Scheme.kind_name Scheme.Cri_kind);
+  Alcotest.(check string) "hri" "HRI"
+    (Scheme.kind_name (Scheme.Hri_kind { horizon = 5; fanout = 4. }));
+  Alcotest.(check string) "eri" "ERI"
+    (Scheme.kind_name (Scheme.Eri_kind { fanout = 4. }));
+  Alcotest.(check string) "hybrid" "HYB"
+    (Scheme.kind_name (Scheme.Hybrid_kind { horizon = 5; fanout = 4. }))
+
+let test_shape_mismatch () =
+  let cri = Scheme.create Scheme.Cri_kind ~width:2 ~local:(Summary.zero ~topics:2) in
+  Alcotest.check_raises "hop vector into CRI"
+    (Invalid_argument "Scheme.set_row: payload shape does not match the scheme")
+    (fun () ->
+      Scheme.set_row cri ~peer:1 (Scheme.Hop_vector [| Summary.zero ~topics:2 |]));
+  let hri =
+    Scheme.create (Scheme.Hri_kind { horizon = 2; fanout = 4. }) ~width:2
+      ~local:(Summary.zero ~topics:2)
+  in
+  Alcotest.check_raises "vector into HRI"
+    (Invalid_argument "Scheme.set_row: payload shape does not match the scheme")
+    (fun () -> Scheme.set_row hri ~peer:1 (Scheme.Vector (Summary.zero ~topics:2)))
+
+let test_rank_orders_by_goodness () =
+  let t = Scheme.create Scheme.Cri_kind ~width:1 ~local:(Summary.zero ~topics:1) in
+  Scheme.set_row t ~peer:1 (Scheme.Vector (s 10. [| 2. |]));
+  Scheme.set_row t ~peer:2 (Scheme.Vector (s 10. [| 9. |]));
+  Scheme.set_row t ~peer:3 (Scheme.Vector (s 10. [| 5. |]));
+  let ranked = Scheme.rank t ~query:[ 0 ] ~exclude:[] in
+  Alcotest.(check (list int)) "descending goodness" [ 2; 3; 1 ]
+    (List.map fst ranked);
+  let without_two = Scheme.rank t ~query:[ 0 ] ~exclude:[ 2 ] in
+  Alcotest.(check (list int)) "exclusion respected" [ 3; 1 ]
+    (List.map fst without_two)
+
+let test_rank_tie_break_deterministic () =
+  let t = Scheme.create Scheme.Cri_kind ~width:1 ~local:(Summary.zero ~topics:1) in
+  Scheme.set_row t ~peer:5 (Scheme.Vector (s 10. [| 3. |]));
+  Scheme.set_row t ~peer:1 (Scheme.Vector (s 10. [| 3. |]));
+  let ranked = Scheme.rank t ~query:[ 0 ] ~exclude:[] in
+  Alcotest.(check (list int)) "smaller id first on ties" [ 1; 5 ]
+    (List.map fst ranked)
+
+let test_payload_zero () =
+  Alcotest.(check int) "vector entries" 4
+    (Scheme.payload_entries (Scheme.payload_zero Scheme.Cri_kind ~width:3));
+  Alcotest.(check int) "hop entries" 12
+    (Scheme.payload_entries
+       (Scheme.payload_zero (Scheme.Hri_kind { horizon = 3; fanout = 4. }) ~width:3))
+
+let test_payload_diffs () =
+  let a = Scheme.Vector (s 100. [| 50. |]) in
+  let b = Scheme.Vector (s 102. [| 50. |]) in
+  Alcotest.(check (float 1e-9)) "rel" 0.02 (Scheme.payload_rel_diff a b);
+  Alcotest.(check (float 1e-9)) "distance" 2. (Scheme.payload_distance a b);
+  let h1 = Scheme.Hop_vector [| s 1. [| 1. |]; s 2. [| 2. |] |] in
+  let h2 = Scheme.Hop_vector [| s 1. [| 1. |]; s 2. [| 5. |] |] in
+  Alcotest.(check (float 1e-9)) "hop distance" 3. (Scheme.payload_distance h1 h2);
+  Alcotest.(check (float 1e-9)) "shape mismatch rel" infinity
+    (Scheme.payload_rel_diff a h1);
+  Alcotest.(check (float 1e-9)) "shape mismatch distance" infinity
+    (Scheme.payload_distance a h1);
+  Alcotest.(check (float 1e-9)) "hop length mismatch" infinity
+    (Scheme.payload_distance h1 (Scheme.Hop_vector [| s 1. [| 1. |] |]))
+
+let test_payload_total () =
+  Alcotest.(check (float 1e-9)) "vector" 100.
+    (Scheme.payload_total (Scheme.Vector (s 100. [| 1. |])));
+  Alcotest.(check (float 1e-9)) "hops summed" 3.
+    (Scheme.payload_total (Scheme.Hop_vector [| s 1. [| 1. |]; s 2. [| 2. |] |]))
+
+let test_unified_export_matches_underlying () =
+  (* The wrapper's CRI export equals Figure 5's vector. *)
+  let t =
+    Scheme.create Scheme.Cri_kind ~width:4
+      ~local:(s 300. [| 30.; 80.; 0.; 10. |])
+  in
+  Scheme.set_row t ~peer:1 (Scheme.Vector (s 100. [| 20.; 0.; 10.; 30. |]));
+  Scheme.set_row t ~peer:2 (Scheme.Vector (s 1000. [| 0.; 300.; 0.; 50. |]));
+  match Scheme.export t ~exclude:None with
+  | Scheme.Vector e ->
+      Alcotest.(check (float 1e-9)) "total" 1400. e.Summary.total;
+      Alcotest.(check (float 1e-9)) "networks" 380. (Summary.get e 1)
+  | Scheme.Hop_vector _ -> Alcotest.fail "expected a vector"
+
+let test_perturb_preserves_shape () =
+  let rng = Ri_util.Prng.create 4 in
+  let h = Scheme.Hop_vector [| s 10. [| 10. |]; s 20. [| 20. |] |] in
+  match
+    Scheme.payload_perturb rng ~relative_stddev:0.1 ~kind:Compression.Overcount h
+  with
+  | Scheme.Hop_vector r ->
+      Alcotest.(check int) "length" 2 (Array.length r);
+      Alcotest.(check bool) "overcounted" true (Summary.get r.(0) 0 >= 10.)
+  | Scheme.Vector _ -> Alcotest.fail "shape changed"
+
+let prop_export_all_agrees_with_export =
+  QCheck.Test.make ~name:"export_all agrees with per-peer export (all kinds)"
+    ~count:60
+    QCheck.(pair (int_range 0 3) (list_of_size Gen.(int_range 1 6) (float_range 0. 50.)))
+    (fun (kind_ix, vals) ->
+      let kind = List.nth kinds kind_ix in
+      let width = 2 in
+      let t = Scheme.create kind ~width ~local:(s 3. [| 1.; 2. |]) in
+      List.iteri
+        (fun i v ->
+          let payload =
+            match kind with
+            | Scheme.Hri_kind { horizon; _ } ->
+                Scheme.Hop_vector
+                  (Array.init horizon (fun h ->
+                       s (v +. float_of_int h) [| v; float_of_int h |]))
+            | Scheme.Hybrid_kind { horizon; _ } ->
+                Scheme.Hop_vector
+                  (Array.init (horizon + 1) (fun h ->
+                       s (v +. float_of_int h) [| v; float_of_int h |]))
+            | Scheme.Cri_kind | Scheme.Eri_kind _ ->
+                Scheme.Vector (s v [| v /. 2.; v /. 2. |])
+          in
+          Scheme.set_row t ~peer:i payload)
+        vals;
+      List.for_all
+        (fun (peer, batch) ->
+          Scheme.payload_distance batch (Scheme.export t ~exclude:(Some peer))
+          < 1e-6)
+        (Scheme.export_all t))
+
+let suite =
+  ( "scheme",
+    [
+      Alcotest.test_case "kind roundtrip" `Quick test_kind_roundtrip;
+      Alcotest.test_case "kind names" `Quick test_kind_names;
+      Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
+      Alcotest.test_case "rank by goodness" `Quick test_rank_orders_by_goodness;
+      Alcotest.test_case "rank tie break" `Quick test_rank_tie_break_deterministic;
+      Alcotest.test_case "payload zero" `Quick test_payload_zero;
+      Alcotest.test_case "payload diffs" `Quick test_payload_diffs;
+      Alcotest.test_case "payload total" `Quick test_payload_total;
+      Alcotest.test_case "unified export" `Quick test_unified_export_matches_underlying;
+      Alcotest.test_case "perturb shape" `Quick test_perturb_preserves_shape;
+      QCheck_alcotest.to_alcotest prop_export_all_agrees_with_export;
+    ] )

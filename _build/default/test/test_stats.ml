@@ -1,0 +1,116 @@
+(* Statistics: Welford accumulator, Student-t confidence intervals, the
+   paper's 95%/10% stopping rule. *)
+
+open Ri_util
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float msg expected actual =
+  Alcotest.(check (float 1e-6)) msg expected actual
+
+let acc_of xs =
+  let a = Stats.Acc.create () in
+  List.iter (Stats.Acc.add a) xs;
+  a
+
+let test_empty () =
+  let a = Stats.Acc.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Acc.mean a));
+  check_float "variance" 0. (Stats.Acc.variance a);
+  Alcotest.(check bool) "stderr inf" true (Stats.Acc.std_error a = infinity)
+
+let test_known_values () =
+  let a = acc_of [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  check_float "mean" 5. (Stats.Acc.mean a);
+  (* Sample variance with n-1 denominator: 32/7. *)
+  check_float "variance" (32. /. 7.) (Stats.Acc.variance a);
+  check_float "min" 2. (Stats.Acc.min a);
+  check_float "max" 9. (Stats.Acc.max a);
+  Alcotest.(check int) "count" 8 (Stats.Acc.count a)
+
+let test_welford_matches_naive () =
+  let g = Prng.create 99 in
+  let xs = List.init 500 (fun _ -> Prng.float g 100.) in
+  let a = acc_of xs in
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0. xs /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+  in
+  Alcotest.(check bool) "mean" true (feq ~eps:1e-6 mean (Stats.Acc.mean a));
+  Alcotest.(check bool) "variance" true (feq ~eps:1e-4 var (Stats.Acc.variance a))
+
+let test_t_quantiles () =
+  check_float "df=1" 12.706 (Stats.t_quantile_975 1);
+  check_float "df=10" 2.228 (Stats.t_quantile_975 10);
+  check_float "df=30" 2.042 (Stats.t_quantile_975 30);
+  (* Large df approaches the normal quantile 1.96. *)
+  Alcotest.(check bool) "df=1000 near z" true
+    (Float.abs (Stats.t_quantile_975 1000 -. 1.962) < 0.01);
+  Alcotest.(check bool) "monotone decreasing" true
+    (Stats.t_quantile_975 5 > Stats.t_quantile_975 6)
+
+let test_ci_halfwidth () =
+  (* Two observations 0 and 2: mean 1, s = sqrt(2), se = 1,
+     t_{0.975,1} = 12.706. *)
+  let a = acc_of [ 0.; 2. ] in
+  check_float "ci" 12.706 (Stats.ci_halfwidth a);
+  Alcotest.(check bool) "single obs infinite" true
+    (Stats.ci_halfwidth (acc_of [ 1. ]) = infinity)
+
+let test_relative_error () =
+  let a = acc_of [ 10.; 10.; 10.; 10. ] in
+  check_float "zero variance" 0. (Stats.relative_error a);
+  let b = acc_of [ 0.; 0.; 0. ] in
+  check_float "all zeros" 0. (Stats.relative_error b)
+
+let test_converged_rule () =
+  (* Identical observations converge as soon as min_obs is reached. *)
+  let a = acc_of [ 5.; 5.; 5.; 5.; 5. ] in
+  Alcotest.(check bool) "tight converged" true (Stats.converged a);
+  Alcotest.(check bool) "too few" false (Stats.converged (acc_of [ 5.; 5. ]));
+  (* Wildly spread observations do not converge. *)
+  let b = acc_of [ 1.; 100.; 3.; 80.; 2. ] in
+  Alcotest.(check bool) "spread not converged" false (Stats.converged b);
+  (* A looser target accepts moderate spread sooner. *)
+  let c = acc_of [ 100.; 101.; 99.; 100.; 100.; 101.; 99. ] in
+  Alcotest.(check bool) "tight data converges" true
+    (Stats.converged ~target:0.1 c)
+
+let test_summary () =
+  let s = Stats.summarize (acc_of [ 1.; 2.; 3. ]) in
+  check_float "mean" 2. s.Stats.mean;
+  check_float "min" 1. s.Stats.min;
+  check_float "max" 3. s.Stats.max;
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  let str = Format.asprintf "%a" Stats.pp_summary s in
+  Alcotest.(check bool) "pp mentions n" true
+    (Astring.String.is_infix ~affix:"n=3" str)
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let a = acc_of xs in
+      Stats.Acc.mean a >= Stats.Acc.min a -. 1e-6
+      && Stats.Acc.mean a <= Stats.Acc.max a +. 1e-6)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (float_range (-1e6) 1e6))
+    (fun xs -> Stats.Acc.variance (acc_of xs) >= 0.)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "empty accumulator" `Quick test_empty;
+      Alcotest.test_case "known values" `Quick test_known_values;
+      Alcotest.test_case "welford vs naive" `Quick test_welford_matches_naive;
+      Alcotest.test_case "t quantiles" `Quick test_t_quantiles;
+      Alcotest.test_case "ci halfwidth" `Quick test_ci_halfwidth;
+      Alcotest.test_case "relative error" `Quick test_relative_error;
+      Alcotest.test_case "converged rule" `Quick test_converged_rule;
+      Alcotest.test_case "summary" `Quick test_summary;
+      QCheck_alcotest.to_alcotest prop_mean_within_bounds;
+      QCheck_alcotest.to_alcotest prop_variance_nonneg;
+    ] )

@@ -1,0 +1,133 @@
+(* Topic taxonomies: the paper's semantic-summarization example. *)
+
+open Ri_content
+open Ri_core
+open Ri_topology
+open Ri_p2p
+
+(* Section 4's example: indices, recovery and SQL roll up into
+   databases; a couple more categories to keep things honest. *)
+let tax =
+  Taxonomy.of_groups
+    [
+      ("databases", [ "indices"; "recovery"; "SQL" ]);
+      ("networks", [ "routing"; "multicast" ]);
+      ("theory", [ "complexity" ]);
+    ]
+
+let leaf name =
+  match Topic.find (Taxonomy.leaves tax) name with
+  | Some id -> id
+  | None -> Alcotest.fail ("unknown leaf " ^ name)
+
+let cat name =
+  match Topic.find (Taxonomy.categories tax) name with
+  | Some id -> id
+  | None -> Alcotest.fail ("unknown category " ^ name)
+
+let test_structure () =
+  Alcotest.(check int) "6 leaves" 6 (Topic.count (Taxonomy.leaves tax));
+  Alcotest.(check int) "3 categories" 3 (Topic.count (Taxonomy.categories tax));
+  Alcotest.(check int) "SQL -> databases" (cat "databases")
+    (Taxonomy.category_of tax (leaf "SQL"));
+  Alcotest.(check int) "multicast -> networks" (cat "networks")
+    (Taxonomy.category_of tax (leaf "multicast"));
+  Alcotest.(check (list int)) "databases' leaves"
+    [ leaf "indices"; leaf "recovery"; leaf "SQL" ]
+    (Taxonomy.leaves_of tax (cat "databases"))
+
+let test_validation () =
+  Alcotest.check_raises "duplicate sub-topic"
+    (Invalid_argument "Taxonomy.of_groups: duplicated sub-topic") (fun () ->
+      ignore (Taxonomy.of_groups [ ("a", [ "x" ]); ("b", [ "x" ]) ]));
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Taxonomy.of_groups: empty group") (fun () ->
+      ignore (Taxonomy.of_groups [ ("a", []) ]))
+
+let test_summarize_overcounts () =
+  (* 3 documents on indices, 1 on recovery, 0 on SQL: the databases
+     category reads 4; a query for "SQL" converted to "databases"
+     believes there are 4 SQL documents where there are none — the
+     paper's overcount. *)
+  let s =
+    Summary.of_counts ~total:4
+      ~by_topic:
+        (Array.of_list
+           (List.map
+              (fun name ->
+                match name with
+                | "indices" -> 3
+                | "recovery" -> 1
+                | _ -> 0)
+              [ "indices"; "recovery"; "SQL"; "routing"; "multicast"; "complexity" ]))
+  in
+  let rolled = Taxonomy.summarize tax s in
+  Alcotest.(check int) "category width" 3 (Summary.topics rolled);
+  Alcotest.(check (float 1e-9)) "databases bucket" 4.
+    (Summary.get rolled (cat "databases"));
+  Alcotest.(check (float 1e-9)) "sql reads the bucket" 4.
+    (Summary.get rolled
+       (Compression.project_topic (Taxonomy.compression tax) (leaf "SQL")))
+
+let test_taxonomy_in_a_network () =
+  (* Three libraries classify by sub-topic; the RIs carry categories.
+     A query for "SQL" still routes to the node holding SQL documents —
+     via the databases category. *)
+  let universe = Taxonomy.leaves tax in
+  let indices =
+    Array.init 3 (fun v ->
+        let idx = Local_index.create universe in
+        let add i topics = Local_index.add idx (Document.make ~id:i ~topics ()) in
+        (match v with
+        | 1 ->
+            (* The SQL-rich library. *)
+            for i = 0 to 9 do
+              add i [ leaf "SQL" ]
+            done
+        | 2 ->
+            for i = 0 to 9 do
+              add i [ leaf "routing" ]
+            done
+        | _ -> add 0 [ leaf "complexity" ]);
+        idx)
+  in
+  let graph = Graph.of_edges ~n:3 [ (0, 1); (0, 2) ] in
+  let net =
+    Network.create ~graph
+      ~content:(Network.content_of_local_indices indices)
+      ~scheme:Scheme.Cri_kind
+      ~compression:(Taxonomy.compression tax) ()
+  in
+  let q = Workload.query ~topics:[ leaf "SQL" ] ~stop:10 in
+  let o = Query.run net ~origin:0 ~query:q ~forwarding:Query.Ri_guided in
+  Alcotest.(check int) "found the SQL documents" 10 o.Query.found;
+  (* Straight to node 1: one forward. *)
+  Alcotest.(check int) "routed directly" 1 o.Query.counters.Message.query_forwards
+
+let test_undercount_mode () =
+  let s =
+    Summary.make ~total:4. ~by_topic:[| 3.; 1.; 0.; 0.; 0.; 0. |]
+  in
+  let rolled =
+    Compression.project_summary
+      (Taxonomy.compression ~mode:Compression.Undercount tax)
+      s
+  in
+  Alcotest.(check (float 1e-9)) "min consolidation" 0.
+    (Summary.get rolled (cat "databases"))
+
+let test_pp () =
+  let out = Format.asprintf "%a" Taxonomy.pp tax in
+  Alcotest.(check bool) "mentions roll-up" true
+    (Astring.String.is_infix ~affix:"databases <- indices, recovery, SQL" out)
+
+let suite =
+  ( "taxonomy",
+    [
+      Alcotest.test_case "structure" `Quick test_structure;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "summarize overcounts" `Quick test_summarize_overcounts;
+      Alcotest.test_case "taxonomy-compressed network" `Quick test_taxonomy_in_a_network;
+      Alcotest.test_case "undercount mode" `Quick test_undercount_mode;
+      Alcotest.test_case "pretty print" `Quick test_pp;
+    ] )

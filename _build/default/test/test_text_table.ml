@@ -1,0 +1,58 @@
+(* Table rendering used by the bench harness. *)
+
+open Ri_util
+
+let test_render_alignment () =
+  let t = Text_table.create ~header:[ "name"; "value" ] () in
+  Text_table.add_row t [ "a"; "1" ];
+  Text_table.add_row t [ "longer"; "23" ];
+  let out = Text_table.render t in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check int) "rule matches header width" (String.length header)
+        (String.length rule)
+  | _ -> Alcotest.fail "expected at least two lines");
+  Alcotest.(check bool) "right-aligned number column" true
+    (Astring.String.is_infix ~affix:"    23" out
+    || Astring.String.is_infix ~affix:" 23" out)
+
+let test_row_width_check () =
+  let t = Text_table.create ~header:[ "a"; "b" ] () in
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument "Text_table.add_row: wrong number of cells") (fun () ->
+      Text_table.add_row t [ "only-one" ])
+
+let test_aligns_validation () =
+  Alcotest.check_raises "aligns mismatch"
+    (Invalid_argument "Text_table.create: aligns/header width mismatch")
+    (fun () ->
+      ignore (Text_table.create ~aligns:[ Text_table.Left ] ~header:[ "a"; "b" ] ()))
+
+let test_rule_insertion () =
+  let t = Text_table.create ~header:[ "x" ] () in
+  Text_table.add_row t [ "1" ];
+  Text_table.add_rule t;
+  Text_table.add_row t [ "2" ];
+  let lines =
+    Text_table.render t |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "5 lines: header, rule, row, rule, row" 5
+    (List.length lines)
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.1" (Text_table.cell_float 3.14);
+  Alcotest.(check string) "decimals" "3.142" (Text_table.cell_float ~decimals:3 3.1416);
+  Alcotest.(check string) "nan" "-" (Text_table.cell_float Float.nan);
+  Alcotest.(check string) "int" "42" (Text_table.cell_int 42)
+
+let suite =
+  ( "text_table",
+    [
+      Alcotest.test_case "render alignment" `Quick test_render_alignment;
+      Alcotest.test_case "row width check" `Quick test_row_width_check;
+      Alcotest.test_case "aligns validation" `Quick test_aligns_validation;
+      Alcotest.test_case "rule insertion" `Quick test_rule_insertion;
+      Alcotest.test_case "cell formatting" `Quick test_cells;
+    ] )

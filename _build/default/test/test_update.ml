@@ -1,0 +1,173 @@
+(* Update propagation: the Figure 6 update phase, significance
+   thresholds, scheme-dependent reach. *)
+
+open Ri_content
+open Ri_core
+open Ri_topology
+open Ri_p2p
+
+(* A path network 0-1-2-...-(n-1): update reach is easy to read off. *)
+let path_net ?(n = 12) ?(per_node = 100) ?(min_update = 0.01) ?update_distance_floor
+    scheme =
+  let graph = Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let content =
+    {
+      Network.summary =
+        (fun _ -> Summary.of_counts ~total:per_node ~by_topic:[| per_node |]);
+      count_matching = (fun _ _ -> 0);
+    }
+  in
+  Network.create ~graph ~content ~scheme ~min_update ?update_distance_floor ()
+
+let bump net origin docs =
+  let counters = Message.create () in
+  let base = Network.raw_local_summary net origin in
+  let summary =
+    Summary.make
+      ~total:(base.Summary.total +. docs)
+      ~by_topic:[| Summary.get base 0 +. docs |]
+  in
+  Update.local_change net ~origin ~summary ~counters;
+  counters
+
+let test_cri_update_reaches_everyone () =
+  let net = path_net ~n:12 Scheme.Cri_kind in
+  let counters = bump net 0 50. in
+  (* One message per link, 11 links, no decay to stop it. *)
+  Alcotest.(check int) "messages" 11 counters.Message.update_messages
+
+let test_cri_update_from_middle () =
+  let net = path_net ~n:12 Scheme.Cri_kind in
+  let counters = bump net 6 50. in
+  Alcotest.(check int) "both directions" 11 counters.Message.update_messages
+
+let test_eri_update_decays () =
+  (* Fanout 4: a 64-document change is worth 64/4^d after d hops and
+     falls under the 1-document distance floor within a few hops, well
+     before the end of the path. *)
+  let net = path_net ~n:12 (Scheme.Eri_kind { fanout = 4. }) in
+  let counters = bump net 0 64. in
+  Alcotest.(check bool) "bounded reach" true
+    (counters.Message.update_messages >= 3
+    && counters.Message.update_messages <= 6)
+
+let test_hri_update_stops_at_horizon () =
+  let net = path_net ~n:12 (Scheme.Hri_kind { horizon = 3; fanout = 4. }) in
+  let counters = bump net 0 5000. in
+  (* The change rides the hop columns for [horizon] hops; the node at
+     the horizon still exports once more (the message that turns out to
+     carry no change), after which the wave is dead: horizon + 1. *)
+  Alcotest.(check int) "horizon bound" 4 counters.Message.update_messages
+
+let test_insignificant_update_travels_one_hop () =
+  (* A change below minUpdate at the first receiver stops there: the
+     origin always tells its neighbors, but they do not re-export. *)
+  let net = path_net ~n:12 ~per_node:100000 ~min_update:0.05 Scheme.Cri_kind in
+  let counters = bump net 0 30. in
+  Alcotest.(check int) "one hop only" 1 counters.Message.update_messages
+
+let test_distance_floor_stops_small_changes () =
+  let net =
+    path_net ~n:12 ~per_node:2 ~min_update:0.0001 ~update_distance_floor:10.
+      Scheme.Cri_kind
+  in
+  let counters = bump net 0 5. in
+  (* 5 documents moves entries by 5 < 10: dropped at the first hop. *)
+  Alcotest.(check int) "floored" 1 counters.Message.update_messages
+
+let test_update_applies_rows () =
+  let net = path_net ~n:4 Scheme.Cri_kind in
+  ignore (bump net 0 50.);
+  (* Node 3's row for node 2 now includes the 50 extra documents:
+     3 x 100 + 50. *)
+  match Scheme.row (Network.ri net 3) ~peer:2 with
+  | Some (Scheme.Vector s) ->
+      Alcotest.(check (float 1e-6)) "row updated" 350. s.Summary.total
+  | _ -> Alcotest.fail "missing row"
+
+let test_no_ri_update_is_free () =
+  let graph = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let content =
+    {
+      Network.summary = (fun _ -> Summary.zero ~topics:1);
+      count_matching = (fun _ _ -> 0);
+    }
+  in
+  let net = Network.create ~graph ~content () in
+  let counters = Message.create () in
+  Update.local_change net ~origin:0
+    ~summary:(Summary.of_counts ~total:5 ~by_topic:[| 5 |])
+    ~counters;
+  Alcotest.(check int) "no index, no traffic" 0 counters.Message.update_messages
+
+let test_propagate_matches_local_change_on_tree () =
+  let net_a = path_net ~n:8 Scheme.Cri_kind in
+  let net_b = path_net ~n:8 Scheme.Cri_kind in
+  let c_a = bump net_a 2 40. in
+  (* Same change via the lower-level propagate after a manual install. *)
+  let c_b = Message.create () in
+  Network.set_local_summary net_b 2 (Summary.of_counts ~total:140 ~by_topic:[| 140 |]);
+  Update.propagate net_b ~origin:2 ~counters:c_b;
+  Alcotest.(check int) "same message count"
+    c_a.Message.update_messages c_b.Message.update_messages
+
+let test_wave_budget_caps_runaway () =
+  (* A dense overlay whose mean degree far exceeds the fanout: deltas
+     amplify and only the budget stops the no-op wave. *)
+  let n = 16 in
+  let edges =
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None)
+                   (List.init n Fun.id))
+      (List.init n Fun.id)
+  in
+  let graph = Graph.of_edges ~n edges in
+  let content =
+    {
+      Network.summary = (fun _ -> Summary.of_counts ~total:100 ~by_topic:[| 100 |]);
+      count_matching = (fun _ _ -> 0);
+    }
+  in
+  let net =
+    Network.create ~graph ~content ~scheme:(Scheme.Eri_kind { fanout = 2. })
+      ~cycle_policy:Network.No_op ()
+  in
+  let counters = Message.create () in
+  let seeds =
+    Update.seeds_for_change net ~at:0 ~except:[] ~mutate:(fun () ->
+        Network.set_local_summary net 0
+          (Summary.of_counts ~total:100000 ~by_topic:[| 100000 |]))
+  in
+  Update.wave net ~seeds ~already_reached:[ 0 ] ~counters ~max_messages:500;
+  Alcotest.(check bool) "stopped by budget" true
+    (counters.Message.update_messages <= 500)
+
+let test_trial_update_counts () =
+  (* End-to-end through the simulator plumbing on a small tree. *)
+  let cfg =
+    Ri_sim.Config.scaled
+      (Ri_sim.Config.with_search Ri_sim.Config.base
+         (Ri_sim.Config.Ri Ri_sim.Config.cri))
+      ~num_nodes:200
+  in
+  let m = Ri_sim.Trial.run_update cfg ~trial:0 in
+  (* CRI floods the tree: one message per link. *)
+  Alcotest.(check int) "tree flood" 199 m.Ri_sim.Trial.update_messages;
+  Alcotest.(check (float 1.)) "bytes priced" (199. *. 1000.)
+    m.Ri_sim.Trial.update_bytes
+
+let suite =
+  ( "update",
+    [
+      Alcotest.test_case "CRI reaches everyone" `Quick test_cri_update_reaches_everyone;
+      Alcotest.test_case "CRI from the middle" `Quick test_cri_update_from_middle;
+      Alcotest.test_case "ERI decays" `Quick test_eri_update_decays;
+      Alcotest.test_case "HRI horizon bound" `Quick test_hri_update_stops_at_horizon;
+      Alcotest.test_case "minUpdate threshold" `Quick test_insignificant_update_travels_one_hop;
+      Alcotest.test_case "distance floor" `Quick test_distance_floor_stops_small_changes;
+      Alcotest.test_case "rows actually updated" `Quick test_update_applies_rows;
+      Alcotest.test_case "No-RI updates are free" `Quick test_no_ri_update_is_free;
+      Alcotest.test_case "propagate = local_change on trees" `Quick test_propagate_matches_local_change_on_tree;
+      Alcotest.test_case "wave budget" `Quick test_wave_budget_caps_runaway;
+      Alcotest.test_case "trial update plumbing" `Quick test_trial_update_counts;
+    ] )

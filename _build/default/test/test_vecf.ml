@@ -1,0 +1,85 @@
+(* Float-vector helpers behind summary arithmetic. *)
+
+open Ri_util
+
+let arr = Alcotest.(array (float 1e-9))
+
+let test_basic_ops () =
+  let a = [| 1.; 2.; 3. |] in
+  let dst = Vecf.copy a in
+  Vecf.add_into ~dst [| 1.; 1.; 1. |];
+  Alcotest.check arr "add" [| 2.; 3.; 4. |] dst;
+  Vecf.sub_into ~dst [| 2.; 3.; 4. |];
+  Alcotest.check arr "sub" [| 0.; 0.; 0. |] dst;
+  Alcotest.check arr "scale" [| 2.; 4.; 6. |] (Vecf.scale a 2.);
+  Alcotest.(check (float 1e-9)) "sum" 6. (Vecf.sum a);
+  Alcotest.check arr "zeros" [| 0.; 0. |] (Vecf.zeros 2);
+  Alcotest.check arr "map2" [| 2.; 4.; 6. |] (Vecf.map2 ( +. ) a a)
+
+let test_scale_into () =
+  let a = [| 1.; 2. |] in
+  Vecf.scale_into a 3.;
+  Alcotest.check arr "scale_into" [| 3.; 6. |] a
+
+let test_length_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vecf.add_into: length mismatch") (fun () ->
+      Vecf.add_into ~dst:[| 1. |] [| 1.; 2. |])
+
+let test_euclidean () =
+  Alcotest.(check (float 1e-9)) "3-4-5" 5.
+    (Vecf.euclidean_distance [| 0.; 0. |] [| 3.; 4. |]);
+  Alcotest.(check (float 1e-9)) "self" 0.
+    (Vecf.euclidean_distance [| 1.; 2. |] [| 1.; 2. |])
+
+let test_max_rel_diff () =
+  (* Entry 100 -> 103 is a 3% change; entry 0.5 -> 0.9 uses the floor of
+     1 in the denominator, so a 40% change. *)
+  Alcotest.(check (float 1e-9)) "relative" 0.03
+    (Vecf.max_rel_diff [| 100. |] [| 103. |]);
+  Alcotest.(check (float 1e-9)) "floored" 0.4
+    (Vecf.max_rel_diff [| 0.5 |] [| 0.9 |]);
+  Alcotest.(check (float 1e-9)) "picks worst" 0.5
+    (Vecf.max_rel_diff [| 100.; 2. |] [| 103.; 3. |])
+
+let test_approx_equal () =
+  Alcotest.(check bool) "close" true
+    (Vecf.approx_equal [| 1.; 2. |] [| 1. +. 1e-12; 2. |]);
+  Alcotest.(check bool) "far" false (Vecf.approx_equal [| 1. |] [| 2. |]);
+  Alcotest.(check bool) "length differs" false
+    (Vecf.approx_equal [| 1. |] [| 1.; 1. |])
+
+let vec_gen = QCheck.(array_of_size Gen.(int_range 1 20) (float_range (-1e3) 1e3))
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"distance is symmetric" ~count:200
+    QCheck.(pair vec_gen vec_gen)
+    (fun (a, b) ->
+      QCheck.assume (Array.length a = Array.length b);
+      Float.abs (Vecf.euclidean_distance a b -. Vecf.euclidean_distance b a)
+      < 1e-9)
+
+let prop_add_sub_roundtrip =
+  QCheck.Test.make ~name:"add then sub restores" ~count:200 vec_gen (fun a ->
+      let dst = Vecf.copy a in
+      Vecf.add_into ~dst a;
+      Vecf.sub_into ~dst a;
+      Vecf.approx_equal ~eps:1e-6 dst a)
+
+let prop_rel_diff_zero_on_self =
+  QCheck.Test.make ~name:"rel diff of a vector with itself is 0" ~count:200
+    vec_gen (fun a -> Vecf.max_rel_diff a a = 0.)
+
+let suite =
+  ( "vecf",
+    [
+      Alcotest.test_case "basic ops" `Quick test_basic_ops;
+      Alcotest.test_case "scale_into" `Quick test_scale_into;
+      Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+      Alcotest.test_case "euclidean" `Quick test_euclidean;
+      Alcotest.test_case "max_rel_diff" `Quick test_max_rel_diff;
+      Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+      QCheck_alcotest.to_alcotest prop_distance_symmetric;
+      QCheck_alcotest.to_alcotest prop_add_sub_roundtrip;
+      QCheck_alcotest.to_alcotest prop_rel_diff_zero_on_self;
+    ] )
