@@ -1,0 +1,22 @@
+.PHONY: all check test bench bench-smoke clean
+
+all:
+	dune build
+
+# Tier-1 verification: full build plus the whole test suite (which
+# includes a tiny-scale smoke run of the bench harness).
+check:
+	dune build && dune runtest
+
+test: check
+
+# Full evaluation reproduction at default scale (slow).
+bench:
+	dune exec bench/main.exe
+
+# Quick wall-clock check of the figure harness, micro section skipped.
+bench-smoke:
+	RI_NODES=2000 RI_TRIALS=5 RI_MICRO=0 dune exec bench/main.exe
+
+clean:
+	dune clean

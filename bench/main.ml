@@ -9,57 +9,61 @@
    figure (a single trial of that figure's base configuration) and a set
    of micro-benchmarks for the core operations.
 
-   Environment knobs:
-     RI_NODES   network size for part 1 (default 10000; paper uses 60000)
-     RI_TRIALS  max trials per data point (default 30; the 95%/10% CI
-                rule usually stops earlier)
-     RI_MICRO   set to 0 to skip the Bechamel section *)
+   Both parts also land in a machine-readable JSON file so runs can be
+   diffed (per-figure wall-clock seconds, per-micro ns/run).
 
+   Environment knobs:
+     RI_NODES       network size for part 1 (default 10000; paper uses 60000)
+     RI_TRIALS      max trials per data point (default 30; the 95%/10% CI
+                    rule usually stops earlier)
+     RI_JOBS        trial-level parallelism (see Ri_util.Pool)
+     RI_MICRO       set to 0 to skip the Bechamel section
+     RI_BENCH_JSON  output path for the JSON results
+                    (default BENCH_results.json; empty disables) *)
+
+open Ri_util
 open Ri_sim
 
-let getenv_int name default =
-  match Sys.getenv_opt name with
-  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
-  | None -> default
+let nodes = Env.int "RI_NODES" 10000
 
-let nodes = getenv_int "RI_NODES" 10000
-
-let spec =
-  let s = Runner.spec_of_env () in
-  { s with Runner.max_trials = getenv_int "RI_TRIALS" s.Runner.max_trials }
+let spec = Runner.spec_of_env ()
 
 let base = Config.scaled Config.base ~num_nodes:nodes
 
+let json_path = Env.string "RI_BENCH_JSON" "BENCH_results.json"
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's figures.                                        *)
+
+let figure_seconds : (string * float) list ref = ref []
+
+let run_section entries =
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.Ri_experiments.Registry.run ~base ~spec in
+      let dt = Unix.gettimeofday () -. t0 in
+      figure_seconds := (e.Ri_experiments.Registry.id, dt) :: !figure_seconds;
+      Ri_experiments.Report.print report;
+      Printf.printf "(%.1fs)\n\n%!" dt)
+    entries
 
 let run_figures () =
   Printf.printf
     "=====================================================================\n\
      Routing Indices for Peer-to-Peer Systems - evaluation reproduction\n\
-     NumNodes=%d  QR=%d  trials<=%d  target CI rel-error<=%.0f%%\n\
+     NumNodes=%d  QR=%d  trials<=%d  target CI rel-error<=%.0f%%  jobs=%d\n\
      (paper scale is NumNodes=60000; shapes, not absolute counts, carry)\n\
      =====================================================================\n\n"
     base.Config.num_nodes base.Config.query_results spec.Runner.max_trials
-    (100. *. spec.Runner.target_rel_error);
-  List.iter
-    (fun e ->
-      let t0 = Unix.gettimeofday () in
-      let report = e.Ri_experiments.Registry.run ~base ~spec in
-      Ri_experiments.Report.print report;
-      Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
-    Ri_experiments.Registry.all;
+    (100. *. spec.Runner.target_rel_error)
+    (Pool.jobs (Pool.global ()));
+  run_section Ri_experiments.Registry.all;
   Printf.printf
     "---------------------------------------------------------------------\n\
      Extensions the paper sketches but does not evaluate (ablations)\n\
      ---------------------------------------------------------------------\n\n";
-  List.iter
-    (fun e ->
-      let t0 = Unix.gettimeofday () in
-      let report = e.Ri_experiments.Registry.run ~base ~spec in
-      Ri_experiments.Report.print report;
-      Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
-    Ri_experiments.Registry.extensions
+  run_section Ri_experiments.Registry.extensions
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings.                                           *)
@@ -174,7 +178,7 @@ let run_bechamel () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
   let raw = Benchmark.all cfg instances test in
   match List.map (fun instance -> Analyze.all ols instance raw) instances with
-  | [] -> ()
+  | [] -> []
   | clock_results :: _ ->
       let rows = ref [] in
       Hashtbl.iter
@@ -196,8 +200,48 @@ let run_bechamel () =
           in
           Printf.printf "%-36s %16s\n" name pretty)
         rows;
-      print_newline ()
+      print_newline ();
+      rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON results file.                                                  *)
+
+(* Tiny hand-rolled emitter: the only strings are our own benchmark ids
+   (alphanumerics and dashes), so escaping is a non-issue. *)
+let write_json ~figures ~micro =
+  if json_path <> "" then begin
+    let buf = Buffer.create 4096 in
+    let entry fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    entry "{\n";
+    entry "  \"unix_time\": %.0f,\n" (Unix.time ());
+    entry "  \"config\": {\n";
+    entry "    \"nodes\": %d,\n" nodes;
+    entry "    \"max_trials\": %d,\n" spec.Runner.max_trials;
+    entry "    \"target_rel_error\": %g,\n" spec.Runner.target_rel_error;
+    entry "    \"jobs\": %d\n" (Pool.jobs (Pool.global ()));
+    entry "  },\n";
+    entry "  \"figures_wall_clock_s\": {\n";
+    let n = List.length figures in
+    List.iteri
+      (fun i (id, s) ->
+        entry "    \"%s\": %.3f%s\n" id s (if i = n - 1 then "" else ","))
+      figures;
+    entry "  },\n";
+    entry "  \"micro_ns_per_run\": {\n";
+    let n = List.length micro in
+    List.iteri
+      (fun i (name, ns) ->
+        entry "    \"%s\": %.1f%s\n" name ns (if i = n - 1 then "" else ","))
+      micro;
+    entry "  }\n";
+    entry "}\n";
+    let oc = open_out json_path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "results written to %s\n%!" json_path
+  end
 
 let () =
   run_figures ();
-  if getenv_int "RI_MICRO" 1 = 1 then run_bechamel ()
+  let micro = if Env.int ~min:0 "RI_MICRO" 1 <> 0 then run_bechamel () else [] in
+  write_json ~figures:(List.rev !figure_seconds) ~micro

@@ -70,6 +70,16 @@ let spec_of trials rel_error =
     target_rel_error = rel_error;
   }
 
+let jobs_t =
+  let doc =
+    "Domains used to run trials in parallel (0 = the RI_JOBS environment \
+     variable, or all cores minus one).  Results are bit-identical at \
+     any width; use $(b,--jobs)=1 to force the sequential path."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"J" ~doc)
+
+let apply_jobs jobs = if jobs > 0 then Ri_util.Pool.set_global_jobs jobs
+
 (* ------------------------------------------------------------------ *)
 (* Subcommands.                                                        *)
 
@@ -144,19 +154,23 @@ let run_cmd =
     let doc = "Experiment id(s), e.g. fig13 (see `risim list')." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run ids nodes seed trials rel_error csv_dir =
+  let run ids nodes seed trials rel_error csv_dir jobs =
+    apply_jobs jobs;
     run_experiments ?csv_dir ids nodes seed trials rel_error
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Reproduce one or more of the paper's figures")
     Term.(
-      ret (const run $ ids_t $ nodes_t $ seed_t $ trials_t $ rel_error_t $ csv_dir_t))
+      ret
+        (const run $ ids_t $ nodes_t $ seed_t $ trials_t $ rel_error_t
+       $ csv_dir_t $ jobs_t))
 
 let all_cmd =
   let with_extensions_t =
     Arg.(value & flag & info [ "extensions" ] ~doc:"Also run the ablations.")
   in
-  let run nodes seed trials rel_error with_extensions =
+  let run nodes seed trials rel_error with_extensions jobs =
+    apply_jobs jobs;
     let ids =
       Ri_experiments.Registry.ids
       @ if with_extensions then Ri_experiments.Registry.extension_ids else []
@@ -167,7 +181,9 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every figure of the evaluation section")
-    Term.(const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ with_extensions_t)
+    Term.(
+      const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ with_extensions_t
+      $ jobs_t)
 
 let query_cmd =
   let run nodes seed topology search trial =

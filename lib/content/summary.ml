@@ -50,13 +50,36 @@ let selectivity t i =
 
 let as_vector t = Array.append [| t.total |] t.by_topic
 
+(* Both metrics treat the summary as the vector [total; by_topic...]
+   but walk the fields directly: update waves evaluate them per
+   delivered message, and materializing the appended vector twice per
+   call dominates their cost. *)
 let max_rel_diff a b =
   check_width a b "max_rel_diff";
-  Vecf.max_rel_diff (as_vector a) (as_vector b)
+  let worst = ref 0. in
+  let slot old_ new_ =
+    let denom = Float.max (Float.abs old_) 1. in
+    let d = Float.abs (new_ -. old_) /. denom in
+    if d > !worst then worst := d
+  in
+  slot a.total b.total;
+  for i = 0 to Array.length a.by_topic - 1 do
+    slot a.by_topic.(i) b.by_topic.(i)
+  done;
+  !worst
 
 let euclidean_distance a b =
   check_width a b "euclidean_distance";
-  Vecf.euclidean_distance (as_vector a) (as_vector b)
+  let acc = ref 0. in
+  let slot x y =
+    let d = x -. y in
+    acc := !acc +. (d *. d)
+  in
+  slot a.total b.total;
+  for i = 0 to Array.length a.by_topic - 1 do
+    slot a.by_topic.(i) b.by_topic.(i)
+  done;
+  sqrt !acc
 
 let approx_equal ?eps a b =
   topics a = topics b && Vecf.approx_equal ?eps (as_vector a) (as_vector b)

@@ -35,18 +35,35 @@ let remove_row t ~peer = Hashtbl.remove t.rows peer
 let peers t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
 
+let peer_count t = Hashtbl.length t.rows
+
 (* Raw (unclamped) summary subtraction: valid here because every row is a
    term of the aggregate, so the difference is non-negative up to float
-   rounding, which we clamp away. *)
+   rounding, which we clamp away.  Built directly (no [Summary.make]):
+   this runs per peer per export, and make's defensive copy plus
+   validation scan would double its cost. *)
 let minus (a : Summary.t) (b : Summary.t) =
-  Summary.make
-    ~total:(Float.max 0. (a.total -. b.total))
-    ~by_topic:
-      (Array.init (Array.length a.by_topic) (fun i ->
-           Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))))
+  let n = Array.length a.by_topic in
+  let by_topic = Array.make n 0. in
+  for i = 0 to n - 1 do
+    by_topic.(i) <- Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))
+  done;
+  { Summary.total = Float.max 0. (a.total -. b.total); by_topic }
 
+(* Accumulate in place: exporting runs once per node per index build, so
+   one allocation here instead of one per row matters at network scale. *)
 let aggregate_with_local t =
-  Hashtbl.fold (fun _ r acc -> Summary.add acc r) t.rows t.local
+  let by_topic = Array.copy t.local.Summary.by_topic in
+  let total = ref t.local.Summary.total in
+  Hashtbl.iter
+    (fun _ (r : Summary.t) ->
+      total := !total +. r.total;
+      let bt = r.by_topic in
+      for i = 0 to Array.length by_topic - 1 do
+        by_topic.(i) <- by_topic.(i) +. bt.(i)
+      done)
+    t.rows;
+  { Summary.total = !total; by_topic }
 
 let export t ~exclude =
   let all = aggregate_with_local t in
@@ -63,3 +80,6 @@ let goodness t ~peer ~query =
   match row t ~peer with
   | None -> 0.
   | Some r -> Estimator.goodness r query
+
+let iter_goodness t ~query f =
+  Hashtbl.iter (fun p r -> f p (Estimator.goodness r query)) t.rows

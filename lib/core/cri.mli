@@ -34,6 +34,9 @@ val remove_row : t -> peer:int -> unit
 val peers : t -> int list
 (** Neighbors with a row, in increasing id order. *)
 
+val peer_count : t -> int
+(** Number of neighbors with a row, without building the list. *)
+
 val export : t -> exclude:int option -> Ri_content.Summary.t
 (** The aggregated RI sent to a neighbor: local summary plus every row
     except [exclude]'s.  In the paper's Figure 5, A aggregates rows
@@ -46,3 +49,8 @@ val export_all : t -> (int * Ri_content.Summary.t) list
 
 val goodness : t -> peer:int -> query:int list -> float
 (** {!Estimator.goodness} of the peer's row; [0.] for an unknown peer. *)
+
+val iter_goodness : t -> query:int list -> (int -> float -> unit) -> unit
+(** Call [f peer goodness] for every peer with a row, in unspecified
+    order and without the per-peer lookup of {!goodness} — the
+    forwarding hot path. *)

@@ -39,35 +39,73 @@ let remove_row t ~peer = Hashtbl.remove t.rows peer
 let peers t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
 
-let minus (a : Summary.t) (b : Summary.t) =
-  Summary.make
-    ~total:(Float.max 0. (a.total -. b.total))
-    ~by_topic:
-      (Array.init (Array.length a.by_topic) (fun i ->
-           Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))))
+let peer_count t = Hashtbl.length t.rows
 
+(* One allocation per aggregate, not one per row — exports run once per
+   node per index build. *)
 let aggregate_rows t =
-  Hashtbl.fold (fun _ r acc -> Summary.add acc r) t.rows
-    (Summary.zero ~topics:t.width)
+  let by_topic = Array.make t.width 0. in
+  let total = ref 0. in
+  Hashtbl.iter
+    (fun _ (r : Summary.t) ->
+      total := !total +. r.total;
+      let bt = r.by_topic in
+      for i = 0 to t.width - 1 do
+        by_topic.(i) <- by_topic.(i) +. bt.(i)
+      done)
+    t.rows;
+  { Summary.total = !total; by_topic }
 
-let finish t rest = Summary.add t.local (Summary.scale rest (1. /. t.fanout))
+(* [finish t rest] is local + rest/F.  Fused with the per-peer
+   subtraction into one pass: exports run per peer per wave message, and
+   the three intermediate summaries (minus, scale, add) would triple the
+   allocation. *)
+let finish t (rest : Summary.t) =
+  let k = 1. /. t.fanout in
+  let local = t.local in
+  let lbt = local.Summary.by_topic and rbt = rest.Summary.by_topic in
+  let by_topic = Array.make t.width 0. in
+  for i = 0 to t.width - 1 do
+    by_topic.(i) <- lbt.(i) +. (rbt.(i) *. k)
+  done;
+  { Summary.total = local.Summary.total +. (rest.Summary.total *. k); by_topic }
+
+(* local + (agg - row)/F in a single pass. *)
+let finish_without t (agg : Summary.t) (r : Summary.t) =
+  let k = 1. /. t.fanout in
+  let local = t.local in
+  let lbt = local.Summary.by_topic
+  and abt = agg.Summary.by_topic
+  and rbt = r.Summary.by_topic in
+  let by_topic = Array.make t.width 0. in
+  for i = 0 to t.width - 1 do
+    by_topic.(i) <- lbt.(i) +. (Float.max 0. (abt.(i) -. rbt.(i)) *. k)
+  done;
+  {
+    Summary.total =
+      local.Summary.total
+      +. (Float.max 0. (agg.Summary.total -. r.Summary.total) *. k);
+    by_topic;
+  }
 
 let export t ~exclude =
-  let rest =
-    let agg = aggregate_rows t in
-    match exclude with
-    | None -> agg
-    | Some peer -> (
-        match row t ~peer with None -> agg | Some r -> minus agg r)
-  in
-  finish t rest
+  let agg = aggregate_rows t in
+  match exclude with
+  | None -> finish t agg
+  | Some peer -> (
+      match row t ~peer with
+      | None -> finish t agg
+      | Some r -> finish_without t agg r)
 
 let export_all t =
   let agg = aggregate_rows t in
   peers t
-  |> List.map (fun p -> (p, finish t (minus agg (Hashtbl.find t.rows p))))
+  |> List.map (fun p -> (p, finish_without t agg (Hashtbl.find t.rows p)))
 
 let goodness t ~peer ~query =
   match row t ~peer with
   | None -> 0.
   | Some r -> Estimator.goodness r query
+
+let iter_goodness t ~query f =
+  Hashtbl.iter (fun p r -> f p (Estimator.goodness r query)) t.rows

@@ -36,6 +36,8 @@ val remove_row : t -> peer:int -> unit
 
 val peers : t -> int list
 
+val peer_count : t -> int
+
 val export : t -> exclude:int option -> Ri_content.Summary.t
 (** [local + (Σ rows except exclude) / F]. *)
 
@@ -45,3 +47,7 @@ val goodness : t -> peer:int -> query:int list -> float
 (** {!Estimator.goodness} applied to the (discounted) row; for a
     single-topic query this is exactly the stored entry, e.g. 16.33 for
     "DB" through X in the paper's Figure 9. *)
+
+val iter_goodness : t -> query:int list -> (int -> float -> unit) -> unit
+(** [f peer goodness] for every peer with a row, in unspecified order,
+    skipping the per-peer lookup of {!goodness}. *)

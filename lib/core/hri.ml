@@ -55,24 +55,38 @@ let remove_row t ~peer = Hashtbl.remove t.rows peer
 let peers t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
 
-let minus (a : Summary.t) (b : Summary.t) =
-  Summary.make
-    ~total:(Float.max 0. (a.total -. b.total))
-    ~by_topic:
-      (Array.init (Array.length a.by_topic) (fun i ->
-           Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))))
+let peer_count t = Hashtbl.length t.rows
 
-(* Sum of all rows, per slot. *)
+(* Clamped subtraction, built without [Summary.make]'s copy/validate:
+   runs per (peer, hop slot) per export. *)
+let minus (a : Summary.t) (b : Summary.t) =
+  let n = Array.length a.by_topic in
+  let by_topic = Array.make n 0. in
+  for i = 0 to n - 1 do
+    by_topic.(i) <- Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))
+  done;
+  { Summary.total = Float.max 0. (a.total -. b.total); by_topic }
+
+(* Sum of all rows, per slot, accumulated in place: one allocation per
+   slot instead of one per (row, slot), since exports run once per node
+   per index build. *)
 let aggregate_rows t =
   let len = row_length t in
-  let acc = Array.init len (fun _ -> Summary.zero ~topics:t.width) in
+  let totals = Array.make len 0. in
+  let by_topic = Array.init len (fun _ -> Array.make t.width 0.) in
   Hashtbl.iter
     (fun _ r ->
       for h = 0 to len - 1 do
-        acc.(h) <- Summary.add acc.(h) r.(h)
+        let (s : Summary.t) = r.(h) in
+        totals.(h) <- totals.(h) +. s.total;
+        let bt = s.by_topic
+        and acc = by_topic.(h) in
+        for i = 0 to t.width - 1 do
+          acc.(i) <- acc.(i) +. bt.(i)
+        done
       done)
     t.rows;
-  acc
+  Array.init len (fun h -> { Summary.total = totals.(h); by_topic = by_topic.(h) })
 
 (* Shift the aggregate one hop outward.  Plain HRI discards the column
    that crosses the horizon; the hybrid merges it into the tail slot, so
@@ -106,16 +120,21 @@ let export_all t =
          let without = Array.mapi (fun h s -> minus s r.(h)) agg in
          (p, shift_with_local t without))
 
+(* In hybrid mode the tail slot sits at index [horizon] and is
+   discounted as if everything in it were horizon+1 hops away — the
+   hop_count_goodness formula already does exactly that for a per-hop
+   array one slot longer. *)
+let goodness_of_row t r query =
+  let per_hop = Array.map (fun s -> Estimator.goodness s query) r in
+  Cost_model.hop_count_goodness t.cost ~per_hop_goodness:per_hop
+
 let goodness t ~peer ~query =
   match row t ~peer with
   | None -> 0.
-  | Some r ->
-      (* In hybrid mode the tail slot sits at index [horizon] and is
-         discounted as if everything in it were horizon+1 hops away —
-         the hop_count_goodness formula already does exactly that for a
-         per-hop array one slot longer. *)
-      let per_hop = Array.map (fun s -> Estimator.goodness s query) r in
-      Cost_model.hop_count_goodness t.cost ~per_hop_goodness:per_hop
+  | Some r -> goodness_of_row t r query
+
+let iter_goodness t ~query f =
+  Hashtbl.iter (fun p r -> f p (goodness_of_row t r query)) t.rows
 
 let total_beyond_hop t ~peer ~hop =
   match row t ~peer with

@@ -59,6 +59,8 @@ val remove_row : t -> peer:int -> unit
 
 val peers : t -> int list
 
+val peer_count : t -> int
+
 val export : t -> exclude:int option -> Ri_content.Summary.t array
 (** The shifted aggregate sent to a neighbor: slot 0 = local summary,
     slot [h] = sum over the non-excluded rows' slot [h-1]; the last
@@ -69,6 +71,10 @@ val export_all : t -> (int * Ri_content.Summary.t array) list
 
 val goodness : t -> peer:int -> query:int list -> float
 (** Cost-model-discounted goodness; [0.] for an unknown peer. *)
+
+val iter_goodness : t -> query:int list -> (int -> float -> unit) -> unit
+(** [f peer goodness] for every peer with a row, in unspecified order,
+    skipping the per-peer lookup of {!goodness}. *)
 
 val total_beyond_hop : t -> peer:int -> hop:int -> float
 (** Documents recorded strictly beyond [hop] through [peer] — used by

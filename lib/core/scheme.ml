@@ -103,12 +103,49 @@ let goodness t ~peer ~query =
   | H h -> Hri.goodness h ~peer ~query
   | E e -> Eri.goodness e ~peer ~query
 
+let peer_count = function
+  | C c -> Cri.peer_count c
+  | H h -> Hri.peer_count h
+  | E e -> Eri.peer_count e
+
+let iter_goodness t ~query f =
+  match t with
+  | C c -> Cri.iter_goodness c ~query f
+  | H h -> Hri.iter_goodness h ~query f
+  | E e -> Eri.iter_goodness e ~query f
+
+(* Goodness descending, peer id ascending: a total order over distinct
+   peers, so the ranking is independent of row iteration order. *)
+let compare_ranked (p1, g1) (p2, g2) =
+  match Float.compare g2 g1 with 0 -> compare p1 p2 | c -> c
+
+let rank_array t ~query ~keep =
+  let buf = Array.make (peer_count t) (0, 0.) in
+  let count = ref 0 in
+  iter_goodness t ~query (fun p g ->
+      if keep p then begin
+        buf.(!count) <- (p, g);
+        incr count
+      end);
+  let arr = if !count = Array.length buf then buf else Array.sub buf 0 !count in
+  Array.sort compare_ranked arr;
+  arr
+
+let rank_peers t ~query ~keep =
+  Array.fold_right (fun (p, _) acc -> p :: acc) (rank_array t ~query ~keep) []
+
 let rank t ~query ~exclude =
-  peers t
-  |> List.filter (fun p -> not (List.mem p exclude))
-  |> List.map (fun p -> (p, goodness t ~peer:p ~query))
-  |> List.stable_sort (fun (p1, g1) (p2, g2) ->
-         match Float.compare g2 g1 with 0 -> compare p1 p2 | c -> c)
+  let keep =
+    match exclude with
+    | [] -> fun _ -> true
+    | excl ->
+        (* Exclude lists are tiny (typically 0-2 entries); a scan over a
+           sorted array beats the old per-peer [List.mem]. *)
+        let excl = Array.of_list excl in
+        Array.sort compare excl;
+        fun p -> not (Array.exists (Int.equal p) excl)
+  in
+  Array.to_list (rank_array t ~query ~keep)
 
 let payload_zero k ~width =
   match k with

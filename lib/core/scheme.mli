@@ -55,10 +55,25 @@ val export_all : t -> (int * payload) list
 
 val goodness : t -> peer:int -> query:int list -> float
 
+val peer_count : t -> int
+(** Number of peers with a row, without building the list. *)
+
+val iter_goodness : t -> query:int list -> (int -> float -> unit) -> unit
+(** [f peer goodness] for every peer with a row, in unspecified order —
+    one pass over the rows, no per-peer lookups. *)
+
 val rank : t -> query:int list -> exclude:int list -> (int * float) list
 (** Peers ordered by decreasing goodness for the query, [exclude]d peers
     omitted.  Ties break toward the smaller peer id, keeping runs
     deterministic. *)
+
+val rank_array : t -> query:int list -> keep:(int -> bool) -> (int * float) array
+(** {!rank} as a single array pass: peers satisfying [keep], ordered by
+    decreasing goodness (ties toward the smaller id).  The allocation-
+    light form used on the per-hop forwarding path. *)
+
+val rank_peers : t -> query:int list -> keep:(int -> bool) -> int list
+(** The peer ids of {!rank_array}, in rank order. *)
 
 (** {2 Payload utilities} *)
 

@@ -1,10 +1,19 @@
 (** Shared helpers for the per-figure experiment modules. *)
 
-val query_messages : Ri_sim.Config.t -> spec:Ri_sim.Runner.spec -> Ri_util.Stats.summary
+val query_messages :
+  ?pool:Ri_util.Pool.t ->
+  Ri_sim.Config.t ->
+  spec:Ri_sim.Runner.spec ->
+  Ri_util.Stats.summary
 (** Mean query-processing messages over trials, run to the confidence
-    target. *)
+    target.  Trials execute on [pool] (default the global [RI_JOBS]
+    pool). *)
 
-val update_messages : Ri_sim.Config.t -> spec:Ri_sim.Runner.spec -> Ri_util.Stats.summary
+val update_messages :
+  ?pool:Ri_util.Pool.t ->
+  Ri_sim.Config.t ->
+  spec:Ri_sim.Runner.spec ->
+  Ri_util.Stats.summary
 (** Mean messages for one propagated batch of updates. *)
 
 val ri_searches : Ri_sim.Config.t -> (string * Ri_sim.Config.search) list

@@ -67,18 +67,25 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~forwarding 
     let is_candidate v = v <> from && sends u v < max_sends in
     match forwarding with
     | Random_walk ->
-        let cands =
-          Array.of_seq
-            (Seq.filter is_candidate (Array.to_seq (Network.neighbors net u)))
-        in
+        let nbrs = Network.neighbors net u in
+        let count = ref 0 in
+        Array.iter (fun v -> if is_candidate v then incr count) nbrs;
+        let cands = Array.make !count 0 in
+        let i = ref 0 in
+        Array.iter
+          (fun v ->
+            if is_candidate v then begin
+              cands.(!i) <- v;
+              incr i
+            end)
+          nbrs;
         Prng.shuffle_in_place rng cands;
         Array.to_list cands
     | Ri_guided ->
         (* Only neighbors the RI knows about are candidates: on a rooted
            construction that is exactly the downstream neighbors, and on
            a converged network every link has a row. *)
-        Scheme.rank (Network.ri net u) ~query:projected ~exclude:[]
-        |> List.filter_map (fun (p, _) -> if is_candidate p then Some p else None)
+        Scheme.rank_peers (Network.ri net u) ~query:projected ~keep:is_candidate
   in
   process_visit origin;
   let stack = ref [] in
@@ -165,19 +172,19 @@ let run_parallel net ~origin ~query ~branch =
       let next = ref [] in
       List.iter
         (fun (u, from) ->
-          let best =
-            Scheme.rank (Network.ri net u) ~query:projected ~exclude:[]
-            |> List.filter (fun (p, _) -> p <> from)
-            |> List.filteri (fun i _ -> i < branch)
+          let ranked =
+            Scheme.rank_array (Network.ri net u) ~query:projected
+              ~keep:(fun p -> p <> from)
           in
-          List.iter
-            (fun (v, _) ->
-              counters.query_forwards <- counters.query_forwards + 1;
-              if not visited.(v) then begin
-                process v;
-                next := (v, u) :: !next
-              end)
-            best)
+          let limit = min branch (Array.length ranked) in
+          for i = 0 to limit - 1 do
+            let v, _ = ranked.(i) in
+            counters.query_forwards <- counters.query_forwards + 1;
+            if not visited.(v) then begin
+              process v;
+              next := (v, u) :: !next
+            end
+          done)
         frontier;
       expand !next (rounds + 1)
     end

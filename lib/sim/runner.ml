@@ -5,31 +5,41 @@ type spec = { min_trials : int; max_trials : int; target_rel_error : float }
 let default_spec = { min_trials = 5; max_trials = 30; target_rel_error = 0.1 }
 
 let spec_of_env () =
-  match Sys.getenv_opt "RI_TRIALS" with
-  | None -> default_spec
-  | Some s -> (
-      match int_of_string_opt s with
-      | Some m when m >= 1 ->
-          { default_spec with max_trials = m; min_trials = min default_spec.min_trials m }
-      | _ -> default_spec)
+  let m = Env.int ~min:1 "RI_TRIALS" default_spec.max_trials in
+  { default_spec with max_trials = m; min_trials = min default_spec.min_trials m }
 
-let run spec f =
+(* Trials run in waves so the adaptive stopping rule stays deterministic
+   under parallel execution: the first wave is [min_trials], every later
+   wave is a fixed-size batch, and convergence is only checked at wave
+   boundaries.  Wave size never depends on the pool width, and the wave's
+   observations fold into the accumulator in trial-index order, so
+   [RI_JOBS=4] and [RI_JOBS=1] produce bit-identical summaries.  The
+   price is a bounded overshoot: up to [wave_batch - 1] extra trials
+   compared to checking after every single one. *)
+let wave_batch = 4
+
+let run ?pool spec f =
   if spec.min_trials < 1 || spec.max_trials < spec.min_trials then
     invalid_arg "Runner.run: bad trial bounds";
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   let acc = Stats.Acc.create () in
-  let rec go trial =
-    if trial >= spec.max_trials then ()
-    else begin
-      Stats.Acc.add acc (f ~trial);
-      if
-        Stats.Acc.count acc >= spec.min_trials
-        && Stats.converged ~target:spec.target_rel_error
-             ~min_obs:spec.min_trials acc
-      then ()
-      else go (trial + 1)
-    end
-  in
-  go 0;
+  let next = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !next < spec.max_trials do
+    let wave =
+      if !next = 0 then min spec.min_trials spec.max_trials
+      else min wave_batch (spec.max_trials - !next)
+    in
+    let base = !next in
+    let obs = Pool.map_chunked ~chunk:1 pool ~n:wave (fun i -> f ~trial:(base + i)) in
+    Array.iter (Stats.Acc.add acc) obs;
+    next := base + wave;
+    if
+      Stats.Acc.count acc >= spec.min_trials
+      && Stats.converged ~target:spec.target_rel_error ~min_obs:spec.min_trials
+           acc
+    then converged := true
+  done;
   Stats.summarize acc
 
-let mean spec f = (run spec f).Stats.mean
+let mean ?pool spec f = (run ?pool spec f).Stats.mean

@@ -28,7 +28,9 @@ let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Trial.build: " ^ msg));
   (* One master stream per (seed, trial); independent substreams per
-     subsystem so changes in one never perturb the others. *)
+     subsystem so changes in one never perturb the others.  The split
+     states are fixed once the master is seeded, so a substream left
+     unused on a cache hit never perturbs the others. *)
   let master = Prng.create (cfg.seed + (trial * 0x9e3779b)) in
   let topo_rng = Prng.split master in
   let place_rng = Prng.split master in
@@ -36,18 +38,52 @@ let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
   let net_rng = Prng.split master in
   let trial_rng = Prng.split master in
   let universe = Topic.make cfg.topics in
-  let graph = topology_graph cfg topo_rng in
+  let graph =
+    Setup_cache.graph
+      {
+        Setup_cache.g_topology = cfg.topology;
+        g_num_nodes = cfg.num_nodes;
+        g_fanout = cfg.fanout;
+        g_exponent = cfg.outdegree_exponent;
+        g_seed = cfg.seed;
+        g_trial = trial;
+      }
+      (fun () -> topology_graph cfg topo_rng)
+  in
+  (* The query's stop condition is carried in the config, not drawn from
+     the stream, so the cached draw is shared across stop sweeps and the
+     query record is rebuilt with the right stop below. *)
+  let draw =
+    Setup_cache.content
+      {
+        Setup_cache.c_num_nodes = cfg.num_nodes;
+        c_topics = cfg.topics;
+        c_query_results = cfg.query_results;
+        c_distribution = cfg.distribution;
+        c_background = cfg.background_per_node;
+        c_seed = cfg.seed;
+        c_trial = trial;
+      }
+      (fun () ->
+        let query =
+          Workload.random_single query_rng universe ~stop:cfg.stop_condition
+        in
+        let placement =
+          Placement.distribute place_rng ~universe ~n:cfg.num_nodes
+            ~query_topics:query.topics ~results:cfg.query_results
+            ~distribution:cfg.distribution
+            ~background_per_node:cfg.background_per_node ()
+        in
+        let origin = Prng.int query_rng cfg.num_nodes in
+        { Setup_cache.query_topics = query.topics; placement; origin })
+  in
   let query =
-    Workload.random_single query_rng universe ~stop:cfg.stop_condition
+    Workload.query ~topics:draw.Setup_cache.query_topics
+      ~stop:cfg.stop_condition
   in
-  let placement =
-    Placement.distribute place_rng ~universe ~n:cfg.num_nodes
-      ~query_topics:query.topics ~results:cfg.query_results
-      ~distribution:cfg.distribution
-      ~background_per_node:cfg.background_per_node ()
-  in
+  let placement = draw.Setup_cache.placement in
   let content = Network.content_of_placement placement in
-  let origin = Prng.int query_rng cfg.num_nodes in
+  let origin = draw.Setup_cache.origin in
   let mode =
     match purpose with
     | For_update -> Network.Converged

@@ -1,0 +1,18 @@
+let int ?(min = 1) name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= min -> v
+      | Some _ | None -> default)
+
+let float ?(min = 0.) name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some v when v >= min -> v
+      | Some _ | None -> default)
+
+let string name default =
+  match Sys.getenv_opt name with Some s -> s | None -> default

@@ -1,0 +1,19 @@
+(** Environment-variable knobs, parsed one way everywhere.
+
+    The simulator exposes a handful of tuning variables ([RI_NODES],
+    [RI_TRIALS], [RI_JOBS], [RI_MICRO], ...); every consumer used to
+    hand-roll its own parser.  These helpers centralize the policy: an
+    unset, unparsable or out-of-range value silently falls back to the
+    default, so a typo degrades to the documented behavior instead of
+    crashing a long batch run. *)
+
+val int : ?min:int -> string -> int -> int
+(** [int name default] is the value of environment variable [name]
+    parsed as an integer, or [default] when unset, unparsable, or below
+    [min] (default [1] — most knobs are positive counts). *)
+
+val float : ?min:float -> string -> float -> float
+(** [float name default], same policy; [min] defaults to [0.]. *)
+
+val string : string -> string -> string
+(** [string name default] is the raw value, or [default] when unset. *)

@@ -1,0 +1,169 @@
+(* A hand-rolled fixed-size domain pool (Domainslib is not available in
+   this tree).  [jobs - 1] worker domains block on a condition variable;
+   each submitted job is a counted range [0, n) that workers and the
+   submitting domain drain together by claiming [chunk]-sized slices
+   from an atomic cursor.  With [jobs = 1] no domains exist and every
+   job runs inline on the caller, which keeps the sequential path free
+   of synchronization overhead. *)
+
+type job = {
+  run : int -> unit;
+  n : int;
+  chunk : int;
+  next : int Atomic.t;  (* first unclaimed index *)
+  remaining : int Atomic.t;  (* indices claimed but not yet credited *)
+  mutable failed : exn option;  (* first failure; protected by the pool mutex *)
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  has_work : Condition.t;
+  finished : Condition.t;
+  mutable job : job option;
+  mutable gen : int;  (* bumped once per submitted job *)
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let record_failure t j e =
+  Mutex.lock t.m;
+  if j.failed = None then j.failed <- Some e;
+  Mutex.unlock t.m
+
+(* Drain the current job: claim chunks until the cursor passes [n].
+   Whoever credits the last index broadcasts completion.  A failing item
+   is recorded but does not abandon the job — the range must be fully
+   credited or the submitter would wait forever. *)
+let execute t j =
+  let rec claim () =
+    let start = Atomic.fetch_and_add j.next j.chunk in
+    if start < j.n then begin
+      let stop = min j.n (start + j.chunk) in
+      (try
+         for i = start to stop - 1 do
+           j.run i
+         done
+       with e -> record_failure t j e);
+      let credited = stop - start in
+      if Atomic.fetch_and_add j.remaining (-credited) = credited then begin
+        Mutex.lock t.m;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.m
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let rec worker t seen =
+  Mutex.lock t.m;
+  while (not t.stopped) && (t.gen = seen || t.job = None) do
+    Condition.wait t.has_work t.m
+  done;
+  if t.stopped then Mutex.unlock t.m
+  else begin
+    let gen = t.gen in
+    let j = Option.get t.job in
+    Mutex.unlock t.m;
+    execute t j;
+    worker t gen
+  end
+
+let create ~jobs:requested =
+  let jobs = max 1 requested in
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      has_work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      gen = 0;
+      stopped = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.stopped then Mutex.unlock t.m
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let iter ?(chunk = 1) t ~n f =
+  if n < 0 then invalid_arg "Pool.iter: negative n";
+  if t.stopped then invalid_arg "Pool.iter: pool is shut down";
+  let chunk = max 1 chunk in
+  if n > 0 then
+    if t.jobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let j =
+        {
+          run = f;
+          n;
+          chunk;
+          next = Atomic.make 0;
+          remaining = Atomic.make n;
+          failed = None;
+        }
+      in
+      Mutex.lock t.m;
+      t.job <- Some j;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.m;
+      execute t j;
+      Mutex.lock t.m;
+      while Atomic.get j.remaining > 0 do
+        Condition.wait t.finished t.m
+      done;
+      t.job <- None;
+      Mutex.unlock t.m;
+      match j.failed with Some e -> raise e | None -> ()
+    end
+
+let map_chunked ?chunk t ~n f =
+  if n < 0 then invalid_arg "Pool.map_chunked: negative n";
+  let out = Array.make n None in
+  iter ?chunk t ~n (fun i -> out.(i) <- Some (f i));
+  Array.map (function Some v -> v | None -> assert false) out
+
+let default_jobs () =
+  Env.int ~min:1 "RI_JOBS" (max 1 (Domain.recommended_domain_count () - 1))
+
+let global_pool = ref None
+
+let global () =
+  match !global_pool with
+  | Some p -> p
+  | None ->
+      let p = create ~jobs:(default_jobs ()) in
+      global_pool := Some p;
+      p
+
+let set_global_jobs jobs =
+  (match !global_pool with Some p -> shutdown p | None -> ());
+  global_pool := Some (create ~jobs)
+
+let with_pool ~jobs f =
+  let p = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+(* Worker domains block forever on [has_work]; without this the process
+   would never terminate once the global pool has been forced. *)
+let () =
+  at_exit (fun () ->
+      match !global_pool with Some p -> shutdown p | None -> ())

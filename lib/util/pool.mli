@@ -1,0 +1,51 @@
+(** Fixed-size domain pool for embarrassingly parallel index ranges.
+
+    Simulation trials are independently seeded, so whole waves of them
+    can run on separate OCaml 5 domains.  A pool owns [jobs - 1] worker
+    domains (the submitting domain participates as the [jobs]-th
+    worker); a pool created with [jobs = 1] owns no domains at all and
+    runs every job inline, which is the sequential path.
+
+    A pool has a single submitter at a time: jobs are not re-entrant,
+    and submitting from inside a running job deadlocks.  Item functions
+    run concurrently and must not share unsynchronized mutable state. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 1 jobs - 1] worker domains. *)
+
+val jobs : t -> int
+(** Parallel width, including the submitting domain. *)
+
+val iter : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+(** [iter t ~n f] runs [f 0 .. f (n-1)], claiming [chunk]-sized slices
+    (default [1]) across the pool's domains.  Returns when all [n]
+    items have finished.  On a 1-job pool this is a plain [for] loop,
+    raising as soon as [f] does; on a wider pool one of the raised
+    exceptions is re-raised after in-flight items settle. *)
+
+val map_chunked : ?chunk:int -> t -> n:int -> (int -> 'a) -> 'a array
+(** [map_chunked t ~n f] is [[| f 0; ...; f (n-1) |]], computed like
+    {!iter}.  Results land at their own index, so the output order is
+    deterministic regardless of scheduling. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Submitting to a
+    shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** Create, run, and always shut down (exception-safe). *)
+
+val default_jobs : unit -> int
+(** The [RI_JOBS] environment variable when set (min 1), otherwise
+    [Domain.recommended_domain_count () - 1], floored at 1.
+    [RI_JOBS=1] forces the sequential path everywhere. *)
+
+val global : unit -> t
+(** The process-wide pool, created on first use with {!default_jobs}
+    and shut down automatically at exit. *)
+
+val set_global_jobs : int -> unit
+(** Replace the global pool with one of the given width (shutting down
+    the old one).  Used by command-line [--jobs] flags. *)

@@ -26,6 +26,7 @@ let () =
       Test_update.suite;
       Test_churn.suite;
       Test_paper_examples.suite;
+      Test_pool.suite;
       Test_sim.suite;
       Test_experiments.suite;
       Test_extensions.suite;

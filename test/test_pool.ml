@@ -1,0 +1,221 @@
+(* Domain pool, env parsing, and the parallel-execution guarantees the
+   runner and setup cache build on: chunked scheduling covers every
+   index exactly once, exceptions propagate, a pool survives reuse,
+   parallel runs are bit-identical to sequential ones, and cached trial
+   setups reproduce fresh builds exactly. *)
+
+open Ri_util
+open Ri_sim
+
+(* ------------------------------------------------------------------ *)
+(* Env.                                                                *)
+
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv name (match old with Some v -> v | None -> ""))
+    f
+
+let test_env_int () =
+  with_env "RI_TEST_ENV" "17" (fun () ->
+      Alcotest.(check int) "set" 17 (Env.int "RI_TEST_ENV" 3));
+  with_env "RI_TEST_ENV" "" (fun () ->
+      Alcotest.(check int) "unset/empty falls back" 3 (Env.int "RI_TEST_ENV" 3));
+  with_env "RI_TEST_ENV" "junk" (fun () ->
+      Alcotest.(check int) "junk falls back" 3 (Env.int "RI_TEST_ENV" 3));
+  with_env "RI_TEST_ENV" "0" (fun () ->
+      Alcotest.(check int) "below default floor" 3 (Env.int "RI_TEST_ENV" 3);
+      Alcotest.(check int) "floor 0 admits it" 0 (Env.int ~min:0 "RI_TEST_ENV" 3))
+
+let test_env_float () =
+  with_env "RI_TEST_ENV" "0.25" (fun () ->
+      Alcotest.(check (float 1e-9)) "set" 0.25 (Env.float "RI_TEST_ENV" 1.));
+  with_env "RI_TEST_ENV" "-1.0" (fun () ->
+      Alcotest.(check (float 1e-9)) "negative rejected" 1.
+        (Env.float "RI_TEST_ENV" 1.))
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics.                                                     *)
+
+let test_map_covers_all_indices () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let out = Pool.map_chunked pool ~n (fun i -> i * i) in
+              Alcotest.(check int)
+                (Printf.sprintf "length jobs=%d n=%d" jobs n)
+                n (Array.length out);
+              Array.iteri
+                (fun i v ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "slot %d jobs=%d" i jobs)
+                    (i * i) v)
+                out)
+            [ 0; 1; 2; 7; 64 ]))
+    [ 1; 2; 4 ]
+
+let test_chunk_shapes () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      List.iter
+        (fun chunk ->
+          let hits = Array.make 23 0 in
+          let m = Mutex.create () in
+          Pool.iter ~chunk pool ~n:23 (fun i ->
+              Mutex.lock m;
+              hits.(i) <- hits.(i) + 1;
+              Mutex.unlock m);
+          Array.iteri
+            (fun i h ->
+              Alcotest.(check int)
+                (Printf.sprintf "index %d chunk %d ran once" i chunk)
+                1 h)
+            hits)
+        [ 1; 2; 5; 23; 100 ])
+
+exception Boom
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "raises at jobs=%d" jobs)
+            Boom
+            (fun () ->
+              Pool.iter pool ~n:16 (fun i -> if i = 11 then raise Boom));
+          (* The pool stays usable after a failed job. *)
+          let out = Pool.map_chunked pool ~n:4 (fun i -> i + 1) in
+          Alcotest.(check (array int)) "reusable after failure"
+            [| 1; 2; 3; 4 |] out))
+    [ 1; 3 ]
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "width" 4 (Pool.jobs pool);
+      for round = 1 to 50 do
+        let out = Pool.map_chunked pool ~n:round (fun i -> i) in
+        Alcotest.(check int)
+          (Printf.sprintf "round %d" round)
+          round (Array.length out)
+      done)
+
+let test_shutdown_rejects () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.iter: pool is shut down") (fun () ->
+      Pool.iter pool ~n:1 (fun _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel runs are bit-identical to sequential ones.                 *)
+
+let check_summary_eq label (a : Stats.summary) (b : Stats.summary) =
+  Alcotest.(check (float 0.)) (label ^ " mean") a.Stats.mean b.Stats.mean;
+  Alcotest.(check (float 0.)) (label ^ " ci95") a.Stats.ci95 b.Stats.ci95;
+  Alcotest.(check (float 0.)) (label ^ " stddev") a.Stats.stddev b.Stats.stddev;
+  Alcotest.(check int) (label ^ " n") a.Stats.n b.Stats.n;
+  Alcotest.(check (float 0.)) (label ^ " min") a.Stats.min b.Stats.min;
+  Alcotest.(check (float 0.)) (label ^ " max") a.Stats.max b.Stats.max
+
+let small = Config.scaled Config.base ~num_nodes:300
+
+let test_parallel_matches_sequential () =
+  let spec = { Runner.min_trials = 3; max_trials = 9; target_rel_error = 0.05 } in
+  let run_with jobs cfg kind =
+    Pool.with_pool ~jobs (fun pool ->
+        Runner.run ~pool spec (fun ~trial ->
+            match kind with
+            | `Query -> float_of_int (Trial.run_query cfg ~trial).Trial.messages
+            | `Update ->
+                float_of_int
+                  (Trial.run_update cfg ~trial).Trial.update_messages))
+  in
+  List.iter
+    (fun (name, search, kind) ->
+      let cfg = Config.with_search small search in
+      let seq = run_with 1 cfg kind in
+      let par = run_with 4 cfg kind in
+      check_summary_eq name seq par)
+    [
+      ("eri query", Config.Ri (Config.eri small), `Query);
+      ("cri update", Config.Ri Config.cri, `Update);
+      ("no-ri query", Config.No_ri, `Query);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Setup cache: cached builds must be indistinguishable from fresh.    *)
+
+let test_cache_matches_fresh () =
+  let was = Setup_cache.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Setup_cache.set_enabled was;
+      Setup_cache.clear ())
+    (fun () ->
+      (* Sweep cells that share the overlay and content draw: same
+         (seed, trial) under different search schemes and stop
+         conditions, as the experiments do. *)
+      let cells =
+        [
+          Config.with_search small (Config.Ri (Config.eri small));
+          Config.with_search small (Config.Ri Config.cri);
+          Config.with_search
+            { small with Config.stop_condition = 50 }
+            (Config.Ri Config.cri);
+          Config.with_search
+            { small with Config.compression_ratio = 0.8 }
+            (Config.Ri (Config.eri small));
+        ]
+      in
+      let metrics enabled =
+        Setup_cache.set_enabled enabled;
+        Setup_cache.clear ();
+        List.concat_map
+          (fun cfg ->
+            List.map
+              (fun trial ->
+                let q = Trial.run_query cfg ~trial in
+                let u = Trial.run_update cfg ~trial in
+                (q.Trial.messages, q.Trial.found, q.Trial.nodes_visited,
+                 u.Trial.update_messages))
+              [ 0; 1; 2 ])
+          cells
+      in
+      let fresh = metrics false in
+      let cached = metrics true in
+      List.iteri
+        (fun i ((qm, qf, qv, um), (qm', qf', qv', um')) ->
+          let lbl fmt = Printf.sprintf "cell %d %s" i fmt in
+          Alcotest.(check int) (lbl "messages") qm qm';
+          Alcotest.(check int) (lbl "found") qf qf';
+          Alcotest.(check int) (lbl "visited") qv qv';
+          Alcotest.(check int) (lbl "update messages") um um')
+        (List.combine fresh cached);
+      (* The sweep above really exercised the cache: 4 cells x 3 trials
+         with shared (seed, trial) keys must hit after the first cell. *)
+      let s = Setup_cache.stats () in
+      Alcotest.(check bool) "graph hits happened" true (s.Setup_cache.graph_hits > 0);
+      Alcotest.(check bool) "content hits happened" true
+        (s.Setup_cache.content_hits > 0))
+
+let suite =
+  ( "pool-and-parallelism",
+    [
+      Alcotest.test_case "env int parsing" `Quick test_env_int;
+      Alcotest.test_case "env float parsing" `Quick test_env_float;
+      Alcotest.test_case "map covers all indices" `Quick test_map_covers_all_indices;
+      Alcotest.test_case "chunk shapes" `Quick test_chunk_shapes;
+      Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+      Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+      Alcotest.test_case "shutdown rejects submissions" `Quick test_shutdown_rejects;
+      Alcotest.test_case "parallel = sequential (bit-identical)" `Quick
+        test_parallel_matches_sequential;
+      Alcotest.test_case "cached setups match fresh builds" `Quick
+        test_cache_matches_fresh;
+    ] )
