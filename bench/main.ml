@@ -37,7 +37,10 @@ let json_path = Env.string "RI_BENCH_JSON" "BENCH_results.json"
 
 let figure_seconds : (string * float) list ref = ref []
 
-let run_section entries =
+let section_seconds : (string * float) list ref = ref []
+
+let run_section name entries =
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun e ->
       let t0 = Unix.gettimeofday () in
@@ -46,7 +49,9 @@ let run_section entries =
       figure_seconds := (e.Ri_experiments.Registry.id, dt) :: !figure_seconds;
       Ri_experiments.Report.print report;
       Printf.printf "(%.1fs)\n\n%!" dt)
-    entries
+    entries;
+  section_seconds :=
+    (name, Unix.gettimeofday () -. t0) :: !section_seconds
 
 let run_figures () =
   Printf.printf
@@ -58,12 +63,13 @@ let run_figures () =
     base.Config.num_nodes base.Config.query_results spec.Runner.max_trials
     (100. *. spec.Runner.target_rel_error)
     (Pool.jobs (Pool.global ()));
-  run_section Ri_experiments.Registry.all;
+  run_section "figures" Ri_experiments.Registry.all;
   Printf.printf
     "---------------------------------------------------------------------\n\
      Extensions the paper sketches but does not evaluate (ablations)\n\
      ---------------------------------------------------------------------\n\n";
-  run_section Ri_experiments.Registry.extensions
+  run_section "extensions" Ri_experiments.Registry.extensions;
+  Printf.printf "%s\n%s\n\n%!" (Telemetry.cache_line ()) (Telemetry.pool_line ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings.                                           *)
@@ -208,24 +214,62 @@ let run_bechamel () =
 
 (* Tiny hand-rolled emitter: the only strings are our own benchmark ids
    (alphanumerics and dashes), so escaping is a non-issue. *)
-let write_json ~figures ~micro =
+let write_json ~figures ~sections ~micro =
   if json_path <> "" then begin
     let buf = Buffer.create 4096 in
     let entry fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let map name pairs emit_one =
+      entry "  \"%s\": {\n" name;
+      let n = List.length pairs in
+      List.iteri
+        (fun i kv ->
+          emit_one kv;
+          entry "%s\n" (if i = n - 1 then "" else ","))
+        pairs;
+      entry "  },\n"
+    in
     entry "{\n";
     entry "  \"unix_time\": %.0f,\n" (Unix.time ());
     entry "  \"config\": {\n";
     entry "    \"nodes\": %d,\n" nodes;
     entry "    \"max_trials\": %d,\n" spec.Runner.max_trials;
     entry "    \"target_rel_error\": %g,\n" spec.Runner.target_rel_error;
-    entry "    \"jobs\": %d\n" (Pool.jobs (Pool.global ()));
+    entry "    \"jobs\": %d,\n" (Pool.jobs (Pool.global ()));
+    entry "    \"obs_enabled\": %b\n" (Ri_obs.Metrics.enabled ());
     entry "  },\n";
-    entry "  \"figures_wall_clock_s\": {\n";
-    let n = List.length figures in
-    List.iteri
-      (fun i (id, s) ->
-        entry "    \"%s\": %.3f%s\n" id s (if i = n - 1 then "" else ","))
-      figures;
+    map "figures_wall_clock_s" figures (fun (id, s) ->
+        entry "    \"%s\": %.3f" id s);
+    map "sections_wall_clock_s" sections (fun (name, s) ->
+        entry "    \"%s\": %.3f" name s);
+    entry "  \"total_figures_s\": %.3f,\n"
+      (List.fold_left (fun acc (_, s) -> acc +. s) 0. sections);
+    (* Per-phase pipeline timings only exist when metric recording is on
+       (RI_OBS=1): with it off the bench measures the undisturbed path. *)
+    (match Ri_obs.Phase.totals () with
+    | [] -> ()
+    | phases ->
+        map "phase_seconds" phases (fun (name, count, total) ->
+            entry "    \"%s\": {\"samples\": %d, \"total_s\": %.3f}" name count
+              total));
+    let c = Setup_cache.stats () in
+    entry "  \"setup_cache\": {\n";
+    entry "    \"enabled\": %b,\n" (Setup_cache.enabled ());
+    entry "    \"graph_hits\": %d,\n" c.Setup_cache.graph_hits;
+    entry "    \"graph_misses\": %d,\n" c.Setup_cache.graph_misses;
+    entry "    \"content_hits\": %d,\n" c.Setup_cache.content_hits;
+    entry "    \"content_misses\": %d\n" c.Setup_cache.content_misses;
+    entry "  },\n";
+    let pool = Pool.global () in
+    let p = Pool.stats pool in
+    entry "  \"pool\": {\n";
+    entry "    \"jobs\": %d,\n" (Pool.jobs pool);
+    entry "    \"waves\": %d,\n" p.Pool.waves;
+    entry "    \"items\": %d,\n" p.Pool.items;
+    entry "    \"max_wave\": %d,\n" p.Pool.max_wave;
+    entry "    \"busy_domains_avg\": %.2f,\n"
+      (if p.Pool.waves = 0 then 0.
+       else float_of_int p.Pool.busy_domains /. float_of_int p.Pool.waves);
+    entry "    \"submit_wait_s\": %.3f\n" p.Pool.submit_wait_s;
     entry "  },\n";
     entry "  \"micro_ns_per_run\": {\n";
     let n = List.length micro in
@@ -244,4 +288,7 @@ let write_json ~figures ~micro =
 let () =
   run_figures ();
   let micro = if Env.int ~min:0 "RI_MICRO" 1 <> 0 then run_bechamel () else [] in
-  write_json ~figures:(List.rev !figure_seconds) ~micro
+  write_json
+    ~figures:(List.rev !figure_seconds)
+    ~sections:(List.rev !section_seconds)
+    ~micro

@@ -81,6 +81,61 @@ let jobs_t =
 let apply_jobs jobs = if jobs > 0 then Ri_util.Pool.set_global_jobs jobs
 
 (* ------------------------------------------------------------------ *)
+(* Observability options (shared by run/all/query/update).             *)
+
+let metrics_t =
+  let doc =
+    "Write metrics (message counters, per-phase timings, setup-cache hit \
+     rates, pool utilization) to $(docv) in Prometheus text format.  \
+     Implies metric recording for this run (as does $(b,RI_OBS)=1)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_t =
+  let doc =
+    "Record every query hop, backtrack, stop condition and update hop, and \
+     write the trace to $(docv).  Trace timestamps are deterministic logical \
+     ticks: the same seed produces byte-identical traces at any \
+     $(b,--jobs) width."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_t =
+  let doc =
+    "Trace file format: $(b,jsonl) (one event per line) or $(b,chrome) \
+     (Chrome trace_event JSON for about://tracing or Perfetto)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+(* Enable recording before the run, export files after.  Metrics go out
+   with the cache/pool gauges refreshed so one file carries the whole
+   picture. *)
+let with_obs metrics trace fmt f =
+  if metrics <> None then Ri_obs.Metrics.set_enabled true;
+  if trace <> None then Ri_obs.Trace.start ();
+  let result = f () in
+  (match trace with
+  | None -> ()
+  | Some file ->
+      Ri_obs.Trace.stop ();
+      (match fmt with
+      | `Jsonl -> Ri_obs.Trace.export_jsonl file
+      | `Chrome -> Ri_obs.Trace.export_chrome file);
+      Printf.printf "trace written to %s\n" file);
+  (match metrics with
+  | None -> ()
+  | Some file ->
+      Telemetry.export_metrics ();
+      let oc = open_out file in
+      output_string oc (Ri_obs.Metrics.render ());
+      close_out oc;
+      Printf.printf "metrics written to %s\n" file);
+  result
+
+(* ------------------------------------------------------------------ *)
 (* Subcommands.                                                        *)
 
 let list_cmd =
@@ -137,6 +192,9 @@ let run_experiments ?csv_dir ids nodes seed trials rel_error =
             None)
       ids
   in
+  (* Surface the run's execution telemetry: what the setup cache saved
+     and how wide the trial pool actually ran. *)
+  Printf.printf "%s\n%s\n" (Telemetry.cache_line ()) (Telemetry.pool_line ());
   match failures with
   | [] -> `Ok ()
   | unknown ->
@@ -154,28 +212,32 @@ let run_cmd =
     let doc = "Experiment id(s), e.g. fig13 (see `risim list')." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run ids nodes seed trials rel_error csv_dir jobs =
+  let run ids nodes seed trials rel_error csv_dir jobs metrics trace fmt =
     apply_jobs jobs;
-    run_experiments ?csv_dir ids nodes seed trials rel_error
+    with_obs metrics trace fmt (fun () ->
+        run_experiments ?csv_dir ids nodes seed trials rel_error)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Reproduce one or more of the paper's figures")
     Term.(
       ret
         (const run $ ids_t $ nodes_t $ seed_t $ trials_t $ rel_error_t
-       $ csv_dir_t $ jobs_t))
+       $ csv_dir_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t))
 
 let all_cmd =
   let with_extensions_t =
     Arg.(value & flag & info [ "extensions" ] ~doc:"Also run the ablations.")
   in
-  let run nodes seed trials rel_error with_extensions jobs =
+  let run nodes seed trials rel_error with_extensions jobs metrics trace fmt =
     apply_jobs jobs;
     let ids =
       Ri_experiments.Registry.ids
       @ if with_extensions then Ri_experiments.Registry.extension_ids else []
     in
-    match run_experiments ids nodes seed trials rel_error with
+    match
+      with_obs metrics trace fmt (fun () ->
+          run_experiments ids nodes seed trials rel_error)
+    with
     | `Ok () -> ()
     | `Error _ -> assert false
   in
@@ -183,17 +245,17 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Reproduce every figure of the evaluation section")
     Term.(
       const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ with_extensions_t
-      $ jobs_t)
+      $ jobs_t $ metrics_t $ trace_t $ trace_format_t)
 
 let query_cmd =
-  let run nodes seed topology search trial =
+  let run nodes seed topology search trial metrics trace fmt =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
     match Config.validate cfg with
     | Error msg -> `Error (false, msg)
     | Ok () ->
-        let m = Trial.run_query cfg ~trial in
+        let m = with_obs metrics trace fmt (fun () -> Trial.run_query cfg ~trial) in
         Printf.printf
           "search=%s topology=%s nodes=%d trial=%d\n\
            messages=%d (forwards=%d returns=%d results=%d)\n\
@@ -210,7 +272,10 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a single query trial and print its metrics")
-    Term.(ret (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t))
+    Term.(
+      ret
+        (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
+       $ metrics_t $ trace_t $ trace_format_t))
 
 let topology_cmd =
   let run nodes seed topology =
@@ -249,14 +314,14 @@ let topology_cmd =
     Term.(const run $ nodes_t $ seed_t $ topology_t)
 
 let update_cmd =
-  let run nodes seed topology search trial =
+  let run nodes seed topology search trial metrics trace fmt =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
     match Config.validate cfg with
     | Error msg -> `Error (false, msg)
     | Ok () ->
-        let m = Trial.run_update cfg ~trial in
+        let m = with_obs metrics trace fmt (fun () -> Trial.run_update cfg ~trial) in
         Printf.printf
           "search=%s topology=%s nodes=%d trial=%d\nupdate_messages=%d bytes=%.0f\n"
           (Config.search_name cfg.Config.search)
@@ -269,7 +334,10 @@ let update_cmd =
   in
   Cmd.v
     (Cmd.info "update" ~doc:"Run a single update trial and print its cost")
-    Term.(ret (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t))
+    Term.(
+      ret
+        (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
+       $ metrics_t $ trace_t $ trace_format_t))
 
 let () =
   let doc = "Routing Indices for Peer-to-Peer Systems - simulator" in

@@ -1,0 +1,76 @@
+(** Low-overhead counters, gauges and fixed-bucket histograms behind a
+    global registry.
+
+    Instrumented modules register their metrics once at module-init
+    time; registration is always live so {!render} can enumerate the
+    full schema.  {e Recording} is gated by one atomic flag: when
+    observability is off (the default — set [RI_OBS=1] or call
+    {!set_enabled} to turn it on) every record operation is a single
+    load-and-branch, which keeps instrumented hot paths within the
+    sub-1% overhead budget.
+
+    Values are atomics, so trial code running on pool worker domains
+    records concurrently without locks; the registry mutex only guards
+    registration and enumeration. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** The initial value honors the [RI_OBS] environment variable
+    (default off).  [risim --metrics] and the trace recorder force it
+    on for their own run. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter :
+  ?help:string -> ?labels:(string * string) list -> string -> counter
+(** [counter name] registers (or retrieves — registration is idempotent
+    per [(name, labels)]) a monotonically increasing counter.
+    @raise Invalid_argument if [name]+[labels] is already registered as
+    a different metric kind. *)
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  histogram
+(** [buckets] are strictly increasing upper bounds; an [+Inf] bucket is
+    implicit.  The default buckets are exponential seconds from 10us
+    to 10s, suiting phase timings. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f] and observes its wall-clock duration in seconds;
+    when recording is disabled it is exactly [f ()]. *)
+
+val counter_value : counter -> int
+
+val gauge_value : gauge -> float
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val hist_buckets : histogram -> int array
+(** Raw (non-cumulative) per-bucket counts, the [+Inf] bucket last. *)
+
+val reset : unit -> unit
+(** Zero every registered value; registrations are kept. *)
+
+val render : unit -> string
+(** Prometheus text exposition format, metrics sorted by name then
+    labels (deterministic output for diffing). *)

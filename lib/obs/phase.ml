@@ -1,0 +1,38 @@
+(* Named wall-clock phases over Metrics histograms.  The handle table
+   avoids re-walking the metric registry on every call; phases fire a
+   few times per trial, from any domain. *)
+
+let lock = Mutex.create ()
+
+let table : (string, Metrics.histogram) Hashtbl.t = Hashtbl.create 16
+
+let names = ref []
+
+let handle name =
+  Mutex.lock lock;
+  let h =
+    match Hashtbl.find_opt table name with
+    | Some h -> h
+    | None ->
+        let h =
+          Metrics.histogram ~help:"Wall-clock seconds per pipeline phase."
+            ~labels:[ ("phase", name) ] "ri_phase_seconds"
+        in
+        Hashtbl.add table name h;
+        names := name :: !names;
+        h
+  in
+  Mutex.unlock lock;
+  h
+
+let time name f = if Metrics.enabled () then Metrics.time (handle name) f else f ()
+
+let totals () =
+  Mutex.lock lock;
+  let ns = List.sort compare !names in
+  Mutex.unlock lock;
+  List.map
+    (fun name ->
+      let h = handle name in
+      (name, Metrics.hist_count h, Metrics.hist_sum h))
+    ns

@@ -1,0 +1,15 @@
+(** Wall-clock phase profiling of the trial pipeline (topology gen →
+    placement → RI build → query/update execution), recorded as
+    [ri_phase_seconds{phase=...}] histograms in the {!Metrics}
+    registry.
+
+    Phase timings are wall clock and therefore {e not} part of the
+    deterministic trace — see {!Trace}. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time phase f] runs [f], observing its duration under [phase] when
+    metrics are enabled; exactly [f ()] otherwise. *)
+
+val totals : unit -> (string * int * float) list
+(** [(phase, samples, total_seconds)] for every phase seen so far,
+    sorted by name. *)

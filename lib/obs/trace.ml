@@ -1,0 +1,148 @@
+(* Per-trial event tracing.
+
+   Determinism contract: events are buffered in a per-trial sink on
+   whichever domain runs the trial, and completed buffers are merged
+   into the global store keyed by (unit, trial) — [unit] is bumped once
+   per Runner.run, on the submitting domain, so it is scheduling
+   independent.  Rendering sorts by that key and numbers events by their
+   in-trial position, so the exported bytes are identical whatever the
+   pool width.  For the same reason trace timestamps are *logical*
+   ticks, not wall clock: wall clock would differ run to run and domain
+   to domain.  Wall-clock belongs in Metrics/Phase, not here. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type event = { name : string; cat : string; args : (string * arg) list }
+
+type sink = {
+  live : bool;
+  key : int * int;  (* (unit, trial) *)
+  mutable rev : event list;  (* newest first *)
+}
+
+let null = { live = false; key = (0, 0); rev = [] }
+
+let is_live s = s.live
+
+let recording_flag = Atomic.make false
+
+let recording () = Atomic.get recording_flag
+
+let start () = Atomic.set recording_flag true
+
+let stop () = Atomic.set recording_flag false
+
+let unit_counter = Atomic.make 0
+
+let next_unit () =
+  if Atomic.get recording_flag then ignore (Atomic.fetch_and_add unit_counter 1)
+
+let lock = Mutex.create ()
+
+(* Values are newest-first so same-key registrations (e.g. a query trial
+   followed by an update trial at the same index) prepend in O(own
+   events); rendering reverses once. *)
+let store : (int * int, event list ref) Hashtbl.t = Hashtbl.create 256
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset store;
+  Atomic.set unit_counter 0;
+  Mutex.unlock lock
+
+let with_trial ~trial f =
+  if not (Atomic.get recording_flag) then f null
+  else begin
+    let s = { live = true; key = (Atomic.get unit_counter, trial); rev = [] } in
+    let finally () =
+      if s.rev <> [] then begin
+        Mutex.lock lock;
+        (match Hashtbl.find_opt store s.key with
+        | Some r -> r := s.rev @ !r
+        | None -> Hashtbl.add store s.key (ref s.rev));
+        Mutex.unlock lock
+      end
+    in
+    Fun.protect ~finally (fun () -> f s)
+  end
+
+let emit s ?(cat = "sim") name args =
+  if s.live then s.rev <- { name; cat; args } :: s.rev
+
+let events () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun key r acc -> (key, List.rev !r) :: acc) store [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+(* ------------------------------------------------------------------ *)
+(* Export.                                                             *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.9g" f
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Bool b -> string_of_bool b
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (arg_json v)) args)
+  ^ "}"
+
+let render_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ((u, trial), evs) ->
+      List.iteri
+        (fun seq e ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"unit\":%d,\"trial\":%d,\"seq\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"args\":%s}\n"
+               u trial seq (escape e.cat) (escape e.name) (args_json e.args)))
+        evs)
+    (events ());
+  Buffer.contents buf
+
+(* Chrome trace_event format (about://tracing, Perfetto): one instant
+   event per trace event, pid = unit, tid = trial, ts = logical tick. *)
+let render_chrome () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun ((u, trial), evs) ->
+      List.iteri
+        (fun seq e ->
+          if !first then first := false else Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"args\":%s}"
+               (escape e.name) (escape e.cat) u trial seq (args_json e.args)))
+        evs)
+    (events ());
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let export path render =
+  let oc = open_out path in
+  output_string oc (render ());
+  close_out oc
+
+let export_jsonl path = export path render_jsonl
+
+let export_chrome path = export path render_chrome

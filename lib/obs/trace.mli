@@ -1,0 +1,70 @@
+(** Per-trial event tracing: query forwarding hops, backtracks, stop
+    conditions and RI update propagation, as logically timestamped
+    events.
+
+    Events are buffered in a per-trial {!sink} on whichever pool domain
+    executes the trial; a completed buffer is merged into the global
+    store under [(unit, trial)], where [unit] is a counter bumped once
+    per {e sequential} runner invocation.  Rendering sorts by that key
+    and numbers events by in-trial position — so traces are
+    byte-identical at any [--jobs] width.  Timestamps are logical ticks
+    (event position within the trial), not wall clock, for the same
+    reason; wall-clock profiling lives in {!Metrics} / {!Phase}.
+
+    When recording is off (the default), {!with_trial} hands out the
+    {!null} sink and {!emit} is a single branch. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type event = { name : string; cat : string; args : (string * arg) list }
+
+type sink
+
+val null : sink
+(** Swallows everything; what {!with_trial} passes when not recording. *)
+
+val is_live : sink -> bool
+(** [false] on {!null} or when recording was off at trial start — lets
+    instrumentation skip building event values entirely. *)
+
+val recording : unit -> bool
+
+val start : unit -> unit
+
+val stop : unit -> unit
+(** Stop recording; already-collected events are kept for export. *)
+
+val clear : unit -> unit
+(** Drop all events and reset the unit counter (so a fresh run numbers
+    from zero again). *)
+
+val next_unit : unit -> unit
+(** Called by the trial runner before each batch of trials; groups the
+    trials of one data point under one unit id.  No-op when not
+    recording. *)
+
+val with_trial : trial:int -> (sink -> 'a) -> 'a
+(** Run a trial body with a fresh sink; on exit (normal or exceptional)
+    the buffered events are merged into the store under
+    [(current unit, trial)].  Two [with_trial] calls with the same key
+    (e.g. a query then an update at the same trial index) append in
+    call order. *)
+
+val emit : sink -> ?cat:string -> string -> (string * arg) list -> unit
+(** [emit sink name args] buffers one event ([cat] defaults to
+    ["sim"]).  No-op on a dead sink. *)
+
+val events : unit -> ((int * int) * event list) list
+(** Merged snapshot, sorted by [(unit, trial)]. *)
+
+val render_jsonl : unit -> string
+(** One JSON object per line:
+    [{"unit":u,"trial":t,"seq":s,"cat":...,"name":...,"args":{...}}]. *)
+
+val render_chrome : unit -> string
+(** Chrome [trace_event] JSON (loadable in about://tracing or Perfetto):
+    instant events with [pid = unit], [tid = trial], [ts = seq]. *)
+
+val export_jsonl : string -> unit
+
+val export_chrome : string -> unit

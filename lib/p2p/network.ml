@@ -6,6 +6,16 @@ type cycle_policy = No_op | Detect_recover
 
 type build_mode = Converged | Rooted of int
 
+let m_builds mode =
+  Ri_obs.Metrics.counter ~help:"Networks constructed (RIs built)."
+    ~labels:[ ("mode", mode) ] "ri_network_builds_total"
+
+let m_builds_rooted = m_builds "rooted"
+
+let m_builds_converged = m_builds "converged"
+
+let m_builds_no_ri = m_builds "no_ri"
+
 type content = {
   summary : int -> Summary.t;
   count_matching : int -> Topic.id list -> int;
@@ -271,13 +281,15 @@ let create ~graph ~content ?scheme ?(compression = Compression.exact)
     }
   in
   (match (scheme, mode) with
-  | None, _ -> ()
+  | None, _ -> Ri_obs.Metrics.incr m_builds_no_ri
   | Some _, Rooted origin ->
+      Ri_obs.Metrics.incr m_builds_rooted;
       if origin < 0 || origin >= n then
         invalid_arg "Network.create: rooted origin out of range";
       build_rooted t origin;
       t.converged_iterations <- 1
   | Some kind, Converged ->
+      Ri_obs.Metrics.incr m_builds_converged;
       let order, parent = bfs_forest adj in
       let extra = non_tree_edges adj parent in
       let cyclic = extra <> [] in

@@ -17,6 +17,46 @@ type event =
   | Returned of { sender : int; receiver : int }
   | Results of { at : int; count : int }
 
+(* Aggregate per-query message counts land in the metrics registry once
+   per query, from the outcome counters — never per message. *)
+let m_queries mode =
+  Ri_obs.Metrics.counter ~help:"Queries executed." ~labels:[ ("mode", mode) ]
+    "ri_queries_total"
+
+let m_ri_guided = m_queries "ri_guided"
+
+let m_random_walk = m_queries "random_walk"
+
+let m_parallel = m_queries "parallel"
+
+let m_flood = m_queries "flood"
+
+let m_forwards =
+  Ri_obs.Metrics.counter ~help:"Query messages forwarded."
+    "ri_query_forwards_total"
+
+let m_returns =
+  Ri_obs.Metrics.counter ~help:"Query messages returned (backtracks)."
+    "ri_query_returns_total"
+
+let m_results =
+  Ri_obs.Metrics.counter ~help:"Result-pointer messages sent."
+    "ri_query_results_total"
+
+let m_satisfied =
+  Ri_obs.Metrics.counter ~help:"Queries that met their stop condition."
+    "ri_query_satisfied_total"
+
+let record_outcome kind o =
+  if Ri_obs.Metrics.enabled () then begin
+    Ri_obs.Metrics.incr kind;
+    Ri_obs.Metrics.add m_forwards o.counters.Message.query_forwards;
+    Ri_obs.Metrics.add m_returns o.counters.Message.query_returns;
+    Ri_obs.Metrics.add m_results o.counters.Message.result_messages;
+    if o.satisfied then Ri_obs.Metrics.incr m_satisfied
+  end;
+  o
+
 type frame = { node : int; from : int; mutable pending : int list }
 
 let run ?rng ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~forwarding =
@@ -123,12 +163,14 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~forwarding 
                   :: !stack
             end)
   done;
-  {
-    found = !found;
-    satisfied = !found >= query.Ri_content.Workload.stop;
-    nodes_visited = !nodes_visited;
-    counters;
-  }
+  record_outcome
+    (match forwarding with Ri_guided -> m_ri_guided | Random_walk -> m_random_walk)
+    {
+      found = !found;
+      satisfied = !found >= query.Ri_content.Workload.stop;
+      nodes_visited = !nodes_visited;
+      counters;
+    }
 
 type parallel_outcome = {
   p_found : int;
@@ -138,7 +180,7 @@ type parallel_outcome = {
   p_counters : Message.counters;
 }
 
-let run_parallel net ~origin ~query ~branch =
+let run_parallel ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~branch =
   let n = Network.size net in
   if origin < 0 || origin >= n then
     invalid_arg "Query.run_parallel: origin out of range";
@@ -157,6 +199,7 @@ let run_parallel net ~origin ~query ~branch =
     let local = Network.count_matching net u topics in
     if local > 0 then begin
       counters.result_messages <- counters.result_messages + 1;
+      on_event (Results { at = u; count = local });
       found := !found + local
     end
   in
@@ -180,6 +223,7 @@ let run_parallel net ~origin ~query ~branch =
           for i = 0 to limit - 1 do
             let v, _ = ranked.(i) in
             counters.query_forwards <- counters.query_forwards + 1;
+            on_event (Forwarded { sender = u; receiver = v });
             if not visited.(v) then begin
               process v;
               next := (v, u) :: !next
@@ -190,6 +234,12 @@ let run_parallel net ~origin ~query ~branch =
     end
   in
   let rounds = expand [ (origin, -1) ] 0 in
+  if Ri_obs.Metrics.enabled () then begin
+    Ri_obs.Metrics.incr m_parallel;
+    Ri_obs.Metrics.add m_forwards counters.Message.query_forwards;
+    Ri_obs.Metrics.add m_results counters.Message.result_messages;
+    if satisfied () then Ri_obs.Metrics.incr m_satisfied
+  end;
   {
     p_found = !found;
     p_satisfied = satisfied ();
@@ -198,7 +248,7 @@ let run_parallel net ~origin ~query ~branch =
     p_counters = counters;
   }
 
-let flood net ~origin ~query ?ttl () =
+let flood ?(on_event = fun (_ : event) -> ()) net ~origin ~query ?ttl () =
   let n = Network.size net in
   if origin < 0 || origin >= n then invalid_arg "Query.flood: origin out of range";
   let ttl = Option.value ttl ~default:max_int in
@@ -214,6 +264,7 @@ let flood net ~origin ~query ?ttl () =
     let local = Network.count_matching net u topics in
     if local > 0 then begin
       counters.result_messages <- counters.result_messages + 1;
+      on_event (Results { at = u; count = local });
       found := !found + local
     end;
     if depth < ttl then
@@ -221,6 +272,7 @@ let flood net ~origin ~query ?ttl () =
         (fun v ->
           if v <> from then begin
             counters.query_forwards <- counters.query_forwards + 1;
+            on_event (Forwarded { sender = u; receiver = v });
             Queue.add (v, u, depth + 1) q
           end)
         (Network.neighbors net u)
@@ -232,9 +284,10 @@ let flood net ~origin ~query ?ttl () =
        message was sent and counted regardless. *)
     if not processed.(v) then process v ~depth ~from
   done;
-  {
-    found = !found;
-    satisfied = !found >= query.Ri_content.Workload.stop;
-    nodes_visited = !nodes_visited;
-    counters;
-  }
+  record_outcome m_flood
+    {
+      found = !found;
+      satisfied = !found >= query.Ri_content.Workload.stop;
+      nodes_visited = !nodes_visited;
+      counters;
+    }

@@ -67,6 +67,7 @@ type parallel_outcome = {
 }
 
 val run_parallel :
+  ?on_event:(event -> unit) ->
   Network.t ->
   origin:int ->
   query:Ri_content.Workload.query ->
@@ -85,6 +86,7 @@ val run_parallel :
     or an out-of-range origin. *)
 
 val flood :
+  ?on_event:(event -> unit) ->
   Network.t ->
   origin:int ->
   query:Ri_content.Workload.query ->

@@ -7,6 +7,31 @@ type wave_seed = {
   baseline : Scheme.payload option;
 }
 
+type event =
+  | Delivered of {
+      sender : int;
+      receiver : int;
+      significant : bool;
+      forwarded : bool;
+    }
+
+let m_waves =
+  Ri_obs.Metrics.counter ~help:"Update waves propagated." "ri_update_waves_total"
+
+let m_messages =
+  Ri_obs.Metrics.counter ~help:"Update messages delivered."
+    "ri_update_messages_total"
+
+let m_insignificant =
+  Ri_obs.Metrics.counter
+    ~help:"Update messages judged insignificant (wave damped)."
+    "ri_update_insignificant_total"
+
+let m_budget_stops =
+  Ri_obs.Metrics.counter
+    ~help:"Update waves cut off by the message budget."
+    "ri_update_budget_stops_total"
+
 let significant net ~baseline ~payload =
   match baseline with
   | None -> true
@@ -45,7 +70,8 @@ let default_budget net =
   done;
   20 * (n + !degrees)
 
-let wave ?max_messages net ~seeds ~already_reached ~counters =
+let wave ?max_messages ?(on_event = fun (_ : event) -> ()) net ~seeds
+    ~already_reached ~counters =
   if Network.has_ri net then begin
     (* Safety valve: on an overlay whose mean degree exceeds the assumed
        fanout, deltas amplify instead of decaying (each node's
@@ -73,6 +99,14 @@ let wave ?max_messages net ~seeds ~already_reached ~counters =
       if significant net ~baseline ~payload then begin
         let repeat = Hashtbl.mem reached receiver in
         Hashtbl.replace reached receiver ();
+        on_event
+          (Delivered
+             {
+               sender;
+               receiver;
+               significant = true;
+               forwarded = not (detect && repeat);
+             });
         (* Detect-and-recover: a node reached for the second time updates
            its row but breaks the cycle by not forwarding. *)
         if detect && repeat then Scheme.set_row ri ~peer:sender payload
@@ -93,10 +127,20 @@ let wave ?max_messages net ~seeds ~already_reached ~counters =
           List.iter (fun s -> Queue.add s q) onward
         end
       end
-    done
+      else begin
+        Ri_obs.Metrics.incr m_insignificant;
+        on_event
+          (Delivered { sender; receiver; significant = false; forwarded = false })
+      end
+    done;
+    if Ri_obs.Metrics.enabled () then begin
+      Ri_obs.Metrics.incr m_waves;
+      Ri_obs.Metrics.add m_messages !sent;
+      if not (Queue.is_empty q) then Ri_obs.Metrics.incr m_budget_stops
+    end
   end
 
-let propagate net ~origin ~counters =
+let propagate ?on_event net ~origin ~counters =
   if Network.has_ri net then
     let seeds =
       List.map
@@ -104,14 +148,14 @@ let propagate net ~origin ~counters =
           { sender = origin; receiver = peer; payload; baseline = None })
         (Network.outgoing_exports net origin)
     in
-    wave net ~seeds ~already_reached:[ origin ] ~counters
+    wave ?on_event net ~seeds ~already_reached:[ origin ] ~counters
 
-let local_change net ~origin ~summary ~counters =
+let local_change ?on_event net ~origin ~summary ~counters =
   let seeds =
     seeds_for_change net ~at:origin ~except:[] ~mutate:(fun () ->
         Network.set_local_summary net origin summary)
   in
-  wave net ~seeds ~already_reached:[ origin ] ~counters
+  wave ?on_event net ~seeds ~already_reached:[ origin ] ~counters
 
 module Batcher = struct
   type nonrec t = {

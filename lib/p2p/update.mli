@@ -36,7 +36,20 @@ type wave_seed = {
           receiver falls back to comparing against its stored row *)
 }
 
+(** One delivered update message, emitted through the [on_event]
+    callbacks — the hop-level trace behind the counters. *)
+type event =
+  | Delivered of {
+      sender : int;
+      receiver : int;
+      significant : bool;  (** passed the minUpdate / distance tests *)
+      forwarded : bool;
+          (** re-exported onward; [false] on an insignificant delivery
+              or a detect-and-recover repeat *)
+    }
+
 val local_change :
+  ?on_event:(event -> unit) ->
   Network.t ->
   origin:int ->
   summary:Ri_content.Summary.t ->
@@ -49,7 +62,11 @@ val local_change :
     sends". *)
 
 val propagate :
-  Network.t -> origin:int -> counters:Message.counters -> unit
+  ?on_event:(event -> unit) ->
+  Network.t ->
+  origin:int ->
+  counters:Message.counters ->
+  unit
 (** Propagate from a node whose RI was already modified, judging
     significance against the receivers' stored rows.  Exact on trees
     (where the resting state is the true fixed point); for cyclic
@@ -93,6 +110,7 @@ end
 
 val wave :
   ?max_messages:int ->
+  ?on_event:(event -> unit) ->
   Network.t ->
   seeds:wave_seed list ->
   already_reached:int list ->

@@ -1,6 +1,18 @@
 open Ri_util
+open Ri_obs
 
 type spec = { min_trials : int; max_trials : int; target_rel_error : float }
+
+let m_units =
+  Metrics.counter ~help:"Runner invocations (data points)." "ri_runner_units_total"
+
+let m_waves = Metrics.counter ~help:"Trial waves executed." "ri_runner_waves_total"
+
+let m_trials = Metrics.counter ~help:"Trials executed." "ri_runner_trials_total"
+
+let m_converged =
+  Metrics.counter ~help:"Data points stopped early by the CI rule."
+    "ri_runner_converged_total"
 
 let default_spec = { min_trials = 5; max_trials = 30; target_rel_error = 0.1 }
 
@@ -22,6 +34,10 @@ let run ?pool spec f =
   if spec.min_trials < 1 || spec.max_trials < spec.min_trials then
     invalid_arg "Runner.run: bad trial bounds";
   let pool = match pool with Some p -> p | None -> Pool.global () in
+  (* One trace unit per data point, bumped on the submitting domain, so
+     trial keys never depend on the pool width. *)
+  Trace.next_unit ();
+  Metrics.incr m_units;
   let acc = Stats.Acc.create () in
   let next = ref 0 in
   let converged = ref false in
@@ -33,6 +49,8 @@ let run ?pool spec f =
     let base = !next in
     let obs = Pool.map_chunked ~chunk:1 pool ~n:wave (fun i -> f ~trial:(base + i)) in
     Array.iter (Stats.Acc.add acc) obs;
+    Metrics.incr m_waves;
+    Metrics.add m_trials wave;
     next := base + wave;
     if
       Stats.Acc.count acc >= spec.min_trials
@@ -40,6 +58,7 @@ let run ?pool spec f =
            acc
     then converged := true
   done;
+  if !converged then Metrics.incr m_converged;
   Stats.summarize acc
 
 let mean ?pool spec f = (run ?pool spec f).Stats.mean

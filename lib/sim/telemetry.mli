@@ -1,0 +1,16 @@
+(** Bridge from the simulator's always-on internal counters
+    ({!Setup_cache} hit/miss, {!Ri_util.Pool} utilization) into the
+    {!Ri_obs.Metrics} registry, plus the one-line human summaries the
+    CLI prints after experiment runs. *)
+
+val export_metrics : unit -> unit
+(** Snapshot current setup-cache and global-pool statistics into
+    gauges ([ri_setup_cache_*], [ri_pool_*]).  Call just before
+    {!Ri_obs.Metrics.render}. *)
+
+val cache_line : unit -> string
+(** e.g. ["setup-cache: graphs 40 hits / 8 misses (83%), content ..."],
+    or a note that the cache is disabled. *)
+
+val pool_line : unit -> string
+(** e.g. ["pool: 4 domains, 12 waves / 96 trials (max wave 8), ..."]. *)

@@ -2,6 +2,7 @@ open Ri_util
 open Ri_content
 open Ri_topology
 open Ri_p2p
+open Ri_obs
 
 type setup = {
   network : Network.t;
@@ -48,7 +49,7 @@ let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
         g_seed = cfg.seed;
         g_trial = trial;
       }
-      (fun () -> topology_graph cfg topo_rng)
+      (fun () -> Phase.time "topology" (fun () -> topology_graph cfg topo_rng))
   in
   (* The query's stop condition is carried in the config, not drawn from
      the stream, so the cached draw is shared across stop sweeps and the
@@ -65,17 +66,18 @@ let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
         c_trial = trial;
       }
       (fun () ->
-        let query =
-          Workload.random_single query_rng universe ~stop:cfg.stop_condition
-        in
-        let placement =
-          Placement.distribute place_rng ~universe ~n:cfg.num_nodes
-            ~query_topics:query.topics ~results:cfg.query_results
-            ~distribution:cfg.distribution
-            ~background_per_node:cfg.background_per_node ()
-        in
-        let origin = Prng.int query_rng cfg.num_nodes in
-        { Setup_cache.query_topics = query.topics; placement; origin })
+        Phase.time "placement" (fun () ->
+            let query =
+              Workload.random_single query_rng universe ~stop:cfg.stop_condition
+            in
+            let placement =
+              Placement.distribute place_rng ~universe ~n:cfg.num_nodes
+                ~query_topics:query.topics ~results:cfg.query_results
+                ~distribution:cfg.distribution
+                ~background_per_node:cfg.background_per_node ()
+            in
+            let origin = Prng.int query_rng cfg.num_nodes in
+            { Setup_cache.query_topics = query.topics; placement; origin }))
   in
   let query =
     Workload.query ~topics:draw.Setup_cache.query_topics
@@ -95,11 +97,12 @@ let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
         Network.Rooted origin
   in
   let network =
-    Network.create ~graph ~content
-      ?scheme:(Config.scheme_kind cfg)
-      ~compression:(Config.compression cfg)
-      ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update ?perturb
-      ~rng:net_rng ~mode ()
+    Phase.time "ri_build" (fun () ->
+        Network.create ~graph ~content
+          ?scheme:(Config.scheme_kind cfg)
+          ~compression:(Config.compression cfg)
+          ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update ?perturb
+          ~rng:net_rng ~mode ())
   in
   { network; universe; query; origin; rng = trial_rng }
 
@@ -126,24 +129,77 @@ let metrics_of_outcome (cfg : Config.t) (o : Query.outcome) =
     bytes = Message.bytes_of cfg.bytes o.counters;
   }
 
-let run_query_on (cfg : Config.t) setup =
+let run_query_on ?on_event (cfg : Config.t) setup =
   let outcome =
     match cfg.search with
     | Config.Ri _ ->
-        Query.run ~rng:setup.rng setup.network ~origin:setup.origin
+        Query.run ?on_event ~rng:setup.rng setup.network ~origin:setup.origin
           ~query:setup.query ~forwarding:Query.Ri_guided
     | Config.No_ri ->
-        Query.run ~rng:setup.rng setup.network ~origin:setup.origin
+        Query.run ?on_event ~rng:setup.rng setup.network ~origin:setup.origin
           ~query:setup.query ~forwarding:Query.Random_walk
     | Config.Flooding { ttl } ->
-        Query.flood setup.network ~origin:setup.origin ~query:setup.query ?ttl ()
+        Query.flood ?on_event setup.network ~origin:setup.origin
+          ~query:setup.query ?ttl ()
   in
   metrics_of_outcome cfg outcome
 
-let run_query cfg ~trial = run_query_on cfg (build ~purpose:For_query cfg ~trial)
+(* Tracing hooks: built only when a live sink exists, so the disabled
+   path passes [None] and the p2p layer keeps its no-op default. *)
+let query_hook sink =
+  if not (Trace.is_live sink) then None
+  else
+    Some
+      (function
+      | Query.Forwarded { sender; receiver } ->
+          Trace.emit sink ~cat:"query" "forward"
+            [ ("sender", Trace.Int sender); ("receiver", Trace.Int receiver) ]
+      | Query.Returned { sender; receiver } ->
+          Trace.emit sink ~cat:"query" "backtrack"
+            [ ("sender", Trace.Int sender); ("receiver", Trace.Int receiver) ]
+      | Query.Results { at; count } ->
+          Trace.emit sink ~cat:"query" "results"
+            [ ("at", Trace.Int at); ("count", Trace.Int count) ])
+
+let update_hook sink =
+  if not (Trace.is_live sink) then None
+  else
+    Some
+      (function
+      | Update.Delivered { sender; receiver; significant; forwarded } ->
+          Trace.emit sink ~cat:"update" "update_hop"
+            [
+              ("sender", Trace.Int sender);
+              ("receiver", Trace.Int receiver);
+              ("significant", Trace.Bool significant);
+              ("forwarded", Trace.Bool forwarded);
+            ])
+
+let emit_stop sink (m : query_metrics) =
+  if Trace.is_live sink then
+    Trace.emit sink ~cat:"query" "stop"
+      [
+        ( "reason",
+          Trace.Str (if m.satisfied then "satisfied" else "exhausted") );
+        ("found", Trace.Int m.found);
+        ("messages", Trace.Int m.messages);
+        ("nodes_visited", Trace.Int m.nodes_visited);
+      ]
+
+let traced_query (cfg : Config.t) ~trial setup =
+  Trace.with_trial ~trial (fun sink ->
+      let m =
+        Phase.time "query" (fun () ->
+            run_query_on ?on_event:(query_hook sink) cfg setup)
+      in
+      emit_stop sink m;
+      m)
+
+let run_query cfg ~trial =
+  traced_query cfg ~trial (build ~purpose:For_query cfg ~trial)
 
 let run_query_perturbed (cfg : Config.t) ~relative_stddev ~kind ~trial =
-  run_query_on cfg
+  traced_query cfg ~trial
     (build ~purpose:For_query ~perturb:(relative_stddev, kind) cfg ~trial)
 
 type parallel_metrics = {
@@ -159,20 +215,23 @@ let run_query_parallel (cfg : Config.t) ~branch ~trial =
   | Config.No_ri | Config.Flooding _ ->
       invalid_arg "Trial.run_query_parallel: needs an RI search mechanism");
   let setup = build ~purpose:For_query cfg ~trial in
-  let o =
-    Query.run_parallel setup.network ~origin:setup.origin ~query:setup.query
-      ~branch
-  in
-  {
-    par_messages = Message.query_messages o.Query.p_counters;
-    par_rounds = o.Query.p_rounds;
-    par_found = o.Query.p_found;
-    par_satisfied = o.Query.p_satisfied;
-  }
+  Trace.with_trial ~trial (fun sink ->
+      let o =
+        Phase.time "query" (fun () ->
+            Query.run_parallel
+              ?on_event:(query_hook sink)
+              setup.network ~origin:setup.origin ~query:setup.query ~branch)
+      in
+      {
+        par_messages = Message.query_messages o.Query.p_counters;
+        par_rounds = o.Query.p_rounds;
+        par_found = o.Query.p_found;
+        par_satisfied = o.Query.p_satisfied;
+      })
 
 type update_metrics = { update_messages : int; update_bytes : float }
 
-let run_update_on (cfg : Config.t) setup =
+let run_update_on ?on_event (cfg : Config.t) setup =
   let counters = Message.create () in
   (if Network.has_ri setup.network then begin
      (* One batch of document additions on a random topic at the origin
@@ -198,7 +257,8 @@ let run_update_on (cfg : Config.t) setup =
      let summary =
        Summary.make ~total:(base.Summary.total +. batch) ~by_topic
      in
-     Update.local_change setup.network ~origin:setup.origin ~summary ~counters
+     Update.local_change ?on_event setup.network ~origin:setup.origin ~summary
+       ~counters
    end);
   {
     update_messages = counters.Message.update_messages;
@@ -206,4 +266,8 @@ let run_update_on (cfg : Config.t) setup =
       float_of_int (counters.Message.update_messages * cfg.bytes.Message.update_bytes);
   }
 
-let run_update cfg ~trial = run_update_on cfg (build ~purpose:For_update cfg ~trial)
+let run_update cfg ~trial =
+  let setup = build ~purpose:For_update cfg ~trial in
+  Trace.with_trial ~trial (fun sink ->
+      Phase.time "update" (fun () ->
+          run_update_on ?on_event:(update_hook sink) cfg setup))

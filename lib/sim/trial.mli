@@ -51,9 +51,12 @@ val run_query : Config.t -> trial:int -> query_metrics
 (** Build a trial and run one query from its origin using the configured
     search mechanism. *)
 
-val run_query_on : Config.t -> setup -> query_metrics
+val run_query_on :
+  ?on_event:(Ri_p2p.Query.event -> unit) -> Config.t -> setup -> query_metrics
 (** Run the configured search on an existing setup (lets one setup be
-    shared across search mechanisms for paired comparisons). *)
+    shared across search mechanisms for paired comparisons).
+    [on_event] observes every query message; {!run_query} wires it to
+    the {!Ri_obs.Trace} recorder when tracing is on. *)
 
 val run_query_perturbed :
   Config.t ->
@@ -89,4 +92,5 @@ val run_update : Config.t -> trial:int -> update_metrics
     (Figure 18's workload).  Zero messages on No-RI/flooding networks,
     which maintain no indices. *)
 
-val run_update_on : Config.t -> setup -> update_metrics
+val run_update_on :
+  ?on_event:(Ri_p2p.Update.event -> unit) -> Config.t -> setup -> update_metrics

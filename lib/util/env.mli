@@ -1,19 +1,26 @@
 (** Environment-variable knobs, parsed one way everywhere.
 
     The simulator exposes a handful of tuning variables ([RI_NODES],
-    [RI_TRIALS], [RI_JOBS], [RI_MICRO], ...); every consumer used to
+    [RI_TRIALS], [RI_JOBS], [RI_OBS], ...); every consumer used to
     hand-roll its own parser.  These helpers centralize the policy: an
-    unset, unparsable or out-of-range value silently falls back to the
-    default, so a typo degrades to the documented behavior instead of
-    crashing a long batch run. *)
+    unset value falls back to the default silently; a malformed or
+    out-of-range value also falls back, but prints one warning per
+    variable on stderr, so a typo degrades to the documented behavior
+    instead of crashing a long batch run — or being silently ignored. *)
 
-val int : ?min:int -> string -> int -> int
+val int : ?min:int -> ?max:int -> string -> int -> int
 (** [int name default] is the value of environment variable [name]
-    parsed as an integer, or [default] when unset, unparsable, or below
-    [min] (default [1] — most knobs are positive counts). *)
+    parsed as an integer, or [default] when unset, unparsable, or
+    outside [[min, max]] (defaults [1] and [max_int] — most knobs are
+    positive counts).  Out-of-range and unparsable values warn once. *)
 
-val float : ?min:float -> string -> float -> float
-(** [float name default], same policy; [min] defaults to [0.]. *)
+val float : ?min:float -> ?max:float -> string -> float -> float
+(** [float name default], same policy; the range defaults to
+    [[0., infinity]]. *)
+
+val bool : string -> bool -> bool
+(** [bool name default] accepts [1/true/yes/on] and [0/false/no/off]
+    (case-insensitive); anything else warns once and falls back. *)
 
 val string : string -> string -> string
 (** [string name default] is the raw value, or [default] when unset. *)

@@ -12,7 +12,26 @@ type job = {
   chunk : int;
   next : int Atomic.t;  (* first unclaimed index *)
   remaining : int Atomic.t;  (* indices claimed but not yet credited *)
+  participants : int Atomic.t;  (* domains that claimed >= 1 chunk *)
   mutable failed : exn option;  (* first failure; protected by the pool mutex *)
+}
+
+type stats = {
+  waves : int;
+  items : int;
+  max_wave : int;
+  busy_domains : int;
+  submit_wait_s : float;
+}
+
+(* Utilization accounting is a few mutations per submitted wave, not per
+   item, so it stays on unconditionally. *)
+type stats_acc = {
+  mutable s_waves : int;
+  mutable s_items : int;
+  mutable s_max_wave : int;
+  mutable s_busy : int;
+  mutable s_wait : float;
 }
 
 type t = {
@@ -24,6 +43,7 @@ type t = {
   mutable gen : int;  (* bumped once per submitted job *)
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
+  acc : stats_acc;  (* protected by [m] *)
 }
 
 let jobs t = t.jobs
@@ -38,9 +58,14 @@ let record_failure t j e =
    is recorded but does not abandon the job — the range must be fully
    credited or the submitter would wait forever. *)
 let execute t j =
+  let claimed_any = ref false in
   let rec claim () =
     let start = Atomic.fetch_and_add j.next j.chunk in
     if start < j.n then begin
+      if not !claimed_any then begin
+        claimed_any := true;
+        Atomic.incr j.participants
+      end;
       let stop = min j.n (start + j.chunk) in
       (try
          for i = start to stop - 1 do
@@ -84,6 +109,7 @@ let create ~jobs:requested =
       gen = 0;
       stopped = false;
       domains = [];
+      acc = { s_waves = 0; s_items = 0; s_max_wave = 0; s_busy = 0; s_wait = 0. };
     }
   in
   t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
@@ -100,15 +126,49 @@ let shutdown t =
     t.domains <- []
   end
 
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      waves = t.acc.s_waves;
+      items = t.acc.s_items;
+      max_wave = t.acc.s_max_wave;
+      busy_domains = t.acc.s_busy;
+      submit_wait_s = t.acc.s_wait;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let reset_stats t =
+  Mutex.lock t.m;
+  t.acc.s_waves <- 0;
+  t.acc.s_items <- 0;
+  t.acc.s_max_wave <- 0;
+  t.acc.s_busy <- 0;
+  t.acc.s_wait <- 0.;
+  Mutex.unlock t.m
+
+let note_wave t ~n ~busy ~wait =
+  Mutex.lock t.m;
+  t.acc.s_waves <- t.acc.s_waves + 1;
+  t.acc.s_items <- t.acc.s_items + n;
+  if n > t.acc.s_max_wave then t.acc.s_max_wave <- n;
+  t.acc.s_busy <- t.acc.s_busy + busy;
+  t.acc.s_wait <- t.acc.s_wait +. wait;
+  Mutex.unlock t.m
+
 let iter ?(chunk = 1) t ~n f =
   if n < 0 then invalid_arg "Pool.iter: negative n";
   if t.stopped then invalid_arg "Pool.iter: pool is shut down";
   let chunk = max 1 chunk in
   if n > 0 then
-    if t.jobs = 1 || n = 1 then
+    if t.jobs = 1 || n = 1 then begin
       for i = 0 to n - 1 do
         f i
-      done
+      done;
+      note_wave t ~n ~busy:1 ~wait:0.
+    end
     else begin
       let j =
         {
@@ -117,6 +177,7 @@ let iter ?(chunk = 1) t ~n f =
           chunk;
           next = Atomic.make 0;
           remaining = Atomic.make n;
+          participants = Atomic.make 0;
           failed = None;
         }
       in
@@ -126,12 +187,17 @@ let iter ?(chunk = 1) t ~n f =
       Condition.broadcast t.has_work;
       Mutex.unlock t.m;
       execute t j;
+      (* Whatever the submitter now spends under [finished] is straggler
+         wait: its own share of the range is already drained. *)
+      let t0 = Unix.gettimeofday () in
       Mutex.lock t.m;
       while Atomic.get j.remaining > 0 do
         Condition.wait t.finished t.m
       done;
       t.job <- None;
       Mutex.unlock t.m;
+      note_wave t ~n ~busy:(Atomic.get j.participants)
+        ~wait:(Unix.gettimeofday () -. t0);
       match j.failed with Some e -> raise e | None -> ()
     end
 

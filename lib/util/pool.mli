@@ -34,6 +34,24 @@ val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  Submitting to a
     shut-down pool raises [Invalid_argument]. *)
 
+(** Utilization counters, accumulated per submitted wave (a few cheap
+    mutations per {!iter} call, so they are always on). *)
+type stats = {
+  waves : int;  (** jobs submitted, inline runs included *)
+  items : int;  (** total indices across all waves *)
+  max_wave : int;  (** largest single wave *)
+  busy_domains : int;
+      (** sum over waves of domains that claimed at least one chunk;
+          [busy_domains / waves] is the mean parallel width achieved *)
+  submit_wait_s : float;
+      (** total seconds the submitter spent blocked on stragglers after
+          draining its own share — queue-wait imbalance *)
+}
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** Create, run, and always shut down (exception-safe). *)
 

@@ -27,6 +27,7 @@ let () =
       Test_churn.suite;
       Test_paper_examples.suite;
       Test_pool.suite;
+      Test_obs.suite;
       Test_sim.suite;
       Test_experiments.suite;
       Test_extensions.suite;

@@ -1,0 +1,210 @@
+(* Observability layer: counter/gauge/histogram math, disabled-mode
+   no-op behavior, env boolean parsing, telemetry surfacing, and the
+   tentpole guarantee — trace output is byte-identical whatever the
+   pool width. *)
+
+open Ri_util
+open Ri_obs
+open Ri_sim
+
+let with_metrics f =
+  let was = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled was;
+      Metrics.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+
+let test_counter_math () =
+  with_metrics (fun () ->
+      let c = Metrics.counter ~help:"Test counter." "ri_test_counter_total" in
+      Metrics.incr c;
+      Metrics.add c 41;
+      Alcotest.(check int) "value" 42 (Metrics.counter_value c);
+      let text = Metrics.render () in
+      Alcotest.(check bool) "rendered" true
+        (Astring.String.is_infix ~affix:"ri_test_counter_total 42" text);
+      Alcotest.(check bool) "typed" true
+        (Astring.String.is_infix ~affix:"# TYPE ri_test_counter_total counter"
+           text))
+
+let test_gauge_math () =
+  with_metrics (fun () ->
+      let g = Metrics.gauge ~labels:[ ("k", "v") ] "ri_test_gauge" in
+      Metrics.set g 2.5;
+      Alcotest.(check (float 0.)) "value" 2.5 (Metrics.gauge_value g);
+      Alcotest.(check bool) "rendered with labels" true
+        (Astring.String.is_infix ~affix:"ri_test_gauge{k=\"v\"} 2.5"
+           (Metrics.render ())))
+
+let test_histogram_math () =
+  with_metrics (fun () ->
+      let h =
+        Metrics.histogram ~buckets:[| 1.; 2.; 5. |] "ri_test_hist"
+      in
+      List.iter (Metrics.observe h) [ 0.5; 1.5; 10.; 2.0 ];
+      Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+      Alcotest.(check (float 1e-9)) "sum" 14.0 (Metrics.hist_sum h);
+      Alcotest.(check (array int)) "raw buckets" [| 1; 2; 0; 1 |]
+        (Metrics.hist_buckets h);
+      let text = Metrics.render () in
+      (* Bucket counts are cumulative in the exposition format. *)
+      Alcotest.(check bool) "le=2 cumulative" true
+        (Astring.String.is_infix ~affix:"ri_test_hist_bucket{le=\"2\"} 3" text);
+      Alcotest.(check bool) "+Inf cumulative" true
+        (Astring.String.is_infix ~affix:"ri_test_hist_bucket{le=\"+Inf\"} 4"
+           text))
+
+let test_disabled_noop () =
+  let c = Metrics.counter "ri_test_disabled_total" in
+  let h = Metrics.histogram ~buckets:[| 1. |] "ri_test_disabled_hist" in
+  Metrics.set_enabled false;
+  Metrics.incr c;
+  Metrics.observe h 0.5;
+  let ran = ref false in
+  let v =
+    Phase.time "test-disabled-phase" (fun () ->
+        ran := true;
+        17)
+  in
+  Alcotest.(check int) "phase passes value through" 17 v;
+  Alcotest.(check bool) "phase body ran" true !ran;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.hist_count h)
+
+let test_registration_idempotent () =
+  let a = Metrics.counter "ri_test_idem_total" in
+  let b = Metrics.counter "ri_test_idem_total" in
+  with_metrics (fun () ->
+      Metrics.incr a;
+      Metrics.incr b;
+      Alcotest.(check int) "one underlying counter" 2 (Metrics.counter_value a));
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: ri_test_idem_total already registered as a counter")
+    (fun () -> ignore (Metrics.gauge "ri_test_idem_total"))
+
+(* ------------------------------------------------------------------ *)
+(* Env booleans (satellite: validated getters).                        *)
+
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv name (match old with Some v -> v | None -> ""))
+    f
+
+let test_env_bool () =
+  List.iter
+    (fun (raw, expect) ->
+      with_env "RI_TEST_BOOL" raw (fun () ->
+          Alcotest.(check bool) raw expect (Env.bool "RI_TEST_BOOL" false)))
+    [
+      ("1", true); ("true", true); ("YES", true); ("on", true);
+      ("0", false); ("false", false); ("No", false); ("off", false);
+      ("junk", false); ("", false);
+    ];
+  with_env "RI_TEST_BOOL" "junk" (fun () ->
+      Alcotest.(check bool) "junk keeps true default" true
+        (Env.bool "RI_TEST_BOOL" true))
+
+let test_env_int_range () =
+  with_env "RI_TEST_RANGE" "99" (fun () ->
+      Alcotest.(check int) "above max falls back" 5
+        (Env.int ~min:1 ~max:10 "RI_TEST_RANGE" 5));
+  with_env "RI_TEST_RANGE" "7" (fun () ->
+      Alcotest.(check int) "in range" 7 (Env.int ~min:1 ~max:10 "RI_TEST_RANGE" 5))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic tracing.                                              *)
+
+let small = Config.scaled Config.base ~num_nodes:300
+
+let trace_run jobs =
+  Trace.clear ();
+  Trace.start ();
+  Fun.protect ~finally:Trace.stop (fun () ->
+      let spec =
+        { Runner.min_trials = 3; max_trials = 6; target_rel_error = 0.05 }
+      in
+      Pool.with_pool ~jobs (fun pool ->
+          let cfg = Config.with_search small (Config.Ri (Config.eri small)) in
+          ignore
+            (Runner.run ~pool spec (fun ~trial ->
+                 float_of_int (Trial.run_query cfg ~trial).Trial.messages));
+          ignore
+            (Runner.run ~pool spec (fun ~trial ->
+                 float_of_int
+                   (Trial.run_update cfg ~trial).Trial.update_messages))));
+  let jsonl = Trace.render_jsonl () in
+  let chrome = Trace.render_chrome () in
+  Trace.clear ();
+  (jsonl, chrome)
+
+let test_trace_bit_identical () =
+  let jsonl1, chrome1 = trace_run 1 in
+  let jsonl4, chrome4 = trace_run 4 in
+  Alcotest.(check bool) "trace not empty" true (String.length jsonl1 > 0);
+  Alcotest.(check bool) "query hops recorded" true
+    (Astring.String.is_infix ~affix:"\"name\":\"forward\"" jsonl1);
+  Alcotest.(check bool) "stop conditions recorded" true
+    (Astring.String.is_infix ~affix:"\"name\":\"stop\"" jsonl1);
+  Alcotest.(check bool) "update hops recorded" true
+    (Astring.String.is_infix ~affix:"\"name\":\"update_hop\"" jsonl1);
+  Alcotest.(check string) "jsonl byte-identical at jobs 1 vs 4" jsonl1 jsonl4;
+  Alcotest.(check string) "chrome byte-identical at jobs 1 vs 4" chrome1 chrome4
+
+let test_chrome_shape () =
+  let _, chrome = trace_run 1 in
+  Alcotest.(check bool) "traceEvents envelope" true
+    (Astring.String.is_prefix ~affix:"{\"traceEvents\":[" chrome);
+  Alcotest.(check bool) "closes envelope" true
+    (Astring.String.is_suffix ~affix:"\"displayTimeUnit\":\"ms\"}\n" chrome)
+
+let test_trace_off_collects_nothing () =
+  Alcotest.(check bool) "not recording" false (Trace.recording ());
+  let cfg = Config.with_search small (Config.Ri (Config.eri small)) in
+  ignore (Trial.run_query cfg ~trial:0);
+  Alcotest.(check string) "no events" "" (Trace.render_jsonl ())
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry surfacing.                                                *)
+
+let test_telemetry_lines () =
+  let cache = Telemetry.cache_line () in
+  let pool = Telemetry.pool_line () in
+  Alcotest.(check bool) "cache line" true
+    (Astring.String.is_prefix ~affix:"setup-cache:" cache);
+  Alcotest.(check bool) "pool line" true
+    (Astring.String.is_prefix ~affix:"pool:" pool);
+  with_metrics (fun () ->
+      Telemetry.export_metrics ();
+      let text = Metrics.render () in
+      Alcotest.(check bool) "cache gauges exported" true
+        (Astring.String.is_infix ~affix:"ri_setup_cache_hits" text);
+      Alcotest.(check bool) "pool gauges exported" true
+        (Astring.String.is_infix ~affix:"ri_pool_jobs" text))
+
+let suite =
+  ( "observability",
+    [
+      Alcotest.test_case "counter math" `Quick test_counter_math;
+      Alcotest.test_case "gauge math" `Quick test_gauge_math;
+      Alcotest.test_case "histogram math" `Quick test_histogram_math;
+      Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_noop;
+      Alcotest.test_case "registration idempotent" `Quick
+        test_registration_idempotent;
+      Alcotest.test_case "env bool parsing" `Quick test_env_bool;
+      Alcotest.test_case "env int range" `Quick test_env_int_range;
+      Alcotest.test_case "trace byte-identical across jobs" `Quick
+        test_trace_bit_identical;
+      Alcotest.test_case "chrome trace shape" `Quick test_chrome_shape;
+      Alcotest.test_case "no recording without start" `Quick
+        test_trace_off_collects_nothing;
+      Alcotest.test_case "telemetry lines and gauges" `Quick
+        test_telemetry_lines;
+    ] )
