@@ -70,6 +70,57 @@ let spec_of trials rel_error =
     target_rel_error = rel_error;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Fault environment (query subcommand).                               *)
+
+let fault_loss_t =
+  let doc =
+    "Probability that an update message is lost in transit.  Loss only \
+     bites when updates actually flow, so pair it with $(b,--fault-drift)."
+  in
+  Arg.(value & opt float 0. & info [ "fault-loss" ] ~docv:"P" ~doc)
+
+let fault_crash_t =
+  let doc =
+    "Fraction of nodes crash-stopped before the trial (no goodbye \
+     message; neighbors discover the death when a forward times out)."
+  in
+  Arg.(value & opt float 0. & info [ "fault-crash" ] ~docv:"F" ~doc)
+
+let fault_delay_t =
+  let doc =
+    "Probability that an update message is delayed (applied whole \
+     update waves late) instead of arriving in order."
+  in
+  Arg.(value & opt float 0. & info [ "fault-delay" ] ~docv:"P" ~doc)
+
+let fault_drift_t =
+  let doc =
+    "Fraction of the query's results relocated before it runs, each \
+     move announced by a corrective update wave subject to the other \
+     fault rates — the staleness source."
+  in
+  Arg.(value & opt float 0. & info [ "fault-drift" ] ~docv:"F" ~doc)
+
+(* Any active rate turns on the full robustness machinery with the
+   fig_faults defaults: two retries with exponential backoff, and rows
+   that miss more than one update demoted to random ranking. *)
+let fault_spec_of ~loss ~crash ~delay ~drift =
+  if loss = 0. && crash = 0. && delay = 0. && drift = 0. then
+    Ri_p2p.Fault.none
+  else
+    {
+      Ri_p2p.Fault.none with
+      Ri_p2p.Fault.update_loss = loss;
+      update_delay = delay;
+      delay_waves = 2;
+      crash;
+      drift;
+      stale_after = Some 1;
+      retries = 2;
+      backoff = 1;
+    }
+
 let jobs_t =
   let doc =
     "Domains used to run trials in parallel (0 = the RI_JOBS environment \
@@ -175,21 +226,30 @@ let run_experiments ?csv_dir ids nodes seed trials rel_error =
     List.filter_map
       (fun id ->
         match Ri_experiments.Registry.find id with
-        | None -> Some id
-        | Some e ->
-            let t0 = Unix.gettimeofday () in
-            let report = e.Ri_experiments.Registry.run ~base ~spec in
-            Ri_experiments.Report.print report;
-            Printf.printf "(%.1fs)\n\n" (Unix.gettimeofday () -. t0);
-            (match csv_dir with
-            | None -> ()
-            | Some dir ->
-                let path = Filename.concat dir (id ^ ".csv") in
-                let oc = open_out path in
-                output_string oc (Ri_experiments.Report.to_csv report);
-                close_out oc;
-                Printf.printf "wrote %s\n\n" path);
-            None)
+        | None -> Some (id, "unknown experiment (try `risim list')")
+        | Some e -> (
+            try
+              let t0 = Unix.gettimeofday () in
+              let report = e.Ri_experiments.Registry.run ~base ~spec in
+              Ri_experiments.Report.print report;
+              Printf.printf "(%.1fs)\n\n" (Unix.gettimeofday () -. t0);
+              (match csv_dir with
+              | None -> ()
+              | Some dir ->
+                  let path = Filename.concat dir (id ^ ".csv") in
+                  let oc = open_out path in
+                  output_string oc (Ri_experiments.Report.to_csv report);
+                  close_out oc;
+                  Printf.printf "wrote %s\n\n" path);
+              None
+            with exn ->
+              (* Keep going — later experiments still run — but report
+                 the failure and make the whole invocation exit nonzero
+                 so CI cannot mistake a crashed sweep for a green one. *)
+              let bt = Printexc.get_backtrace () in
+              Printf.eprintf "experiment %s raised: %s\n%s%!" id
+                (Printexc.to_string exn) bt;
+              Some (id, Printexc.to_string exn)))
       ids
   in
   (* Surface the run's execution telemetry: what the setup cache saved
@@ -197,11 +257,11 @@ let run_experiments ?csv_dir ids nodes seed trials rel_error =
   Printf.printf "%s\n%s\n" (Telemetry.cache_line ()) (Telemetry.pool_line ());
   match failures with
   | [] -> `Ok ()
-  | unknown ->
+  | failed ->
       `Error
         ( false,
-          Printf.sprintf "unknown experiment(s): %s (try `risim list')"
-            (String.concat ", " unknown) )
+          String.concat "; "
+            (List.map (fun (id, msg) -> id ^ ": " ^ msg) failed) )
 
 let csv_dir_t =
   let doc = "Also write each experiment's table as $(docv)/<id>.csv." in
@@ -234,37 +294,57 @@ let all_cmd =
       Ri_experiments.Registry.ids
       @ if with_extensions then Ri_experiments.Registry.extension_ids else []
     in
-    match
-      with_obs metrics trace fmt (fun () ->
-          run_experiments ids nodes seed trials rel_error)
-    with
-    | `Ok () -> ()
-    | `Error _ -> assert false
+    with_obs metrics trace fmt (fun () ->
+        run_experiments ids nodes seed trials rel_error)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every figure of the evaluation section")
     Term.(
-      const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ with_extensions_t
-      $ jobs_t $ metrics_t $ trace_t $ trace_format_t)
+      ret
+        (const run $ nodes_t $ seed_t $ trials_t $ rel_error_t
+       $ with_extensions_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t))
+
+let print_query_metrics cfg ~nodes ~trial (m : Trial.query_metrics) =
+  Printf.printf
+    "search=%s topology=%s nodes=%d trial=%d\n\
+     messages=%d (forwards=%d returns=%d results=%d)\n\
+     found=%d satisfied=%b nodes_visited=%d bytes=%.0f\n"
+    (Config.search_name cfg.Config.search)
+    (Config.topology_name cfg.Config.topology)
+    nodes trial m.Trial.messages m.Trial.forwards m.Trial.returns
+    m.Trial.results m.Trial.found m.Trial.satisfied m.Trial.nodes_visited
+    m.Trial.bytes
 
 let query_cmd =
-  let run nodes seed topology search trial metrics trace fmt =
+  let run nodes seed topology search trial loss crash delay drift metrics
+      trace fmt =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
+    let fault = fault_spec_of ~loss ~crash ~delay ~drift in
+    let cfg = { cfg with Config.fault } in
     match Config.validate cfg with
     | Error msg -> `Error (false, msg)
-    | Ok () ->
+    | Ok () when not (Ri_p2p.Fault.active fault) ->
         let m = with_obs metrics trace fmt (fun () -> Trial.run_query cfg ~trial) in
+        print_query_metrics cfg ~nodes ~trial m;
+        `Ok ()
+    | Ok () ->
+        let m =
+          with_obs metrics trace fmt (fun () -> Trial.run_query_faulty cfg ~trial)
+        in
+        print_query_metrics cfg ~nodes ~trial m.Trial.f_query;
+        let st = m.Trial.f_stats in
         Printf.printf
-          "search=%s topology=%s nodes=%d trial=%d\n\
-           messages=%d (forwards=%d returns=%d results=%d)\n\
-           found=%d satisfied=%b nodes_visited=%d bytes=%.0f\n"
-          (Config.search_name cfg.Config.search)
-          (Config.topology_name cfg.Config.topology)
-          nodes trial m.Trial.messages m.Trial.forwards m.Trial.returns
-          m.Trial.results m.Trial.found m.Trial.satisfied m.Trial.nodes_visited
-          m.Trial.bytes;
+          "recall=%.2f (clean_found=%d) drift_messages=%d repair_messages=%d\n\
+           faults: crashes=%d drops=%d dead_drops=%d delays=%d timeouts=%d \
+           retries=%d fallbacks=%d repairs=%d\n"
+          m.Trial.f_recall m.Trial.f_clean_found m.Trial.f_drift_messages
+          m.Trial.f_repair_messages st.Ri_p2p.Fault.crashes
+          st.Ri_p2p.Fault.update_drops st.Ri_p2p.Fault.update_dead
+          st.Ri_p2p.Fault.update_delays st.Ri_p2p.Fault.timeouts
+          st.Ri_p2p.Fault.retries_used st.Ri_p2p.Fault.fallbacks
+          st.Ri_p2p.Fault.repairs;
         `Ok ()
   in
   let trial_t =
@@ -275,6 +355,7 @@ let query_cmd =
     Term.(
       ret
         (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
+       $ fault_loss_t $ fault_crash_t $ fault_delay_t $ fault_drift_t
        $ metrics_t $ trace_t $ trace_format_t))
 
 let topology_cmd =
@@ -340,6 +421,7 @@ let update_cmd =
        $ metrics_t $ trace_t $ trace_format_t))
 
 let () =
+  Printexc.record_backtrace true;
   let doc = "Routing Indices for Peer-to-Peer Systems - simulator" in
   let info = Cmd.info "risim" ~version:"1.0.0" ~doc in
   exit

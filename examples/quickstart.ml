@@ -114,7 +114,10 @@ let () =
         | Query.Returned { sender; receiver } ->
             Printf.printf "  %s -> %s  (return)\n" (name sender) (name receiver)
         | Query.Results { at; count } ->
-            Printf.printf "  %s reports %d matching documents\n" (name at) count)
+            Printf.printf "  %s reports %d matching documents\n" (name at) count
+        | Query.Timed_out _ | Query.Gave_up _ | Query.Reconciled _ ->
+            (* Fault-injection events; this walkthrough runs fault-free. *)
+            ())
   in
   Printf.printf "\nRouted query:   found %d documents, %d forwards, %d returns, %d result msgs\n"
     outcome.Query.found outcome.Query.counters.Message.query_forwards

@@ -1,0 +1,118 @@
+(** Fault plane — beyond the paper.
+
+    The paper's evaluation assumes a cooperative network; this sweep
+    measures how each search mechanism degrades when it is not one.
+    At each fault level L, update messages are lost with probability L
+    (and delayed with L/2), L/4 of the nodes crash-stop without a
+    goodbye, live links flap with L/20, and 75% of the query results
+    are relocated beforehand by corrective waves subject to those same
+    faults — so routing indices genuinely go stale.  Every RI scheme
+    runs twice: once degrading gracefully (rows with detected update
+    gaps fall back to No-RI random ranking) and once trusting stale
+    rows.  Recall is the fraction of the fault-free result count still
+    found; messages-per-result includes the lazy anti-entropy repairs
+    the query triggers. *)
+
+open Ri_sim
+open Ri_p2p
+
+let id = "faults"
+
+let title = "Fault plane: recall and traffic vs update-loss rate"
+
+let paper_claim =
+  "Beyond the paper (robustness): recall degrades monotonically with the \
+   fault rate for every mechanism; RI schemes that demote stale rows to \
+   random ranking pay fewer messages per result than schemes trusting \
+   garbage counts once loss reaches ~10%."
+
+let levels = [ 0.0; 0.05; 0.1; 0.2; 0.4 ]
+
+(* One knob drives the whole environment so the sweep stays
+   one-dimensional; the ratios keep each fault class noticeable without
+   letting one dominate.  The kill stream is shared across levels (same
+   seed and trial), so a level's dead set is a superset of every lower
+   level's — recall degradation is paired per-trial, not noise. *)
+let spec_at ~fallback ~budget level =
+  {
+    Fault.update_loss = level;
+    update_delay = level /. 2.;
+    delay_waves = 2;
+    crash = level /. 4.;
+    link_flap = level /. 20.;
+    drift = 0.75;
+    (* Threshold 1: a single missed update is forgiven — the stored
+       value is usually still serviceable and the next clean delivery
+       heals the gap — but a row whose peer stayed silent twice is
+       demoted.  That targets rows toward crash-stopped nodes (which
+       re-mark on every wave that probes them, and advertise a subtree
+       nothing can reach) and, as loss grows, the double-drop rows
+       whose share rises with the square of the loss rate. *)
+    stale_after = (if fallback then Some 1 else None);
+    retries = 2;
+    backoff = 1;
+    query_budget = budget;
+  }
+
+let walk_budget (base : Config.t) = Some (2 * base.Config.num_nodes)
+
+let faulty_cells (cfg : Config.t) ~spec =
+  (* One Runner sweep drives both metrics: the adaptive rule follows
+     messages-per-result, recall is stashed per trial (distinct slots,
+     so parallel trials never race) and averaged over whatever trials
+     the rule decided to run. *)
+  let recalls = Array.make spec.Runner.max_trials Float.nan in
+  let s =
+    Runner.run spec (fun ~trial ->
+        let m = Trial.run_query_faulty cfg ~trial in
+        recalls.(trial) <- m.Trial.f_recall;
+        m.Trial.f_messages_per_result)
+  in
+  let rs =
+    Array.to_list recalls |> List.filter (fun x -> not (Float.is_nan x))
+  in
+  let recall =
+    List.fold_left ( +. ) 0. rs /. float_of_int (max 1 (List.length rs))
+  in
+  (Report.cell_mean s, Report.cell_number ~decimals:2 recall)
+
+let run ~base ~spec =
+  let groups =
+    List.concat_map
+      (fun (name, search) ->
+        [
+          (name ^ " fallback", search, true, walk_budget base);
+          (name ^ " trust-stale", search, false, walk_budget base);
+        ])
+      (Common.ri_searches base)
+    @ [
+        ("No-RI", Config.No_ri, true, walk_budget base);
+        (* Flooding pays every link regardless; capping it would only
+           truncate the reference curve. *)
+        ("Flooding", Config.Flooding { ttl = None }, true, None);
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, search, fallback, budget) ->
+        let cells =
+          List.map
+            (fun level ->
+              let fault = spec_at ~fallback ~budget level in
+              let cfg = { (Config.with_search base search) with Config.fault } in
+              faulty_cells cfg ~spec)
+            levels
+        in
+        [
+          Report.cell_text name
+          :: Report.cell_text "msg/result"
+          :: List.map fst cells;
+          Report.cell_text "" :: Report.cell_text "recall" :: List.map snd cells;
+        ])
+      groups
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:
+      ("Search" :: "Metric"
+      :: List.map (fun l -> Printf.sprintf "loss %.0f%%" (100. *. l)) levels)
+    ~rows

@@ -1,0 +1,19 @@
+(** Fault-plane sweep (beyond the paper): recall and
+    messages-per-result vs update-loss rate for CRI / HRI / ERI (with
+    and without stale-row fallback), No-RI and flooding, under message
+    loss, delay, crash-stop churn, link flaps and content drift.
+
+    See the implementation's header comment for the environment's
+    construction. *)
+
+val id : string
+(** Registry handle ("faults"). *)
+
+val title : string
+
+val paper_claim : string
+(** The beyond-paper robustness finding this experiment checks. *)
+
+val run : base:Ri_sim.Config.t -> spec:Ri_sim.Runner.spec -> Report.t
+(** Execute the sweep against the given base configuration, each data
+    point run to the spec's confidence target. *)

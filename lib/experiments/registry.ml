@@ -38,6 +38,7 @@ let extensions =
     { id = Abl_parallel.id; title = Abl_parallel.title; run = Abl_parallel.run };
     { id = Abl_batch.id; title = Abl_batch.title; run = Abl_batch.run };
     { id = Abl_storage.id; title = Abl_storage.title; run = Abl_storage.run };
+    { id = Fig_faults.id; title = Fig_faults.title; run = Fig_faults.run };
   ]
 
 let everything = all @ extensions

@@ -71,6 +71,11 @@ let disconnect_link net u v ~counters =
 
 let disconnect_node net v ~counters =
   let former = Array.to_list (Network.neighbors net v) in
+  (* Sever every link before any announcement: the leaving node takes
+     no part in the protocol, and on a cyclic overlay a still-attached
+     leaver would relay the very waves announcing its departure,
+     re-creating the rows its ex-neighbors just removed. *)
+  List.iter (fun u -> Network.remove_link net u v) former;
   (* The former neighbors detect the loss, clean up and spread the news,
      without any participation of the leaving node. *)
   List.iter
@@ -83,7 +88,6 @@ let disconnect_node net v ~counters =
         Update.wave net ~seeds ~already_reached:[ u ] ~counters
       end)
     former;
-  List.iter (fun u -> Network.remove_link net u v) former;
   (* The departed node itself starts over: when it later rejoins, it
      must look like "a newly connected node [that] sends a summary of
      its local index" (Section 5.1), not one advertising a network it
@@ -93,3 +97,66 @@ let disconnect_node net v ~counters =
     List.iter (fun peer -> Scheme.remove_row ri ~peer) (Scheme.peers ri)
   end;
   former
+
+let crash_stop net v ~plan =
+  if v < 0 || v >= Network.size net then
+    invalid_arg "Churn.crash_stop: node out of range";
+  Fault.kill plan v
+
+let detect_crash net u ~dead ~plan =
+  if Fault.learn_dead plan ~at:u ~dead then begin
+    (if Network.has_ri net then
+       let ri = Network.ri net u in
+       match Scheme.row ri ~peer:dead with
+       | Some _ ->
+           Scheme.remove_row ri ~peer:dead;
+           Fault.note_repair plan
+       | None -> ());
+    Fault.set_dirty plan u;
+    true
+  end
+  else false
+
+let reconcile net u v ~plan ~counters =
+  (* Death certificates ride along for free: each side applies the
+     other's presumed-dead list, removing any row it still holds for a
+     newly learned corpse, and becomes dirty in turn so the news keeps
+     spreading lazily. *)
+  let gossip src dst =
+    List.iter
+      (fun corpse ->
+        if corpse <> dst && Fault.learn_dead plan ~at:dst ~dead:corpse then begin
+          (if Network.has_ri net then
+             let ri = Network.ri net dst in
+             match Scheme.row ri ~peer:corpse with
+             | Some _ ->
+                 Scheme.remove_row ri ~peer:corpse;
+                 Fault.note_repair plan
+             | None -> ());
+          Fault.set_dirty plan dst
+        end)
+      (Fault.known_dead_of plan src)
+  in
+  gossip u v;
+  gossip v u;
+  if Network.has_ri net then begin
+    (* Full-state exchange across the link, like the initial handshake
+       of {!connect}: two update messages, both rows rewritten from the
+       current exports, any recorded gaps healed.  No onward wave — the
+       repair stays lazy; each further link reconciles on its own first
+       contact. *)
+    counters.Message.update_messages <- counters.Message.update_messages + 2;
+    let to_v = Network.export_to net u ~peer:v in
+    let to_u = Network.export_to net v ~peer:u in
+    Scheme.set_row (Network.ri net v) ~peer:u to_v;
+    Scheme.set_row (Network.ri net u) ~peer:v to_u;
+    (* The exchanged aggregates are only as good as their inputs: a gap
+       heals only when the counterpart's export was built from gap-free
+       rows, exactly as for a wave delivery.  Both taints are judged
+       against the pre-exchange state the exports were computed from. *)
+    let u_trustworthy = not (Fault.tainted plan ~at:u ~toward:v) in
+    let v_trustworthy = not (Fault.tainted plan ~at:v ~toward:u) in
+    if v_trustworthy then Fault.clear_missed plan ~at:u ~peer:v;
+    if u_trustworthy then Fault.clear_missed plan ~at:v ~peer:u;
+    Fault.note_repair plan
+  end

@@ -43,3 +43,34 @@ val disconnect_node : Network.t -> int -> counters:Message.counters -> int list
     departed node.  Returns the former neighbor list.  The departed
     node's own RI rows are cleared locally (no messages), so a later
     {!connect} behaves like the fresh join of Section 5.1. *)
+
+(** {2 Crash-stop churn (fault injection)}
+
+    Unlike {!disconnect_node} — where the neighbors notice the closed
+    connection immediately and clean up in one synchronized step — a
+    crash-stopped node just goes silent.  The overlay still routes
+    messages at it; each neighbor discovers the death independently,
+    when its own query forward exhausts its retries ({!Query.run} with
+    a plan), and repairs spread lazily rather than by an eager wave. *)
+
+val crash_stop : Network.t -> int -> plan:Fault.t -> unit
+(** Kill the node in the plan's failure model.  No messages, no RI
+    changes, no adjacency change: the silence {e is} the fault.
+    @raise Invalid_argument on an out-of-range node. *)
+
+val detect_crash : Network.t -> int -> dead:int -> plan:Fault.t -> bool
+(** [detect_crash net u ~dead ~plan]: node [u] has presumed [dead]
+    dead (every retry timed out).  Removes [u]'s row for the corpse (a
+    repair: the garbage entry would otherwise keep attracting
+    queries), records the death certificate, and marks [u] dirty so
+    its next contacts reconcile.  Returns [false] if [u] already
+    knew. *)
+
+val reconcile :
+  Network.t -> int -> int -> plan:Fault.t -> counters:Message.counters -> unit
+(** Lazy anti-entropy on first contact: the two endpoints exchange
+    full current aggregates (two update messages), overwriting both
+    rows and healing any recorded missed-update gaps, and gossip their
+    presumed-dead lists — each side drops rows for newly learned
+    corpses and becomes dirty in turn, so death certificates percolate
+    along future query paths instead of by broadcast. *)

@@ -1,0 +1,321 @@
+open Ri_util
+
+type spec = {
+  update_loss : float;
+  update_delay : float;
+  delay_waves : int;
+  crash : float;
+  link_flap : float;
+  drift : float;
+  stale_after : int option;
+  retries : int;
+  backoff : int;
+  query_budget : int option;
+}
+
+let none =
+  {
+    update_loss = 0.;
+    update_delay = 0.;
+    delay_waves = 0;
+    crash = 0.;
+    link_flap = 0.;
+    drift = 0.;
+    stale_after = None;
+    retries = 0;
+    backoff = 0;
+    query_budget = None;
+  }
+
+let active s =
+  s.update_loss > 0. || s.update_delay > 0. || s.crash > 0.
+  || s.link_flap > 0. || s.drift > 0.
+
+let validate s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let prob name v =
+    if v < 0. || v > 1. then Some (name, v) else None
+  in
+  match
+    List.find_map
+      (fun x -> x)
+      [
+        prob "update_loss" s.update_loss;
+        prob "update_delay" s.update_delay;
+        prob "crash" s.crash;
+        prob "link_flap" s.link_flap;
+        prob "drift" s.drift;
+      ]
+  with
+  | Some (name, v) -> err "%s must be a probability, got %g" name v
+  | None ->
+      if s.crash >= 1. then err "crash must leave survivors (< 1)"
+      else if s.delay_waves < 0 then err "delay_waves must be non-negative"
+      else if s.retries < 0 then err "retries must be non-negative"
+      else if s.backoff < 0 then err "backoff must be non-negative"
+      else if (match s.stale_after with Some k -> k < 0 | None -> false) then
+        err "stale_after must be non-negative"
+      else if (match s.query_budget with Some b -> b <= 0 | None -> false)
+      then err "query_budget must be positive"
+      else Ok ()
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[loss=%g delay=%g(+%dw) crash=%g flap=%g drift=%g stale>%s retries=%d \
+     backoff=%d budget=%s@]"
+    s.update_loss s.update_delay s.delay_waves s.crash s.link_flap s.drift
+    (match s.stale_after with Some k -> string_of_int k | None -> "off")
+    s.retries s.backoff
+    (match s.query_budget with Some b -> string_of_int b | None -> "inf")
+
+type stats = {
+  mutable crashes : int;
+  mutable update_drops : int;
+  mutable update_dead : int;
+  mutable update_delays : int;
+  mutable timeouts : int;
+  mutable retries_used : int;
+  mutable backoff_total : int;
+  mutable fallbacks : int;
+  mutable repairs : int;
+  mutable budget_stops : int;
+}
+
+type t = {
+  spec : spec;
+  update_rng : Prng.t;  (* drop/delay draws, one or two per message *)
+  query_rng : Prng.t;  (* flap draws *)
+  drift_rng : Prng.t;  (* donor/recipient picks for content drift *)
+  fallback_rng : Prng.t;
+      (* stale-row shuffles; separate from the flap stream so a
+         fallback and a trust-stale run of the same plan stay paired on
+         every timeout draw *)
+  dead : bool array;
+  (* (at, peer) -> updates from [peer] that [at] detectably missed *)
+  missed : (int * int, int) Hashtbl.t;
+  (* per-node count of distinct open gaps — nonzero means the node's
+     own aggregates are computed from suspect inputs *)
+  gaps : int array;
+  (* (at, dead) death certificates, plus per-node learn order *)
+  certs : (int * int, unit) Hashtbl.t;
+  learned : (int, int list) Hashtbl.t;  (* reverse learn order *)
+  dirty : bool array;
+  stats : stats;
+}
+
+(* ri_fault_* counters: registered once, bumped from the note_* helpers
+   so every surface (CLI, experiments, tests) shares them. *)
+let m_crashes =
+  Ri_obs.Metrics.counter ~help:"Nodes crash-stopped by fault plans."
+    "ri_fault_crashes_total"
+
+let m_drops =
+  Ri_obs.Metrics.counter ~help:"Update messages lost in transit."
+    "ri_fault_update_drops_total"
+
+let m_dead_updates =
+  Ri_obs.Metrics.counter ~help:"Update messages addressed to dead nodes."
+    "ri_fault_update_dead_total"
+
+let m_delays =
+  Ri_obs.Metrics.counter ~help:"Update messages delayed in transit."
+    "ri_fault_update_delays_total"
+
+let m_timeouts =
+  Ri_obs.Metrics.counter ~help:"Query forwards that timed out."
+    "ri_fault_timeouts_total"
+
+let m_retries =
+  Ri_obs.Metrics.counter ~help:"Query forwards retried after a timeout."
+    "ri_fault_retries_total"
+
+let m_fallbacks =
+  Ri_obs.Metrics.counter
+    ~help:"Stale RI rows demoted to random (No-RI) ranking."
+    "ri_fault_stale_fallbacks_total"
+
+let m_repairs =
+  Ri_obs.Metrics.counter
+    ~help:"RI rows repaired by crash detection or anti-entropy."
+    "ri_fault_repairs_total"
+
+let m_budget_stops =
+  Ri_obs.Metrics.counter ~help:"Queries cut off by the fault budget."
+    "ri_fault_budget_stops_total"
+
+let spec t = t.spec
+
+let query_budget t =
+  match t.spec.query_budget with Some b -> b | None -> max_int
+
+let is_dead t v = t.dead.(v)
+
+let crashed t = t.stats.crashes
+
+let kill t v =
+  if not t.dead.(v) then begin
+    t.dead.(v) <- true;
+    t.stats.crashes <- t.stats.crashes + 1;
+    Ri_obs.Metrics.incr m_crashes
+  end
+
+let make s ~seed ~trial ~nodes ~protect =
+  (match validate s with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fault.make: " ^ msg));
+  if nodes < 1 then invalid_arg "Fault.make: empty network";
+  (* The plan's master stream depends only on (seed, trial): it is never
+     split from the trial master, so an inert plan leaves every existing
+     stream untouched and disabled faults reproduce bit-for-bit. *)
+  let master =
+    Prng.create ((seed * 0x1000003) lxor (trial * 0x9e3779b1) lxor 0xfa0175)
+  in
+  let crash_rng = Prng.split master in
+  let update_rng = Prng.split master in
+  let query_rng = Prng.split master in
+  let drift_rng = Prng.split master in
+  let fallback_rng = Prng.split master in
+  let t =
+    {
+      spec = s;
+      update_rng;
+      query_rng;
+      drift_rng;
+      fallback_rng;
+      dead = Array.make nodes false;
+      missed = Hashtbl.create 64;
+      gaps = Array.make nodes 0;
+      certs = Hashtbl.create 16;
+      learned = Hashtbl.create 16;
+      dirty = Array.make nodes false;
+      stats =
+        {
+          crashes = 0;
+          update_drops = 0;
+          update_dead = 0;
+          update_delays = 0;
+          timeouts = 0;
+          retries_used = 0;
+          backoff_total = 0;
+          fallbacks = 0;
+          repairs = 0;
+          budget_stops = 0;
+        };
+    }
+  in
+  let protected_ v = List.mem v protect in
+  let victims =
+    min
+      (int_of_float (Float.round (s.crash *. float_of_int nodes)))
+      (max 0 (nodes - 1 - List.length protect))
+  in
+  let killed = ref 0 in
+  while !killed < victims do
+    let v = Prng.int crash_rng nodes in
+    if (not (protected_ v)) && not t.dead.(v) then begin
+      kill t v;
+      incr killed
+    end
+  done;
+  t
+
+let knows_dead t ~at ~dead = Hashtbl.mem t.certs (at, dead)
+
+let learn_dead t ~at ~dead =
+  if Hashtbl.mem t.certs (at, dead) then false
+  else begin
+    Hashtbl.replace t.certs (at, dead) ();
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.learned at) in
+    Hashtbl.replace t.learned at (dead :: prev);
+    true
+  end
+
+let known_dead_of t at =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.learned at))
+
+let dirty t v = t.dirty.(v)
+
+let set_dirty t v = t.dirty.(v) <- true
+
+let drop_update t = Prng.bernoulli t.update_rng t.spec.update_loss
+
+let delay_update t = Prng.bernoulli t.update_rng t.spec.update_delay
+
+let flap t = Prng.bernoulli t.query_rng t.spec.link_flap
+
+let shuffle t arr = Prng.shuffle_in_place t.fallback_rng arr
+
+let drift_int t bound = Prng.int t.drift_rng bound
+
+let note_missed t ~at ~peer =
+  let k = (at, peer) in
+  match Hashtbl.find_opt t.missed k with
+  | None ->
+      t.gaps.(at) <- t.gaps.(at) + 1;
+      Hashtbl.replace t.missed k 1
+  | Some n -> Hashtbl.replace t.missed k (n + 1)
+
+let clear_missed t ~at ~peer =
+  if Hashtbl.mem t.missed (at, peer) then begin
+    Hashtbl.remove t.missed (at, peer);
+    t.gaps.(at) <- t.gaps.(at) - 1
+  end
+
+(* Is [at]'s export toward [toward] built from suspect inputs?  A gap on
+   the (at, toward) row itself does not count: that row is excluded from
+   the aggregate sent to [toward]. *)
+let tainted t ~at ~toward =
+  t.gaps.(at) > if Hashtbl.mem t.missed (at, toward) then 1 else 0
+
+let missed t ~at ~peer =
+  Option.value ~default:0 (Hashtbl.find_opt t.missed (at, peer))
+
+let fallback t = t.spec.stale_after <> None
+
+let stale t ~at ~peer =
+  match t.spec.stale_after with
+  | None -> false
+  | Some threshold -> missed t ~at ~peer > threshold
+
+let retries t = t.spec.retries
+
+let backoff_ticks t ~attempt = t.spec.backoff * (1 lsl min attempt 20)
+
+let stats t = t.stats
+
+let note_drop t ~dead =
+  if dead then begin
+    t.stats.update_dead <- t.stats.update_dead + 1;
+    Ri_obs.Metrics.incr m_dead_updates
+  end
+  else begin
+    t.stats.update_drops <- t.stats.update_drops + 1;
+    Ri_obs.Metrics.incr m_drops
+  end
+
+let note_delay t =
+  t.stats.update_delays <- t.stats.update_delays + 1;
+  Ri_obs.Metrics.incr m_delays
+
+let note_timeout t ~attempt =
+  t.stats.timeouts <- t.stats.timeouts + 1;
+  t.stats.backoff_total <- t.stats.backoff_total + backoff_ticks t ~attempt;
+  Ri_obs.Metrics.incr m_timeouts
+
+let note_retry t =
+  t.stats.retries_used <- t.stats.retries_used + 1;
+  Ri_obs.Metrics.incr m_retries
+
+let note_fallbacks t n =
+  if n > 0 then begin
+    t.stats.fallbacks <- t.stats.fallbacks + n;
+    Ri_obs.Metrics.add m_fallbacks n
+  end
+
+let note_repair t =
+  t.stats.repairs <- t.stats.repairs + 1;
+  Ri_obs.Metrics.incr m_repairs
+
+let note_budget_stop t =
+  t.stats.budget_stops <- t.stats.budget_stops + 1;
+  Ri_obs.Metrics.incr m_budget_stops

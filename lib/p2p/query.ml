@@ -16,6 +16,9 @@ type event =
   | Forwarded of { sender : int; receiver : int }
   | Returned of { sender : int; receiver : int }
   | Results of { at : int; count : int }
+  | Timed_out of { sender : int; receiver : int; attempt : int }
+  | Gave_up of { sender : int; receiver : int }
+  | Reconciled of { a : int; b : int }
 
 (* Aggregate per-query message counts land in the metrics registry once
    per query, from the outcome counters — never per message. *)
@@ -59,9 +62,14 @@ let record_outcome kind o =
 
 type frame = { node : int; from : int; mutable pending : int list }
 
-let run ?rng ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~forwarding =
+let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
+    ~forwarding =
   let n = Network.size net in
   if origin < 0 || origin >= n then invalid_arg "Query.run: origin out of range";
+  (match plan with
+  | Some p when Fault.is_dead p origin ->
+      invalid_arg "Query.run: origin is crash-stopped"
+  | _ -> ());
   (match forwarding with
   | Ri_guided ->
       if not (Network.has_ri net) then
@@ -104,7 +112,12 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~forwarding 
     end
   in
   let order_neighbors u ~from =
-    let is_candidate v = v <> from && sends u v < max_sends in
+    let is_candidate v =
+      v <> from && sends u v < max_sends
+      && match plan with
+         | Some p -> not (Fault.knows_dead p ~at:u ~dead:v)
+         | None -> true
+    in
     match forwarding with
     | Random_walk ->
         let nbrs = Network.neighbors net u in
@@ -121,16 +134,62 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~forwarding 
           nbrs;
         Prng.shuffle_in_place rng cands;
         Array.to_list cands
-    | Ri_guided ->
+    | Ri_guided -> (
         (* Only neighbors the RI knows about are candidates: on a rooted
            construction that is exactly the downstream neighbors, and on
            a converged network every link has a row. *)
-        Scheme.rank_peers (Network.ri net u) ~query:projected ~keep:is_candidate
+        match plan with
+        | Some p when Fault.fallback p ->
+            (* Graceful degradation: rows with detectable update gaps are
+               not trusted — fresh rows rank by goodness as usual, stale
+               ones follow in random (No-RI) order.  Demotion alone does
+               most of the work: a garbage count can no longer outbid an
+               honest one. *)
+            let fresh v = not (Fault.stale p ~at:u ~peer:v) in
+            let ranked =
+              Scheme.rank_peers (Network.ri net u) ~query:projected
+                ~keep:(fun v -> is_candidate v && fresh v)
+            in
+            let stale =
+              List.filter
+                (fun v -> is_candidate v && not (fresh v))
+                (List.sort compare (Scheme.peers (Network.ri net u)))
+            in
+            if stale = [] then ranked
+            else begin
+              let arr = Array.of_list stale in
+              Fault.shuffle p arr;
+              Fault.note_fallbacks p (Array.length arr);
+              ranked @ Array.to_list arr
+            end
+        | _ ->
+            Scheme.rank_peers (Network.ri net u) ~query:projected
+              ~keep:is_candidate)
+  in
+  let budget = match plan with Some p -> Fault.query_budget p | None -> max_int in
+  let budget_stopped = ref false in
+  (* Link pairs already reconciled during this query; anti-entropy runs
+     once per link however many times the walk crosses it. *)
+  let reconciled : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let stack = ref [] in
+  let descend top v =
+    if Network.cycle_policy net = Network.Detect_recover && visited.(v) then begin
+      (* The revisited node detects the duplicate and bounces the
+         query straight back. *)
+      counters.query_returns <- counters.query_returns + 1;
+      on_event (Returned { sender = v; receiver = top.node })
+    end
+    else begin
+      process_visit v;
+      if !remaining > 0 then
+        stack :=
+          { node = v; from = top.node; pending = order_neighbors v ~from:top.node }
+          :: !stack
+    end
   in
   process_visit origin;
-  let stack = ref [] in
-  if !remaining > 0 then
-    stack := [ { node = origin; from = -1; pending = order_neighbors origin ~from:(-1) } ];
+  (if !remaining > 0 then
+     stack := [ { node = origin; from = -1; pending = order_neighbors origin ~from:(-1) } ]);
   while !stack <> [] && !remaining > 0 do
     match !stack with
     | [] -> ()
@@ -143,25 +202,81 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~forwarding 
               counters.query_returns <- counters.query_returns + 1;
               on_event (Returned { sender = top.node; receiver = top.from })
             end
-        | v :: pending ->
+        | v :: pending -> (
             top.pending <- pending;
-            Hashtbl.replace sent (top.node, v) (sends top.node v + 1);
-            counters.query_forwards <- counters.query_forwards + 1;
-            on_event (Forwarded { sender = top.node; receiver = v });
-            if Network.cycle_policy net = Network.Detect_recover && visited.(v)
-            then begin
-              (* The revisited node detects the duplicate and bounces the
-                 query straight back. *)
-              counters.query_returns <- counters.query_returns + 1;
-              on_event (Returned { sender = v; receiver = top.node })
-            end
-            else begin
-              process_visit v;
-              if !remaining > 0 then
-                stack :=
-                  { node = v; from = top.node; pending = order_neighbors v ~from:top.node }
-                  :: !stack
-            end)
+            match plan with
+            | None ->
+                Hashtbl.replace sent (top.node, v) (sends top.node v + 1);
+                counters.query_forwards <- counters.query_forwards + 1;
+                on_event (Forwarded { sender = top.node; receiver = v });
+                descend top v
+            | Some p ->
+                if counters.query_forwards >= budget then begin
+                  if not !budget_stopped then begin
+                    budget_stopped := true;
+                    Fault.note_budget_stop p
+                  end;
+                  stack := []
+                end
+                else begin
+                  Hashtbl.replace sent (top.node, v) (sends top.node v + 1);
+                  (* Deliver with bounded retry: a crash-stopped receiver
+                     (or a flapping link) times out; each attempt is a
+                     real message and each timeout charges deterministic
+                     exponential backoff.  [retries] failures in a row
+                     and the sender presumes the neighbor dead. *)
+                  let delivered = ref false in
+                  let attempt = ref 0 in
+                  let exhausted = ref false in
+                  while (not !delivered) && not !exhausted do
+                    counters.query_forwards <- counters.query_forwards + 1;
+                    on_event (Forwarded { sender = top.node; receiver = v });
+                    let lost =
+                      if Fault.is_dead p v then true else Fault.flap p
+                    in
+                    if not lost then delivered := true
+                    else begin
+                      Fault.note_timeout p ~attempt:!attempt;
+                      on_event
+                        (Timed_out
+                           { sender = top.node; receiver = v; attempt = !attempt });
+                      incr attempt;
+                      if !attempt > Fault.retries p then exhausted := true
+                      else begin
+                        Fault.note_retry p;
+                        if counters.query_forwards >= budget then
+                          exhausted := true
+                      end
+                    end
+                  done;
+                  if !delivered then begin
+                    (* First contact after fault knowledge accrued on
+                       either side: lazy anti-entropy across this link
+                       before the query proceeds. *)
+                    (if
+                       Network.has_ri net
+                       && (Fault.dirty p top.node || Fault.dirty p v)
+                       && not
+                            (Hashtbl.mem reconciled
+                               (min top.node v, max top.node v))
+                     then begin
+                       Hashtbl.replace reconciled
+                         (min top.node v, max top.node v)
+                         ();
+                       Churn.reconcile net top.node v ~plan:p ~counters;
+                       on_event (Reconciled { a = top.node; b = v })
+                     end);
+                    descend top v
+                  end
+                  else if not (Fault.knows_dead p ~at:top.node ~dead:v) then begin
+                    (* Presumed dead (possibly a false positive from
+                       flaps): remove the row so the garbage entry stops
+                       attracting the walk, and remember the certificate
+                       for gossip. *)
+                    ignore (Churn.detect_crash net top.node ~dead:v ~plan:p);
+                    on_event (Gave_up { sender = top.node; receiver = v })
+                  end
+                end))
   done;
   record_outcome
     (match forwarding with Ri_guided -> m_ri_guided | Random_walk -> m_random_walk)
@@ -248,10 +363,16 @@ let run_parallel ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~branch 
     p_counters = counters;
   }
 
-let flood ?(on_event = fun (_ : event) -> ()) net ~origin ~query ?ttl () =
+let flood ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query ?ttl () =
   let n = Network.size net in
   if origin < 0 || origin >= n then invalid_arg "Query.flood: origin out of range";
+  (match plan with
+  | Some p when Fault.is_dead p origin ->
+      invalid_arg "Query.flood: origin is crash-stopped"
+  | _ -> ());
   let ttl = Option.value ttl ~default:max_int in
+  let budget = match plan with Some p -> Fault.query_budget p | None -> max_int in
+  let budget_stopped = ref false in
   let topics = query.Ri_content.Workload.topics in
   let counters = Message.create () in
   let processed = Array.make n false in
@@ -270,19 +391,31 @@ let flood ?(on_event = fun (_ : event) -> ()) net ~origin ~query ?ttl () =
     if depth < ttl then
       Array.iter
         (fun v ->
-          if v <> from then begin
-            counters.query_forwards <- counters.query_forwards + 1;
-            on_event (Forwarded { sender = u; receiver = v });
-            Queue.add (v, u, depth + 1) q
-          end)
+          if v <> from then
+            if counters.query_forwards < budget then begin
+              counters.query_forwards <- counters.query_forwards + 1;
+              on_event (Forwarded { sender = u; receiver = v });
+              Queue.add (v, u, depth + 1) q
+            end
+            else if not !budget_stopped then begin
+              budget_stopped := true;
+              match plan with
+              | Some p -> Fault.note_budget_stop p
+              | None -> ()
+            end)
         (Network.neighbors net u)
   in
   process origin ~depth:0 ~from:(-1);
   while not (Queue.is_empty q) do
     let v, from, depth = Queue.pop q in
     (* Duplicate deliveries are detected by message id and dropped; the
-       message was sent and counted regardless. *)
-    if not processed.(v) then process v ~depth ~from
+       message was sent and counted regardless.  A crash-stopped
+       receiver swallows the copy silently — flooding is fire-and-forget
+       and never retries. *)
+    if not processed.(v) then
+      match plan with
+      | Some p when Fault.is_dead p v -> ()
+      | _ -> process v ~depth ~from
   done;
   record_outcome m_flood
     {

@@ -37,6 +37,13 @@ type event =
       (** the query bounced back: subtree exhausted or revisit detected *)
   | Results of { at : int; count : int }
       (** a result-pointer message to the query's client *)
+  | Timed_out of { sender : int; receiver : int; attempt : int }
+      (** fault injection: the forward got no acknowledgment (dead
+          neighbor or link flap); [attempt] counts from 0 *)
+  | Gave_up of { sender : int; receiver : int }
+      (** every retry timed out; the sender presumes the neighbor dead *)
+  | Reconciled of { a : int; b : int }
+      (** lazy anti-entropy ran across this link before the hop *)
 
 val messages : outcome -> int
 (** Total query-processing messages: forwards + returns + results. *)
@@ -44,6 +51,7 @@ val messages : outcome -> int
 val run :
   ?rng:Ri_util.Prng.t ->
   ?on_event:(event -> unit) ->
+  ?plan:Fault.t ->
   Network.t ->
   origin:int ->
   query:Ri_content.Workload.query ->
@@ -53,8 +61,20 @@ val run :
     [Random_walk]; defaults to the network's generator) supplies the
     random neighbor ordering.  [on_event] observes every message as it
     is sent, in order.
-    @raise Invalid_argument for [Ri_guided] on a No-RI network or an
-    out-of-range origin. *)
+
+    [plan] runs the query in the fault environment: forwards to
+    crash-stopped neighbors (and, with probability [link_flap], to live
+    ones) time out and are retried up to [retries] times with
+    deterministic exponential backoff; a neighbor that never answers is
+    presumed dead — its row is dropped ({!Churn.detect_crash}) and the
+    walk moves on.  First contact across a link after fault knowledge
+    accrued triggers {!Churn.reconcile}.  With [stale_after] set,
+    [Ri_guided] ranks rows with detectable update gaps {e after} all
+    fresh rows, in random order — graceful degradation to No-RI ranking
+    instead of trusting garbage counts.  [query_budget] caps total
+    forwards.  Omitting [plan] is bit-for-bit the fault-free query.
+    @raise Invalid_argument for [Ri_guided] on a No-RI network, an
+    out-of-range origin, or a crash-stopped origin. *)
 
 type parallel_outcome = {
   p_found : int;
@@ -87,6 +107,7 @@ val run_parallel :
 
 val flood :
   ?on_event:(event -> unit) ->
+  ?plan:Fault.t ->
   Network.t ->
   origin:int ->
   query:Ri_content.Workload.query ->
@@ -98,4 +119,8 @@ val flood :
     message; the stop condition is ignored ("Gnutella-like systems find
     all results in the section of the network they explore").  [ttl]
     bounds the flood radius (Gnutella shipped with 7); omitted means
-    unlimited. *)
+    unlimited.  Under a [plan], copies sent to crash-stopped nodes are
+    swallowed silently (flooding never retries) and the plan's
+    [query_budget], if any, caps the flood's forwards.
+    @raise Invalid_argument on an out-of-range or crash-stopped
+    origin. *)

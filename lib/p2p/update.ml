@@ -5,6 +5,7 @@ type wave_seed = {
   receiver : int;
   payload : Scheme.payload;
   baseline : Scheme.payload option;
+  tainted : bool;
 }
 
 type event =
@@ -14,6 +15,8 @@ type event =
       significant : bool;
       forwarded : bool;
     }
+  | Dropped of { sender : int; receiver : int; dead : bool }
+  | Delayed of { sender : int; receiver : int; rounds : int }
 
 let m_waves =
   Ri_obs.Metrics.counter ~help:"Update waves propagated." "ri_update_waves_total"
@@ -39,7 +42,7 @@ let significant net ~baseline ~payload =
       Scheme.payload_rel_diff old payload > Network.min_update net
       && Scheme.payload_distance old payload > Network.update_distance_floor net
 
-let seeds_for_change net ~at ~except ~mutate =
+let seeds_for_change ?plan net ~at ~except ~mutate =
   if not (Network.has_ri net) then begin
     mutate ();
     []
@@ -48,6 +51,11 @@ let seeds_for_change net ~at ~except ~mutate =
     let pre = Network.outgoing_exports net at in
     mutate ();
     let post = Network.outgoing_exports net at in
+    let tainted peer =
+      match plan with
+      | Some p -> Fault.tainted p ~at ~toward:peer
+      | None -> false
+    in
     List.filter_map
       (fun (peer, payload) ->
         if List.mem peer except then None
@@ -58,6 +66,7 @@ let seeds_for_change net ~at ~except ~mutate =
               receiver = peer;
               payload;
               baseline = List.assoc_opt peer pre;
+              tainted = tainted peer;
             })
       post
   end
@@ -70,7 +79,12 @@ let default_budget net =
   done;
   20 * (n + !degrees)
 
-let wave ?max_messages ?(on_event = fun (_ : event) -> ()) net ~seeds
+(* A queued message: [Fresh] still has its fault draws (and its budget
+   charge) ahead of it; [Due] is a delayed message re-entering the wave,
+   already counted when it was first sent. *)
+type item = Fresh of wave_seed | Due of wave_seed
+
+let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
     ~already_reached ~counters =
   if Network.has_ri net then begin
     (* Safety valve: on an overlay whose mean degree exceeds the assumed
@@ -84,17 +98,37 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) net ~seeds
     in
     let reached = Hashtbl.create 64 in
     List.iter (fun v -> Hashtbl.replace reached v ()) already_reached;
-    let q = Queue.create () in
-    List.iter (fun s -> Queue.add s q) seeds;
+    (* The wave advances in rounds (message generations): [current] is
+       the round in flight, onward exports land in [next], and delayed
+       messages sit in [delayed] until their round comes up.  With no
+       plan nothing is ever delayed and the rounds concatenate into
+       exactly the old single-FIFO order. *)
+    let current = Queue.create () in
+    let next = Queue.create () in
+    List.iter (fun s -> Queue.add (Fresh s) current) seeds;
+    let delayed = ref [] in
+    let round = ref 0 in
     let detect = Network.cycle_policy net = Network.Detect_recover in
     let sent = ref 0 in
-    while not (Queue.is_empty q) && !sent < budget do
-      incr sent;
-      let { sender; receiver; payload; baseline } = Queue.pop q in
-      counters.Message.update_messages <- counters.Message.update_messages + 1;
+    let deliver { sender; receiver; payload; baseline; tainted } =
       let ri = Network.ri net receiver in
       let baseline =
         match baseline with Some _ as b -> b | None -> Scheme.row ri ~peer:sender
+      in
+      (* A receiver that detectably missed updates from this sender (see
+         {!Fault}) judges the arriving absolute aggregate against its
+         stored — stale — row, not the sender-carried baseline: the gap
+         means the carried "before" never made it here, and the honest
+         marginal change is relative to what the receiver still holds.
+         A clean delivery heals the gap; one flagged with the staleness
+         bit does not — the sender's own inputs had gaps, so the payload
+         proves nothing about the lost updates. *)
+      let baseline =
+        match plan with
+        | Some p when Fault.missed p ~at:receiver ~peer:sender > 0 ->
+            if not tainted then Fault.clear_missed p ~at:receiver ~peer:sender;
+            Scheme.row ri ~peer:sender
+        | _ -> baseline
       in
       if significant net ~baseline ~payload then begin
         let repeat = Hashtbl.mem reached receiver in
@@ -121,10 +155,10 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) net ~seeds
           | Some b -> Scheme.set_row ri ~peer:sender b
           | None -> ());
           let onward =
-            seeds_for_change net ~at:receiver ~except:[ sender ]
+            seeds_for_change ?plan net ~at:receiver ~except:[ sender ]
               ~mutate:(fun () -> Scheme.set_row ri ~peer:sender payload)
           in
-          List.iter (fun s -> Queue.add s q) onward
+          List.iter (fun s -> Queue.add (Fresh s) next) onward
         end
       end
       else begin
@@ -132,30 +166,105 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) net ~seeds
         on_event
           (Delivered { sender; receiver; significant = false; forwarded = false })
       end
+    in
+    let more () =
+      (not (Queue.is_empty current))
+      || (not (Queue.is_empty next))
+      || !delayed <> []
+    in
+    while more () && !sent < budget do
+      if Queue.is_empty current then begin
+        incr round;
+        Queue.transfer next current;
+        let due, later = List.partition (fun (r, _) -> r <= !round) !delayed in
+        delayed := later;
+        List.iter (fun (_, s) -> Queue.add (Due s) current) due
+      end
+      else
+        match Queue.pop current with
+        | Due seed -> deliver seed
+        | Fresh seed when not (Network.has_link net seed.sender seed.receiver)
+          ->
+            (* A row can outlive its link mid-churn: rows drive the
+               exports, so a node whose neighbor just vanished still
+               addresses it until its own cleanup runs.  There is no
+               link to carry the message — nothing is sent or counted,
+               and above all the departed node must not relay the very
+               wave announcing its departure. *)
+            ()
+        | Fresh seed -> (
+            incr sent;
+            counters.Message.update_messages <-
+              counters.Message.update_messages + 1;
+            match plan with
+            | Some p when Fault.is_dead p seed.receiver ->
+                Fault.note_drop p ~dead:true;
+                (* No acknowledgement will ever come back from a
+                   crash-stopped neighbor: the sender's failure detector
+                   marks its own row toward the silent node as suspect —
+                   the row still advertises a subtree nothing can reach. *)
+                Fault.note_missed p ~at:seed.sender ~peer:seed.receiver;
+                on_event
+                  (Dropped
+                     { sender = seed.sender; receiver = seed.receiver; dead = true })
+            | Some p when Fault.drop_update p ->
+                Fault.note_drop p ~dead:false;
+                Fault.note_missed p ~at:seed.receiver ~peer:seed.sender;
+                on_event
+                  (Dropped
+                     {
+                       sender = seed.sender;
+                       receiver = seed.receiver;
+                       dead = false;
+                     })
+            | Some p when Fault.delay_update p ->
+                let rounds = 1 + (Fault.spec p).Fault.delay_waves in
+                Fault.note_delay p;
+                (* Until the late message lands the receiver has a
+                   detectable sequence gap, exactly as for a loss; the
+                   eventual delivery heals it through the missed-branch
+                   above. *)
+                Fault.note_missed p ~at:seed.receiver ~peer:seed.sender;
+                delayed := !delayed @ [ (!round + rounds, seed) ];
+                on_event
+                  (Delayed
+                     { sender = seed.sender; receiver = seed.receiver; rounds })
+            | _ -> deliver seed)
     done;
     if Ri_obs.Metrics.enabled () then begin
       Ri_obs.Metrics.incr m_waves;
       Ri_obs.Metrics.add m_messages !sent;
-      if not (Queue.is_empty q) then Ri_obs.Metrics.incr m_budget_stops
+      if more () then Ri_obs.Metrics.incr m_budget_stops
     end
   end
 
-let propagate ?on_event net ~origin ~counters =
+let propagate ?on_event ?plan net ~origin ~counters =
   if Network.has_ri net then
+    let tainted peer =
+      match plan with
+      | Some p -> Fault.tainted p ~at:origin ~toward:peer
+      | None -> false
+    in
     let seeds =
       List.map
         (fun (peer, payload) ->
-          { sender = origin; receiver = peer; payload; baseline = None })
+          {
+            sender = origin;
+            receiver = peer;
+            payload;
+            baseline = None;
+            tainted = tainted peer;
+          })
         (Network.outgoing_exports net origin)
     in
-    wave ?on_event net ~seeds ~already_reached:[ origin ] ~counters
+    wave ?on_event ?plan net ~seeds ~already_reached:[ origin ] ~counters
 
-let local_change ?on_event net ~origin ~summary ~counters =
+let local_change ?on_event ?plan net ~origin ~summary ~counters =
   let seeds =
-    seeds_for_change net ~at:origin ~except:[] ~mutate:(fun () ->
+    seeds_for_change ?plan net ~at:origin ~except:[] ~mutate:(fun () ->
         Network.set_local_summary net origin summary)
   in
-  wave ?on_event net ~seeds ~already_reached:[ origin ] ~counters
+  wave ?on_event ?plan net ~seeds ~already_reached:[ origin ] ~counters
 
 module Batcher = struct
   type nonrec t = {

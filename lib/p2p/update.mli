@@ -34,6 +34,12 @@ type wave_seed = {
   baseline : Ri_core.Scheme.payload option;
       (** the sender's export before the change; when [None] the
           receiver falls back to comparing against its stored row *)
+  tainted : bool;
+      (** staleness bit: the sender had an open missed-update gap on
+          some other row when it aggregated, so this payload is built
+          from suspect inputs; the delivery still refreshes the
+          receiver's row but cannot heal a recorded gap
+          ({!Fault.tainted}).  Always [false] without a fault plan. *)
 }
 
 (** One delivered update message, emitted through the [on_event]
@@ -47,9 +53,16 @@ type event =
           (** re-exported onward; [false] on an insignificant delivery
               or a detect-and-recover repeat *)
     }
+  | Dropped of { sender : int; receiver : int; dead : bool }
+      (** fault injection: lost in transit ([dead = false]) or
+          addressed to a crash-stopped node ([dead = true]) *)
+  | Delayed of { sender : int; receiver : int; rounds : int }
+      (** fault injection: held in transit, applied [rounds] message
+          generations later *)
 
 val local_change :
   ?on_event:(event -> unit) ->
+  ?plan:Fault.t ->
   Network.t ->
   origin:int ->
   summary:Ri_content.Summary.t ->
@@ -63,6 +76,7 @@ val local_change :
 
 val propagate :
   ?on_event:(event -> unit) ->
+  ?plan:Fault.t ->
   Network.t ->
   origin:int ->
   counters:Message.counters ->
@@ -74,6 +88,7 @@ val propagate :
     baseline-carrying messages isolate the marginal change. *)
 
 val seeds_for_change :
+  ?plan:Fault.t ->
   Network.t ->
   at:int ->
   except:int list ->
@@ -82,7 +97,8 @@ val seeds_for_change :
 (** Run [mutate] (which must only alter node [at]'s RI — rows, local
     summary, or adjacent links) and return seeds pairing [at]'s exports
     from before and after the mutation, addressed to every current
-    neighbor not in [except].  Feed them to {!wave}. *)
+    neighbor not in [except].  Feed them to {!wave}.  With [plan], the
+    seeds carry the staleness bit when [at] has an open gap. *)
 
 (** Deferred update batching — "For efficiency, we may delay exporting
     an update for a short time so we can batch several updates, thus
@@ -111,6 +127,7 @@ end
 val wave :
   ?max_messages:int ->
   ?on_event:(event -> unit) ->
+  ?plan:Fault.t ->
   Network.t ->
   seeds:wave_seed list ->
   already_reached:int list ->
@@ -121,6 +138,24 @@ val wave :
     node whose RI changed significantly.  [already_reached] marks nodes
     that count as having seen the wave (for duplicate suppression under
     [Detect_recover]).
+
+    Seeds whose link no longer exists are discarded unsent and uncounted:
+    rows drive the exports, so mid-churn a node can still address a
+    neighbor that already vanished — and the departed node must never
+    relay the wave announcing its own departure.
+
+    [plan] injects faults per message: delivery to a crash-stopped node
+    is silently lost, live-link messages are dropped with
+    [update_loss] (recorded in the receiver's missed-update ledger) or
+    held [delay_waves] extra message generations with [update_delay].
+    Every sent message — dropped, delayed or delivered — is counted
+    once.  A receiver with a recorded gap from the sender judges the
+    arriving absolute aggregate against its stored row (the carried
+    baseline never reached it).  A clean delivery heals the gap; one
+    carrying the staleness bit (the sender itself had open gaps)
+    refreshes the row with best-effort data but leaves the gap
+    recorded.  Omitting [plan] leaves the wave bit-for-bit identical to
+    the fault-free simulator.
 
     [max_messages] (default [20 * (nodes + Σ degree)]) bounds the wave:
     on an overlay whose mean degree exceeds the RI's assumed fanout, a

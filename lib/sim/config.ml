@@ -28,6 +28,7 @@ type t = {
   search : search;
   bytes : Message.byte_costs;
   update_fraction : float;
+  fault : Fault.spec;
   seed : int;
 }
 
@@ -56,6 +57,7 @@ let base =
     search = Ri (Scheme.Eri_kind { fanout = 4. });
     bytes = Message.paper_base_bytes;
     update_fraction = 0.05;
+    fault = Fault.none;
     seed = 42;
   }
 
@@ -117,6 +119,10 @@ let validate t =
     err "compression_ratio must be in [0, 1)"
   else if t.min_update < 0. then err "min_update must be non-negative"
   else
+    match Fault.validate t.fault with
+    | Error msg -> err "fault spec: %s" msg
+    | Ok () ->
+    (* continue with the topology/search cross-checks *)
     let cyclic =
       match t.topology with
       | Tree -> false
@@ -133,7 +139,7 @@ let validate t =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>NumNodes=%d T=%s F=%d o=%.4f topics=%d QR=%d D=%s Stop=%d H=%d \
-     A=%g c=%.0f%% minUpdate=%.0f%% policy=%s search=%s@]"
+     A=%g c=%.0f%% minUpdate=%.0f%% policy=%s search=%s%t@]"
     t.num_nodes (topology_name t.topology) t.fanout t.outdegree_exponent
     t.topics t.query_results
     (match t.distribution with
@@ -147,3 +153,6 @@ let pp ppf t =
     | Network.No_op -> "no-op"
     | Network.Detect_recover -> "detect")
     (search_name t.search)
+    (fun ppf ->
+      if Fault.active t.fault then
+        Format.fprintf ppf " faults=[%a]" Fault.pp t.fault)

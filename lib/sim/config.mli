@@ -56,6 +56,10 @@ type t = {
           may delay exporting an update for a short time so we can batch
           several updates"); a batch below the [minUpdate] significance
           floor would never leave the origin's vicinity. *)
+  fault : Ri_p2p.Fault.spec;
+      (** fault environment for {!Trial.run_query_faulty} and faulty
+          updates; {!Ri_p2p.Fault.none} (the base value) leaves every
+          code path bit-for-bit identical to the fault-free simulator *)
   seed : int;
 }
 

@@ -10,6 +10,7 @@ type setup = {
   query : Workload.query;
   origin : int;
   rng : Prng.t;
+  placement : Placement.t;
 }
 
 let topology_graph (cfg : Config.t) rng =
@@ -24,7 +25,8 @@ let topology_graph (cfg : Config.t) rng =
 
 type purpose = For_query | For_update
 
-let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
+let build ?(purpose = For_query) ?perturb ?(mutable_placement = false)
+    (cfg : Config.t) ~trial =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Trial.build: " ^ msg));
@@ -84,6 +86,19 @@ let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
       ~stop:cfg.stop_condition
   in
   let placement = draw.Setup_cache.placement in
+  (* The cached placement is shared across trials and configurations;
+     a caller that intends to mutate content (the fault plane's result
+     drift) gets a fresh copy of the per-node arrays, bound into the
+     network's content closures before any RI is built. *)
+  let placement =
+    if mutable_placement then
+      {
+        placement with
+        Placement.matches = Array.copy placement.Placement.matches;
+        summaries = Array.copy placement.Placement.summaries;
+      }
+    else placement
+  in
   let content = Network.content_of_placement placement in
   let origin = draw.Setup_cache.origin in
   let mode =
@@ -104,7 +119,7 @@ let build ?(purpose = For_query) ?perturb (cfg : Config.t) ~trial =
           ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update ?perturb
           ~rng:net_rng ~mode ())
   in
-  { network; universe; query; origin; rng = trial_rng }
+  { network; universe; query; origin; rng = trial_rng; placement }
 
 type query_metrics = {
   messages : int;
@@ -129,20 +144,20 @@ let metrics_of_outcome (cfg : Config.t) (o : Query.outcome) =
     bytes = Message.bytes_of cfg.bytes o.counters;
   }
 
-let run_query_on ?on_event (cfg : Config.t) setup =
-  let outcome =
-    match cfg.search with
-    | Config.Ri _ ->
-        Query.run ?on_event ~rng:setup.rng setup.network ~origin:setup.origin
-          ~query:setup.query ~forwarding:Query.Ri_guided
-    | Config.No_ri ->
-        Query.run ?on_event ~rng:setup.rng setup.network ~origin:setup.origin
-          ~query:setup.query ~forwarding:Query.Random_walk
-    | Config.Flooding { ttl } ->
-        Query.flood ?on_event setup.network ~origin:setup.origin
-          ~query:setup.query ?ttl ()
-  in
-  metrics_of_outcome cfg outcome
+let query_outcome ?on_event ?plan (cfg : Config.t) setup =
+  match cfg.search with
+  | Config.Ri _ ->
+      Query.run ?on_event ?plan ~rng:setup.rng setup.network
+        ~origin:setup.origin ~query:setup.query ~forwarding:Query.Ri_guided
+  | Config.No_ri ->
+      Query.run ?on_event ?plan ~rng:setup.rng setup.network
+        ~origin:setup.origin ~query:setup.query ~forwarding:Query.Random_walk
+  | Config.Flooding { ttl } ->
+      Query.flood ?on_event ?plan setup.network ~origin:setup.origin
+        ~query:setup.query ?ttl ()
+
+let run_query_on ?on_event ?plan (cfg : Config.t) setup =
+  metrics_of_outcome cfg (query_outcome ?on_event ?plan cfg setup)
 
 (* Tracing hooks: built only when a live sink exists, so the disabled
    path passes [None] and the p2p layer keeps its no-op default. *)
@@ -159,7 +174,20 @@ let query_hook sink =
             [ ("sender", Trace.Int sender); ("receiver", Trace.Int receiver) ]
       | Query.Results { at; count } ->
           Trace.emit sink ~cat:"query" "results"
-            [ ("at", Trace.Int at); ("count", Trace.Int count) ])
+            [ ("at", Trace.Int at); ("count", Trace.Int count) ]
+      | Query.Timed_out { sender; receiver; attempt } ->
+          Trace.emit sink ~cat:"fault" "timeout"
+            [
+              ("sender", Trace.Int sender);
+              ("receiver", Trace.Int receiver);
+              ("attempt", Trace.Int attempt);
+            ]
+      | Query.Gave_up { sender; receiver } ->
+          Trace.emit sink ~cat:"fault" "gave_up"
+            [ ("sender", Trace.Int sender); ("receiver", Trace.Int receiver) ]
+      | Query.Reconciled { a; b } ->
+          Trace.emit sink ~cat:"fault" "reconcile"
+            [ ("a", Trace.Int a); ("b", Trace.Int b) ])
 
 let update_hook sink =
   if not (Trace.is_live sink) then None
@@ -173,6 +201,20 @@ let update_hook sink =
               ("receiver", Trace.Int receiver);
               ("significant", Trace.Bool significant);
               ("forwarded", Trace.Bool forwarded);
+            ]
+      | Update.Dropped { sender; receiver; dead } ->
+          Trace.emit sink ~cat:"fault" "update_dropped"
+            [
+              ("sender", Trace.Int sender);
+              ("receiver", Trace.Int receiver);
+              ("dead", Trace.Bool dead);
+            ]
+      | Update.Delayed { sender; receiver; rounds } ->
+          Trace.emit sink ~cat:"fault" "update_delayed"
+            [
+              ("sender", Trace.Int sender);
+              ("receiver", Trace.Int receiver);
+              ("rounds", Trace.Int rounds);
             ])
 
 let emit_stop sink (m : query_metrics) =
@@ -201,6 +243,160 @@ let run_query cfg ~trial =
 let run_query_perturbed (cfg : Config.t) ~relative_stddev ~kind ~trial =
   traced_query cfg ~trial
     (build ~purpose:For_query ~perturb:(relative_stddev, kind) cfg ~trial)
+
+(* ------------------------------------------------------------------ *)
+(* Faulty trials.                                                      *)
+
+type fault_metrics = {
+  f_query : query_metrics;
+  f_clean_found : int;
+  f_recall : float;
+  f_drift_messages : int;
+  f_repair_messages : int;
+  f_messages_per_result : float;
+  f_stats : Fault.stats;
+}
+
+(* Relocate [drift * QR] results between live nodes, in batches, each
+   move announced by corrective update waves from both endpoints — waves
+   that run through the fault plan, so some corrections are lost or
+   delayed and the surviving RI rows point at emptied subtrees.  This is
+   the staleness source: without drift a lossy network merely keeps its
+   (still accurate) creation-time indices. *)
+let drift_content plan setup ~counters ?on_event () =
+  let spec = Fault.spec plan in
+  if spec.Fault.drift > 0. then begin
+    let p = setup.placement in
+    let n = Network.size setup.network in
+    let topics = setup.query.Workload.topics in
+    let to_move =
+      int_of_float
+        (Float.round
+           (spec.Fault.drift *. float_of_int p.Placement.total_matches))
+    in
+    (* Matching documents carry exactly the query topics, so moving
+       [take] of them shifts the summary by [take] on the total and on
+       each query topic (clamped against float fuzz). *)
+    let adjust v delta =
+      let s = p.Placement.summaries.(v) in
+      let by_topic = Array.copy s.Summary.by_topic in
+      List.iter
+        (fun t -> by_topic.(t) <- Float.max 0. (by_topic.(t) +. delta))
+        topics;
+      let s' =
+        Summary.make ~total:(Float.max 0. (s.Summary.total +. delta)) ~by_topic
+      in
+      p.Placement.summaries.(v) <- s';
+      s'
+    in
+    (* Deterministic rejection sampling on the plan's drift stream; the
+       try bound keeps termination unconditional (e.g. when every
+       surviving node is already empty). *)
+    let pick_alive keep =
+      let tries = ref 0 in
+      let found = ref (-1) in
+      while !found < 0 && !tries < 64 * n do
+        let v = Fault.drift_int plan n in
+        incr tries;
+        if (not (Fault.is_dead plan v)) && keep v then found := v
+      done;
+      !found
+    in
+    let moved = ref 0 in
+    let stuck = ref false in
+    (* Each move drains its donor completely: a correction that is then
+       lost leaves some row upstream advertising documents that are
+       entirely gone — the garbage count the fallback policy exists to
+       distrust. *)
+    while !moved < to_move && not !stuck do
+      let donor = pick_alive (fun v -> p.Placement.matches.(v) > 0) in
+      let recipient =
+        if donor < 0 then -1 else pick_alive (fun v -> v <> donor)
+      in
+      if donor < 0 || recipient < 0 then stuck := true
+      else begin
+        let take = min (to_move - !moved) p.Placement.matches.(donor) in
+        p.Placement.matches.(donor) <- p.Placement.matches.(donor) - take;
+        p.Placement.matches.(recipient) <-
+          p.Placement.matches.(recipient) + take;
+        let d = float_of_int take in
+        let donor_summary = adjust donor (-.d) in
+        let recipient_summary = adjust recipient d in
+        moved := !moved + take;
+        Update.local_change ?on_event ~plan setup.network ~origin:donor
+          ~summary:donor_summary ~counters;
+        Update.local_change ?on_event ~plan setup.network ~origin:recipient
+          ~summary:recipient_summary ~counters
+      end
+    done
+  end
+
+let run_query_faulty (cfg : Config.t) ~trial =
+  let spec = cfg.fault in
+  if not (Fault.active spec) then
+    invalid_arg "Trial.run_query_faulty: inert fault spec (use run_query)";
+  (* Faulty trials always run on the converged construction: corrective
+     waves must be able to reach the rows that guide routing from the
+     origin, which the rooted (downstream-only) build cannot express.
+     The paired clean baseline — recall's denominator — replays the same
+     build, the same content drift and the same query budget with every
+     fault rate at zero: its corrective waves all deliver, nothing
+     crashes, and its indices converge on the drifted world.  Recall
+     then measures fault damage alone (exactly 1 when every rate is
+     zero), not the drift's rearrangement of the content. *)
+  let clean_found =
+    let clean_spec =
+      {
+        Fault.none with
+        Fault.drift = spec.Fault.drift;
+        query_budget = spec.Fault.query_budget;
+      }
+    in
+    let setup =
+      build ~purpose:For_update
+        ~mutable_placement:(clean_spec.Fault.drift > 0.)
+        cfg ~trial
+    in
+    let plan =
+      Fault.make clean_spec ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes
+        ~protect:[ setup.origin ]
+    in
+    drift_content plan setup ~counters:(Message.create ()) ();
+    (query_outcome ~plan cfg setup).Query.found
+  in
+  Trace.with_trial ~trial (fun sink ->
+      let setup =
+        build ~purpose:For_update ~mutable_placement:(spec.Fault.drift > 0.)
+          cfg ~trial
+      in
+      let plan =
+        Fault.make spec ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes
+          ~protect:[ setup.origin ]
+      in
+      let drift_counters = Message.create () in
+      Phase.time "drift" (fun () ->
+          drift_content plan setup ~counters:drift_counters
+            ?on_event:(update_hook sink) ());
+      let outcome =
+        Phase.time "query" (fun () ->
+            query_outcome ?on_event:(query_hook sink) ~plan cfg setup)
+      in
+      let m = metrics_of_outcome cfg outcome in
+      emit_stop sink m;
+      let repair_messages = outcome.Query.counters.Message.update_messages in
+      {
+        f_query = m;
+        f_clean_found = clean_found;
+        f_recall =
+          (if clean_found = 0 then 1.
+           else float_of_int m.found /. float_of_int clean_found);
+        f_drift_messages = drift_counters.Message.update_messages;
+        f_repair_messages = repair_messages;
+        f_messages_per_result =
+          float_of_int (m.messages + repair_messages)
+          /. float_of_int (max 1 m.found);
+        f_stats = Fault.stats plan;
+      })
 
 type parallel_metrics = {
   par_messages : int;
@@ -231,7 +427,7 @@ let run_query_parallel (cfg : Config.t) ~branch ~trial =
 
 type update_metrics = { update_messages : int; update_bytes : float }
 
-let run_update_on ?on_event (cfg : Config.t) setup =
+let run_update_on ?on_event ?plan (cfg : Config.t) setup =
   let counters = Message.create () in
   (if Network.has_ri setup.network then begin
      (* One batch of document additions on a random topic at the origin
@@ -257,8 +453,8 @@ let run_update_on ?on_event (cfg : Config.t) setup =
      let summary =
        Summary.make ~total:(base.Summary.total +. batch) ~by_topic
      in
-     Update.local_change ?on_event setup.network ~origin:setup.origin ~summary
-       ~counters
+     Update.local_change ?on_event ?plan setup.network ~origin:setup.origin
+       ~summary ~counters
    end);
   {
     update_messages = counters.Message.update_messages;
@@ -266,8 +462,18 @@ let run_update_on ?on_event (cfg : Config.t) setup =
       float_of_int (counters.Message.update_messages * cfg.bytes.Message.update_bytes);
   }
 
-let run_update cfg ~trial =
+let run_update (cfg : Config.t) ~trial =
   let setup = build ~purpose:For_update cfg ~trial in
+  (* A fault-carrying config exposes the update wave to the same loss /
+     delay / crash environment as its queries; the inert spec builds no
+     plan at all, keeping the fault-free path bit-for-bit unchanged. *)
+  let plan =
+    if Fault.active cfg.fault then
+      Some
+        (Fault.make cfg.fault ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes
+           ~protect:[ setup.origin ])
+    else None
+  in
   Trace.with_trial ~trial (fun sink ->
       Phase.time "update" (fun () ->
-          run_update_on ?on_event:(update_hook sink) cfg setup))
+          run_update_on ?on_event:(update_hook sink) ?plan cfg setup))

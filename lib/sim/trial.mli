@@ -14,6 +14,10 @@ type setup = {
   query : Ri_content.Workload.query;
   origin : int;
   rng : Ri_util.Prng.t;  (** stream for in-trial randomness *)
+  placement : Ri_content.Placement.t;
+      (** the content behind the network's summaries; shared with the
+          setup cache unless the trial was built with
+          [mutable_placement] *)
 }
 
 (** Which RI construction the trial needs.
@@ -27,13 +31,17 @@ type purpose = For_query | For_update
 val build :
   ?purpose:purpose ->
   ?perturb:float * Ri_content.Compression.error_kind ->
+  ?mutable_placement:bool ->
   Config.t ->
   trial:int ->
   setup
 (** Generate topology, placement, origin and RIs for trial [trial]
     (default purpose [For_query]).  [perturb] enables the Gaussian
     index-error model on every export (Appendix A's second error
-    scenario).
+    scenario).  [mutable_placement] (default [false]) deep-copies the
+    cached placement's per-node arrays so the caller may mutate content
+    mid-trial (the fault plane's result drift) without corrupting the
+    setup cache.
     @raise Invalid_argument if the configuration is invalid. *)
 
 type query_metrics = {
@@ -52,11 +60,16 @@ val run_query : Config.t -> trial:int -> query_metrics
     search mechanism. *)
 
 val run_query_on :
-  ?on_event:(Ri_p2p.Query.event -> unit) -> Config.t -> setup -> query_metrics
+  ?on_event:(Ri_p2p.Query.event -> unit) ->
+  ?plan:Ri_p2p.Fault.t ->
+  Config.t ->
+  setup ->
+  query_metrics
 (** Run the configured search on an existing setup (lets one setup be
     shared across search mechanisms for paired comparisons).
     [on_event] observes every query message; {!run_query} wires it to
-    the {!Ri_obs.Trace} recorder when tracing is on. *)
+    the {!Ri_obs.Trace} recorder when tracing is on.  [plan] runs the
+    query in a fault environment (see {!Ri_p2p.Fault}). *)
 
 val run_query_perturbed :
   Config.t ->
@@ -68,6 +81,37 @@ val run_query_perturbed :
     every exported aggregate is perturbed by [N(0, (sd * entry)^2)],
     shaped positive / negative / signed per [kind], so errors compound
     from node to node as in a long-running approximate-index network. *)
+
+type fault_metrics = {
+  f_query : query_metrics;  (** the faulty query itself *)
+  f_clean_found : int;
+      (** results the paired fault-free baseline run found *)
+  f_recall : float;
+      (** [found / clean_found] — the fraction of the fault-free result
+          count still located under faults ([1.] when the baseline
+          found nothing) *)
+  f_drift_messages : int;
+      (** corrective update traffic from the pre-query result drift —
+          background staleness cost, not charged to the query *)
+  f_repair_messages : int;
+      (** anti-entropy traffic triggered by the query's own contacts *)
+  f_messages_per_result : float;
+      (** (query messages + repair messages) / max found 1 *)
+  f_stats : Ri_p2p.Fault.stats;  (** the plan's fault counters *)
+}
+
+val run_query_faulty : Config.t -> trial:int -> fault_metrics
+(** One trial in the fault environment carried by [cfg.fault]: build
+    the {e converged} network (corrective waves must be able to flow
+    toward the origin, which the rooted construction cannot express),
+    crash-stop the planned victims, relocate [drift * QR] results with
+    fault-prone corrective waves so indices genuinely go stale, then
+    run the query with timeouts, retries, stale-row fallback and lazy
+    repair.  Recall is measured against a paired clean run of the same
+    setup (same build, same query budget, zero fault rates).
+    Deterministic for a given seed + spec at any pool width: the plan
+    draws from its own [(seed, trial)]-keyed stream.
+    @raise Invalid_argument when [cfg.fault] is inert. *)
 
 type parallel_metrics = {
   par_messages : int;
@@ -90,7 +134,12 @@ val run_update : Config.t -> trial:int -> update_metrics
 (** Build a trial, add [update_doc_count] documents on a random topic at
     the origin, and propagate one batch of updates through the network
     (Figure 18's workload).  Zero messages on No-RI/flooding networks,
-    which maintain no indices. *)
+    which maintain no indices.  When [cfg.fault] is active the wave
+    runs through a fault plan (losses, delays, crashed receivers). *)
 
 val run_update_on :
-  ?on_event:(Ri_p2p.Update.event -> unit) -> Config.t -> setup -> update_metrics
+  ?on_event:(Ri_p2p.Update.event -> unit) ->
+  ?plan:Ri_p2p.Fault.t ->
+  Config.t ->
+  setup ->
+  update_metrics

@@ -13,7 +13,9 @@ type job = {
   next : int Atomic.t;  (* first unclaimed index *)
   remaining : int Atomic.t;  (* indices claimed but not yet credited *)
   participants : int Atomic.t;  (* domains that claimed >= 1 chunk *)
-  mutable failed : exn option;  (* first failure; protected by the pool mutex *)
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+      (* first failure, with the trace from the domain where it was
+         raised; protected by the pool mutex *)
 }
 
 type stats = {
@@ -48,9 +50,9 @@ type t = {
 
 let jobs t = t.jobs
 
-let record_failure t j e =
+let record_failure t j e bt =
   Mutex.lock t.m;
-  if j.failed = None then j.failed <- Some e;
+  if j.failed = None then j.failed <- Some (e, bt);
   Mutex.unlock t.m
 
 (* Drain the current job: claim chunks until the cursor passes [n].
@@ -71,7 +73,7 @@ let execute t j =
          for i = start to stop - 1 do
            j.run i
          done
-       with e -> record_failure t j e);
+       with e -> record_failure t j e (Printexc.get_raw_backtrace ()));
       let credited = stop - start in
       if Atomic.fetch_and_add j.remaining (-credited) = credited then begin
         Mutex.lock t.m;
@@ -198,7 +200,12 @@ let iter ?(chunk = 1) t ~n f =
       Mutex.unlock t.m;
       note_wave t ~n ~busy:(Atomic.get j.participants)
         ~wait:(Unix.gettimeofday () -. t0);
-      match j.failed with Some e -> raise e | None -> ()
+      (* Re-raise on the submitter with the worker's own backtrace — a
+         bare [raise] here would point every pool failure at this line
+         instead of the item that actually blew up. *)
+      match j.failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
     end
 
 let map_chunked ?chunk t ~n f =

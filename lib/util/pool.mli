@@ -22,8 +22,9 @@ val iter : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
 (** [iter t ~n f] runs [f 0 .. f (n-1)], claiming [chunk]-sized slices
     (default [1]) across the pool's domains.  Returns when all [n]
     items have finished.  On a 1-job pool this is a plain [for] loop,
-    raising as soon as [f] does; on a wider pool one of the raised
-    exceptions is re-raised after in-flight items settle. *)
+    raising as soon as [f] does; on a wider pool the first recorded
+    exception is re-raised after in-flight items settle, carrying the
+    backtrace captured in the domain where it was raised. *)
 
 val map_chunked : ?chunk:int -> t -> n:int -> (int -> 'a) -> 'a array
 (** [map_chunked t ~n f] is [[| f 0; ...; f (n-1) |]], computed like

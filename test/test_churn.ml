@@ -136,6 +136,70 @@ let test_no_ri_churn_is_silent () =
   ignore (Churn.disconnect_node net 2 ~counters);
   Alcotest.(check int) "no index traffic" 0 counters.Message.update_messages
 
+let test_powerlaw_hub_removal () =
+  (* Cyclic topology: a power-law overlay loses its highest-degree hub
+     without a goodbye from anyone but the ex-neighbors.  The rows must
+     stay structurally sound — no dangling row for the hub anywhere, no
+     row at any node for a non-neighbor, finite non-negative counts —
+     even though cyclic convergence is only approximate. *)
+  let n = 120 in
+  let rng = Ri_util.Prng.create 99 in
+  let graph = Power_law.generate rng ~n ~exponent:(-2.2088) () in
+  Alcotest.(check bool) "topology is cyclic" true
+    (Graph.edge_count graph >= n);
+  let docs = Array.init n (fun i -> (i * 13 mod 9) + 1) in
+  let content =
+    {
+      Network.summary =
+        (fun v -> Summary.of_counts ~total:docs.(v) ~by_topic:[| docs.(v) |]);
+      count_matching = (fun v _ -> docs.(v));
+    }
+  in
+  let net =
+    Network.create ~graph ~content ~scheme:Scheme.Cri_kind
+      ~cycle_policy:Network.Detect_recover ()
+  in
+  let hub = ref 0 in
+  for v = 1 to n - 1 do
+    if Network.degree net v > Network.degree net !hub then hub := v
+  done;
+  let hub = !hub in
+  Alcotest.(check bool) "removed a genuine hub" true
+    (Network.degree net hub >= 4);
+  let former = Churn.disconnect_node net hub ~counters:(Message.create ()) in
+  Alcotest.(check int) "hub isolated" 0 (Network.degree net hub);
+  Alcotest.(check int) "hub's own rows gone" 0
+    (List.length (Scheme.peers (Network.ri net hub)));
+  List.iter
+    (fun u ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ex-neighbor %d dropped its hub row" u)
+        true
+        (Scheme.row (Network.ri net u) ~peer:hub = None))
+    former;
+  for v = 0 to n - 1 do
+    let neighbors = Array.to_list (Network.neighbors net v) in
+    List.iter
+      (fun peer ->
+        Alcotest.(check bool)
+          (Printf.sprintf "row %d->%d matches a live link" v peer)
+          true
+          (List.mem peer neighbors);
+        match Scheme.row (Network.ri net v) ~peer with
+        | Some (Scheme.Vector s) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "row %d->%d sane" v peer)
+              true
+              (Float.is_finite s.Summary.total
+              && s.Summary.total >= -1e-6
+              && Array.for_all
+                   (fun x -> Float.is_finite x && x >= -1e-6)
+                   s.Summary.by_topic)
+        | Some _ | None ->
+            Alcotest.fail (Printf.sprintf "missing row %d->%d" v peer))
+      (Scheme.peers (Network.ri net v))
+  done
+
 let suite =
   ( "churn",
     [
@@ -146,4 +210,5 @@ let suite =
       Alcotest.test_case "disconnect node" `Quick test_disconnect_node;
       Alcotest.test_case "rejoin" `Quick test_rejoin_after_disconnect;
       Alcotest.test_case "no-RI churn silent" `Quick test_no_ri_churn_is_silent;
+      Alcotest.test_case "power-law hub removal" `Quick test_powerlaw_hub_removal;
     ] )

@@ -25,6 +25,7 @@ let () =
       Test_query.suite;
       Test_update.suite;
       Test_churn.suite;
+      Test_fault.suite;
       Test_paper_examples.suite;
       Test_pool.suite;
       Test_obs.suite;

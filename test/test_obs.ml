@@ -158,6 +158,48 @@ let test_trace_bit_identical () =
   Alcotest.(check string) "jsonl byte-identical at jobs 1 vs 4" jsonl1 jsonl4;
   Alcotest.(check string) "chrome byte-identical at jobs 1 vs 4" chrome1 chrome4
 
+(* The same guarantee with the fault plane switched on: the fault plan
+   draws from its own (seed, trial)-derived generator, so drops,
+   timeouts and repairs land identically whatever the pool width. *)
+let faulty_trace_run jobs =
+  Trace.clear ();
+  Trace.start ();
+  Fun.protect ~finally:Trace.stop (fun () ->
+      let spec =
+        { Runner.min_trials = 3; max_trials = 6; target_rel_error = 0.05 }
+      in
+      Pool.with_pool ~jobs (fun pool ->
+          let fault =
+            {
+              Ri_p2p.Fault.none with
+              Ri_p2p.Fault.update_loss = 0.3;
+              update_delay = 0.15;
+              delay_waves = 2;
+              crash = 0.1;
+              link_flap = 0.02;
+              drift = 0.75;
+              stale_after = Some 1;
+              retries = 2;
+              backoff = 1;
+            }
+          in
+          let cfg = Config.with_search small (Config.Ri (Config.eri small)) in
+          let cfg = { cfg with Config.fault } in
+          ignore
+            (Runner.run ~pool spec (fun ~trial ->
+                 (Trial.run_query_faulty cfg ~trial).Trial.f_messages_per_result))));
+  let jsonl = Trace.render_jsonl () in
+  Trace.clear ();
+  jsonl
+
+let test_faulty_trace_bit_identical () =
+  let jsonl1 = faulty_trace_run 1 in
+  let jsonl4 = faulty_trace_run 4 in
+  Alcotest.(check bool) "fault events recorded" true
+    (Astring.String.is_infix ~affix:"\"name\":\"update_dropped\"" jsonl1);
+  Alcotest.(check string) "faulty jsonl byte-identical at jobs 1 vs 4" jsonl1
+    jsonl4
+
 let test_chrome_shape () =
   let _, chrome = trace_run 1 in
   Alcotest.(check bool) "traceEvents envelope" true
@@ -202,6 +244,8 @@ let suite =
       Alcotest.test_case "env int range" `Quick test_env_int_range;
       Alcotest.test_case "trace byte-identical across jobs" `Quick
         test_trace_bit_identical;
+      Alcotest.test_case "faulty trace byte-identical across jobs" `Quick
+        test_faulty_trace_bit_identical;
       Alcotest.test_case "chrome trace shape" `Quick test_chrome_shape;
       Alcotest.test_case "no recording without start" `Quick
         test_trace_off_collects_nothing;
