@@ -18,6 +18,9 @@
                     rule usually stops earlier)
      RI_JOBS        trial-level parallelism (see Ri_util.Pool)
      RI_MICRO       set to 0 to skip the Bechamel section
+     RI_SCALE_NODES comma-separated sizes for an additional scale sweep
+                    (e.g. 2000,10000; default off — the 100k point takes
+                    minutes)
      RI_BENCH_JSON  output path for the JSON results
                     (default BENCH_results.json; empty disables) *)
 
@@ -37,6 +40,12 @@ let json_path = Env.string "RI_BENCH_JSON" "BENCH_results.json"
 
 let figure_seconds : (string * float) list ref = ref []
 
+(* Main-domain minor words per figure: with RI_JOBS > 1 the pool domains
+   allocate on their own counters, so run jobs=1 when the absolute
+   numbers matter; the relative movement between runs is meaningful
+   either way. *)
+let figure_minor_words : (string * float) list ref = ref []
+
 let section_seconds : (string * float) list ref = ref []
 
 let run_section name entries =
@@ -44,9 +53,13 @@ let run_section name entries =
   List.iter
     (fun e ->
       let t0 = Unix.gettimeofday () in
+      let w0 = Gc.minor_words () in
       let report = e.Ri_experiments.Registry.run ~base ~spec in
       let dt = Unix.gettimeofday () -. t0 in
       figure_seconds := (e.Ri_experiments.Registry.id, dt) :: !figure_seconds;
+      figure_minor_words :=
+        (e.Ri_experiments.Registry.id, Gc.minor_words () -. w0)
+        :: !figure_minor_words;
       Ri_experiments.Report.print report;
       Printf.printf "(%.1fs)\n\n%!" dt)
     entries;
@@ -83,18 +96,31 @@ let micro_nodes = 2000
 
 let micro_base = Config.scaled { Config.base with Config.seed = 7 } ~num_nodes:micro_nodes
 
+(* Rotating over 8 trials exercises the setup cache the way a runner
+   wave does, but across the whole micro section those templates add up
+   (9 tests x 8 converged networks, several MB each): that much live
+   major heap taxes every later measurement with marking work.  Each
+   test therefore starts from an empty cache and a compact heap — the
+   one clear is amortised over a full Bechamel quota. *)
+let fresh_cache counter =
+  if !counter = 0 then begin
+    Setup_cache.clear ();
+    Gc.compact ()
+  end;
+  incr counter
+
 let trial_test name cfg =
   let counter = ref 0 in
   Test.make ~name
     (Staged.stage (fun () ->
-         incr counter;
+         fresh_cache counter;
          ignore (Trial.run_query cfg ~trial:(!counter mod 8))))
 
 let update_trial_test name cfg =
   let counter = ref 0 in
   Test.make ~name
     (Staged.stage (fun () ->
-         incr counter;
+         fresh_cache counter;
          ignore (Trial.run_update cfg ~trial:(!counter mod 8))))
 
 let figure_tests =
@@ -156,9 +182,31 @@ let core_tests =
     t
   in
   let setup = Trial.build ~purpose:Trial.For_query micro_base ~trial:3 in
+  let upd_setup = Trial.build ~purpose:Trial.For_update micro_base ~trial:5 in
+  (* The boxed/in-place pair does the same add + clamped-sub + scale
+     arithmetic over a (1 + width) row; boxed allocates three fresh
+     summaries per run, in-place writes a flat-store row and allocates
+     nothing — the core trade the SoA rewrite is about. *)
+  let row = Array.init (width + 1) (fun i -> float_of_int ((i * 19) mod 89)) in
+  let flat = Array.make (4 * (width + 1)) 100. in
+  let boxed_row = Summary.make ~total:row.(0) ~by_topic:(Array.sub row 1 width) in
+  let boxed_acc = Summary.scale summary 2. in
   [
     Test.make ~name:"core-estimator-goodness"
       (Staged.stage (fun () -> ignore (Estimator.goodness summary [ 3; 17 ])));
+    Test.make ~name:"core-summary-boxed"
+      (Staged.stage (fun () ->
+           ignore
+             (Summary.scale (Summary.sub (Summary.add boxed_acc boxed_row) boxed_row) 1.)));
+    Test.make ~name:"core-summary-inplace"
+      (Staged.stage (fun () ->
+           Vecf.add_slice ~dst:flat ~dst_pos:0 row ~src_pos:0
+             ~len:(width + 1);
+           Vecf.sub_clamp_slice ~dst:flat ~dst_pos:0 row ~src_pos:0
+             ~len:(width + 1);
+           Vecf.scale_slice flat ~pos:0 ~len:(width + 1) 1.));
+    Test.make ~name:"update-delta-wave"
+      (Staged.stage (fun () -> ignore (Trial.run_update_on micro_base upd_setup)));
     Test.make ~name:"core-export-all-100-peers"
       (Staged.stage (fun () -> ignore (Scheme.export_all big_ri)));
     Test.make ~name:"core-rank-100-peers"
@@ -209,12 +257,65 @@ let run_bechamel () =
       print_newline ();
       rows
 
+(* Minor words allocated per run of the hot operations, measured by
+   hand around a fixed repetition count (Bechamel's allocation probes
+   disagree across OCaml versions; [Gc.minor_words] does not). *)
+let run_minor_words () =
+  let per_run name reps f =
+    f ();
+    let w0 = Gc.minor_words () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (name, (Gc.minor_words () -. w0) /. float_of_int reps)
+  in
+  let setup = Trial.build ~purpose:Trial.For_query micro_base ~trial:3 in
+  let upd = Trial.build ~purpose:Trial.For_update micro_base ~trial:5 in
+  let rows =
+    [
+      per_run "core-query-prebuilt-net" 200 (fun () ->
+          ignore
+            (Ri_p2p.Query.run setup.Trial.network ~origin:setup.Trial.origin
+               ~query:setup.Trial.query ~forwarding:Ri_p2p.Query.Ri_guided));
+      per_run "update-delta-wave" 50 (fun () ->
+          ignore (Trial.run_update_on micro_base upd));
+      per_run "core-export-all-100-peers" 1000 (fun () ->
+          ignore
+            (Ri_core.Scheme.export_all
+               (Ri_p2p.Network.ri setup.Trial.network setup.Trial.origin)));
+    ]
+  in
+  Printf.printf "%-36s %16s\n" "benchmark" "minor words/run";
+  Printf.printf "%s\n" (String.make 53 '-');
+  List.iter (fun (name, w) -> Printf.printf "%-36s %16.1f\n" name w) rows;
+  print_newline ();
+  rows
+
+(* Optional scale sweep (RI_SCALE_NODES=2000,10000,...): the fig_scale
+   experiment's points land in the JSON next to the micros. *)
+let run_scale () =
+  match Env.string "RI_SCALE_NODES" "" with
+  | "" -> None
+  | s ->
+      let sizes =
+        List.filter_map int_of_string_opt (String.split_on_char ',' s)
+      in
+      if sizes = [] then None
+      else begin
+        let points = Ri_experiments.Fig_scale.sweep ~sizes ~base ~spec () in
+        Ri_experiments.Report.print
+          (Ri_experiments.Fig_scale.report_of points);
+        print_newline ();
+        Some points
+      end
+
 (* ------------------------------------------------------------------ *)
 (* JSON results file.                                                  *)
 
 (* Tiny hand-rolled emitter: the only strings are our own benchmark ids
    (alphanumerics and dashes), so escaping is a non-issue. *)
-let write_json ~figures ~sections ~micro =
+let write_json ~figures ~figure_words ~sections ~cache ~micro ~minor_words
+    ~scale =
   if json_path <> "" then begin
     let buf = Buffer.create 4096 in
     let entry fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -239,6 +340,8 @@ let write_json ~figures ~sections ~micro =
     entry "  },\n";
     map "figures_wall_clock_s" figures (fun (id, s) ->
         entry "    \"%s\": %.3f" id s);
+    map "figures_minor_words" figure_words (fun (id, w) ->
+        entry "    \"%s\": %.0f" id w);
     map "sections_wall_clock_s" sections (fun (name, s) ->
         entry "    \"%s\": %.3f" name s);
     entry "  \"total_figures_s\": %.3f,\n"
@@ -251,13 +354,15 @@ let write_json ~figures ~sections ~micro =
         map "phase_seconds" phases (fun (name, count, total) ->
             entry "    \"%s\": {\"samples\": %d, \"total_s\": %.3f}" name count
               total));
-    let c = Setup_cache.stats () in
+    let c = cache in
     entry "  \"setup_cache\": {\n";
     entry "    \"enabled\": %b,\n" (Setup_cache.enabled ());
     entry "    \"graph_hits\": %d,\n" c.Setup_cache.graph_hits;
     entry "    \"graph_misses\": %d,\n" c.Setup_cache.graph_misses;
     entry "    \"content_hits\": %d,\n" c.Setup_cache.content_hits;
-    entry "    \"content_misses\": %d\n" c.Setup_cache.content_misses;
+    entry "    \"content_misses\": %d,\n" c.Setup_cache.content_misses;
+    entry "    \"network_hits\": %d,\n" c.Setup_cache.network_hits;
+    entry "    \"network_misses\": %d\n" c.Setup_cache.network_misses;
     entry "  },\n";
     let pool = Pool.global () in
     let p = Pool.stats pool in
@@ -271,6 +376,15 @@ let write_json ~figures ~sections ~micro =
        else float_of_int p.Pool.busy_domains /. float_of_int p.Pool.waves);
     entry "    \"submit_wait_s\": %.3f\n" p.Pool.submit_wait_s;
     entry "  },\n";
+    (match scale with
+    | None -> ()
+    | Some points ->
+        entry "  \"scale\": %s,\n" (Ri_experiments.Fig_scale.json_of points));
+    (match minor_words with
+    | [] -> ()
+    | words ->
+        map "micro_minor_words_per_run" words (fun (name, w) ->
+            entry "    \"%s\": %.1f" name w));
     entry "  \"micro_ns_per_run\": {\n";
     let n = List.length micro in
     List.iteri
@@ -287,8 +401,21 @@ let write_json ~figures ~sections ~micro =
 
 let () =
   run_figures ();
-  let micro = if Env.int ~min:0 "RI_MICRO" 1 <> 0 then run_bechamel () else [] in
+  (* The figure phase leaves the setup caches holding up to their full
+     word budgets of live templates.  That much live major heap taxes
+     every allocation in the micro section with marking work it never
+     sees in isolation, so snapshot the hit counters, drop the caches
+     and start Bechamel from a compact heap.  The handful of micro
+     setups repopulate what they need. *)
+  let cache = Setup_cache.stats () in
+  Setup_cache.clear ();
+  Gc.compact ();
+  let with_micro = Env.int ~min:0 "RI_MICRO" 1 <> 0 in
+  let micro = if with_micro then run_bechamel () else [] in
+  let minor_words = if with_micro then run_minor_words () else [] in
+  let scale = run_scale () in
   write_json
     ~figures:(List.rev !figure_seconds)
+    ~figure_words:(List.rev !figure_minor_words)
     ~sections:(List.rev !section_seconds)
-    ~micro
+    ~cache ~micro ~minor_words ~scale

@@ -6,7 +6,8 @@
      run EXPERIMENT..   reproduce one or more figures
      all                reproduce every figure
      query              run a single query trial and print its metrics
-     update             run a single update trial and print its cost *)
+     update             run a single update trial and print its cost
+     scale              sweep network sizes, report throughput + memory *)
 
 open Cmdliner
 open Ri_sim
@@ -202,7 +203,13 @@ let list_cmd =
       (fun e ->
         Printf.printf "  %-13s %s\n" e.Ri_experiments.Registry.id
           e.Ri_experiments.Registry.title)
-      Ri_experiments.Registry.extensions
+      Ri_experiments.Registry.extensions;
+    Printf.printf "Simulator scale (run via `risim scale'):\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-13s %s\n" e.Ri_experiments.Registry.id
+          e.Ri_experiments.Registry.title)
+      Ri_experiments.Registry.scale
   in
   Cmd.v
     (Cmd.info "list" ~doc:"Enumerate the paper's experiments and the ablations")
@@ -404,10 +411,12 @@ let update_cmd =
     | Ok () ->
         let m = with_obs metrics trace fmt (fun () -> Trial.run_update cfg ~trial) in
         Printf.printf
-          "search=%s topology=%s nodes=%d trial=%d\nupdate_messages=%d bytes=%.0f\n"
+          "search=%s topology=%s nodes=%d trial=%d\n\
+           update_messages=%d bytes=%.0f wire_bytes=%d\n"
           (Config.search_name cfg.Config.search)
           (Config.topology_name cfg.Config.topology)
-          nodes trial m.Trial.update_messages m.Trial.update_bytes;
+          nodes trial m.Trial.update_messages m.Trial.update_bytes
+          m.Trial.update_wire_bytes;
         `Ok ()
   in
   let trial_t =
@@ -420,6 +429,66 @@ let update_cmd =
         (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
        $ metrics_t $ trace_t $ trace_format_t))
 
+let scale_cmd =
+  let sizes_t =
+    let doc =
+      "Comma-separated network sizes to sweep.  Defaults to \
+       2000,10000,50000,100000 capped at $(b,--nodes); pass explicit \
+       sizes to override the cap."
+    in
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "sizes" ] ~docv:"N,N,.." ~doc)
+  in
+  let json_t =
+    let doc = "Also write the sweep's points as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run nodes seed trials rel_error sizes json jobs metrics trace fmt =
+    apply_jobs jobs;
+    let base = base_config nodes seed in
+    let spec = spec_of trials rel_error in
+    let swept =
+      with_obs metrics trace fmt (fun () ->
+          try Ok (Ri_experiments.Fig_scale.sweep ?sizes ~base ~spec ())
+          with Invalid_argument msg -> Error msg)
+    in
+    match swept with
+    | Error msg -> `Error (false, msg)
+    | Ok points ->
+        Ri_experiments.Report.print
+          (Ri_experiments.Fig_scale.report_of points);
+        Printf.printf "%s\n%s\n" (Telemetry.cache_line ())
+          (Telemetry.pool_line ());
+        (match json with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            Printf.fprintf oc "%s\n"
+              (Ri_experiments.Fig_scale.json_of points);
+            close_out oc;
+            Printf.printf "json written to %s\n" file);
+        (* A sweep that measures zero throughput means the harness broke
+           (division guarded to 0., not the network being slow) — make
+           CI's scale-smoke step fail loudly. *)
+        if
+          List.exists
+            (fun p -> p.Ri_experiments.Fig_scale.p_queries_per_s <= 0.)
+            points
+        then `Error (false, "scale sweep measured zero queries/sec")
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Sweep network sizes and report queries/sec, update-waves/sec, \
+          wire bytes, RI bytes per node and peak heap")
+    Term.(
+      ret
+        (const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ sizes_t
+       $ json_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t))
+
 let () =
   Printexc.record_backtrace true;
   let doc = "Routing Indices for Peer-to-Peer Systems - simulator" in
@@ -427,4 +496,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; params_cmd; run_cmd; all_cmd; query_cmd; update_cmd; topology_cmd ]))
+          [
+            list_cmd;
+            params_cmd;
+            run_cmd;
+            all_cmd;
+            query_cmd;
+            update_cmd;
+            topology_cmd;
+            scale_cmd;
+          ]))

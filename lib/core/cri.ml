@@ -1,18 +1,26 @@
+open Ri_util
 open Ri_content
 
+(* Peer rows live in a flat structure-of-arrays store: one contiguous
+   float array holds every row as [total; by_topic...] ([1 + width]
+   slots), resolved through {!Rowstore}.  [Summary.t] remains the
+   boundary type — construction, exports and tests speak summaries; the
+   aggregation and ranking hot paths run straight over the flat array.
+   The store iterates rows in the same hash-table order as the boxed
+   representation it replaced, keeping float summation bit-identical. *)
 type t = {
   width : int;
   mutable local : Summary.t;
-  rows : (int, Summary.t) Hashtbl.t;
+  store : Rowstore.t;
 }
 
 let check_width t s name =
   if Summary.topics s <> t.width then
     invalid_arg (Printf.sprintf "Cri.%s: summary width mismatch" name)
 
-let create ~width ~local =
+let create ?rows ~width ~local () =
   if width <= 0 then invalid_arg "Cri.create: width must be positive";
-  let t = { width; local; rows = Hashtbl.create 8 } in
+  let t = { width; local; store = Rowstore.create ?rows ~stride:(1 + width) () } in
   check_width t local "create";
   t
 
@@ -20,66 +28,102 @@ let width t = t.width
 
 let local t = t.local
 
+(* Summaries are immutable once built (set_local replaces the field, it
+   never mutates the value), so the clone shares [local] and deep-copies
+   only the row store. *)
+let copy t = { t with store = Rowstore.copy t.store }
+
 let set_local t s =
   check_width t s "set_local";
   t.local <- s
 
-let set_row t ~peer s =
+(* In-place install: no boxed row is retained, so a row update allocates
+   nothing beyond the payload the caller already holds. *)
+let set_row t ~peer (s : Summary.t) =
   check_width t s "set_row";
-  Hashtbl.replace t.rows peer s
+  let off = Rowstore.ensure t.store peer in
+  let d = Rowstore.data t.store in
+  d.(off) <- s.total;
+  Array.blit s.by_topic 0 d (off + 1) t.width
 
-let row t ~peer = Hashtbl.find_opt t.rows peer
+let row t ~peer =
+  match Rowstore.find t.store peer with
+  | None -> None
+  | Some off ->
+      let d = Rowstore.data t.store in
+      Some { Summary.total = d.(off); by_topic = Array.sub d (off + 1) t.width }
 
-let remove_row t ~peer = Hashtbl.remove t.rows peer
+let remove_row t ~peer = Rowstore.remove t.store peer
 
-let peers t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
+let peers t = Rowstore.peers t.store
 
-let peer_count t = Hashtbl.length t.rows
+let peer_count t = Rowstore.count t.store
 
-(* Raw (unclamped) summary subtraction: valid here because every row is a
-   term of the aggregate, so the difference is non-negative up to float
-   rounding, which we clamp away.  Built directly (no [Summary.make]):
-   this runs per peer per export, and make's defensive copy plus
-   validation scan would double its cost. *)
-let minus (a : Summary.t) (b : Summary.t) =
-  let n = Array.length a.by_topic in
-  let by_topic = Array.make n 0. in
-  for i = 0 to n - 1 do
-    by_topic.(i) <- Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))
-  done;
-  { Summary.total = Float.max 0. (a.total -. b.total); by_topic }
+let storage_words t = 1 + t.width + Rowstore.capacity_words t.store
 
-(* Accumulate in place: exporting runs once per node per index build, so
-   one allocation here instead of one per row matters at network scale. *)
+(* Accumulate in place straight off the flat store, in the row table's
+   iteration order (the bit-identity contract — see {!Rowstore}). *)
 let aggregate_with_local t =
   let by_topic = Array.copy t.local.Summary.by_topic in
   let total = ref t.local.Summary.total in
-  Hashtbl.iter
-    (fun _ (r : Summary.t) ->
-      total := !total +. r.total;
-      let bt = r.by_topic in
-      for i = 0 to Array.length by_topic - 1 do
-        by_topic.(i) <- by_topic.(i) +. bt.(i)
-      done)
-    t.rows;
+  let d = Rowstore.data t.store in
+  Rowstore.iter t.store (fun _ off ->
+      total := !total +. d.(off);
+      Vecf.add_slice ~dst:by_topic ~dst_pos:0 d ~src_pos:(off + 1) ~len:t.width);
   { Summary.total = !total; by_topic }
+
+(* Aggregate minus one flat row, clamped: valid because the row is a
+   term of the aggregate, so the difference is non-negative up to float
+   rounding.  Built without [Summary.make]'s defensive copy/validate —
+   this runs per peer per export. *)
+let minus_row t (all : Summary.t) off =
+  let d = Rowstore.data t.store in
+  let by_topic = Array.copy all.Summary.by_topic in
+  Vecf.sub_clamp_slice ~dst:by_topic ~dst_pos:0 d ~src_pos:(off + 1)
+    ~len:t.width;
+  let total = all.Summary.total -. d.(off) in
+  { Summary.total = (if total > 0. then total else 0.); by_topic }
 
 let export t ~exclude =
   let all = aggregate_with_local t in
   match exclude with
   | None -> all
   | Some peer -> (
-      match row t ~peer with None -> all | Some r -> minus all r)
+      match Rowstore.find t.store peer with
+      | None -> all
+      | Some off -> minus_row t all off)
 
 let export_all t =
   let all = aggregate_with_local t in
-  peers t |> List.map (fun p -> (p, minus all (Hashtbl.find t.rows p)))
+  peers t
+  |> List.map (fun p ->
+         match Rowstore.find t.store p with
+         | Some off -> (p, minus_row t all off)
+         | None -> assert false)
+
+(* [export_all] minus the [except] peers, without computing their
+   exports at all: each peer's export is an independent function of the
+   shared aggregate, so the survivors are bit-identical to filtering
+   after the fact.  Update waves call this twice per delivered message
+   (pre/post), always excluding the sender. *)
+let export_except t ~except =
+  let all = aggregate_with_local t in
+  peers t
+  |> List.filter_map (fun p ->
+         if List.exists (fun (e : int) -> e = p) except then None
+         else
+           match Rowstore.find t.store p with
+           | Some off -> Some (p, minus_row t all off)
+           | None -> assert false)
 
 let goodness t ~peer ~query =
-  match row t ~peer with
+  match Rowstore.find t.store peer with
   | None -> 0.
-  | Some r -> Estimator.goodness r query
+  | Some off ->
+      Estimator.goodness_flat (Rowstore.data t.store) ~pos:off ~width:t.width
+        query
 
 let iter_goodness t ~query f =
-  Hashtbl.iter (fun p r -> f p (Estimator.goodness r query)) t.rows
+  let d = Rowstore.data t.store in
+  Rowstore.iter t.store (fun p off ->
+      f p (Estimator.goodness_flat d ~pos:off ~width:t.width query))

@@ -12,9 +12,15 @@
 
 type t
 
-val create : width:int -> local:Ri_content.Summary.t -> t
-(** [width] is the topic-vector width (after any index compression).
+val create : ?rows:int -> width:int -> local:Ri_content.Summary.t -> unit -> t
+(** [width] is the topic-vector width (after any index compression);
+    [rows] pre-sizes the row store (see {!Rowstore.create}).
     @raise Invalid_argument if the local summary's width differs. *)
+
+val copy : t -> t
+(** An independent clone sharing the (immutable) local summary and
+    deep-copying the row store — see {!Rowstore.copy} for the
+    iteration-order guarantee that keeps clones bit-identical. *)
 
 val width : t -> int
 
@@ -37,6 +43,10 @@ val peers : t -> int list
 val peer_count : t -> int
 (** Number of neighbors with a row, without building the list. *)
 
+val storage_words : t -> int
+(** Float slots this index has allocated (local summary plus the flat
+    row store's capacity) — the scale experiment's memory metric. *)
+
 val export : t -> exclude:int option -> Ri_content.Summary.t
 (** The aggregated RI sent to a neighbor: local summary plus every row
     except [exclude]'s.  In the paper's Figure 5, A aggregates rows
@@ -46,6 +56,11 @@ val export_all : t -> (int * Ri_content.Summary.t) list
 (** [(peer, export ~exclude:peer)] for every peer, computed with one
     pass over the rows (the full aggregate minus each row), so hub nodes
     pay O(degree) rather than O(degree²). *)
+
+val export_except : t -> except:int list -> (int * Ri_content.Summary.t) list
+(** {!export_all} restricted to peers not in [except], without computing
+    the excluded exports at all — bit-identical to filtering
+    {!export_all} (each export depends only on the shared aggregate). *)
 
 val goodness : t -> peer:int -> query:int list -> float
 (** {!Estimator.goodness} of the peer's row; [0.] for an unknown peer. *)

@@ -1,20 +1,26 @@
+open Ri_util
 open Ri_content
 
+(* Rows in a flat structure-of-arrays store, [total; by_topic...] per
+   peer — see {!Cri} for the layout and the bit-identity contract.
+   [Summary.t] stays the boundary type for exports and tests. *)
 type t = {
   fanout : float;
   width : int;
   mutable local : Summary.t;
-  rows : (int, Summary.t) Hashtbl.t;
+  store : Rowstore.t;
 }
 
 let check_width t s name =
   if Summary.topics s <> t.width then
     invalid_arg (Printf.sprintf "Eri.%s: summary width mismatch" name)
 
-let create ~fanout ~width ~local =
+let create ?rows ~fanout ~width ~local () =
   if not (fanout > 1.) then invalid_arg "Eri.create: fanout must be > 1";
   if width <= 0 then invalid_arg "Eri.create: width must be positive";
-  let t = { fanout; width; local; rows = Hashtbl.create 8 } in
+  let t =
+    { fanout; width; local; store = Rowstore.create ?rows ~stride:(1 + width) () }
+  in
   check_width t local "create";
   t
 
@@ -24,42 +30,48 @@ let width t = t.width
 
 let local t = t.local
 
+let copy t = { t with store = Rowstore.copy t.store }
+
 let set_local t s =
   check_width t s "set_local";
   t.local <- s
 
-let set_row t ~peer s =
+let set_row t ~peer (s : Summary.t) =
   check_width t s "set_row";
-  Hashtbl.replace t.rows peer s
+  let off = Rowstore.ensure t.store peer in
+  let d = Rowstore.data t.store in
+  d.(off) <- s.total;
+  Array.blit s.by_topic 0 d (off + 1) t.width
 
-let row t ~peer = Hashtbl.find_opt t.rows peer
+let row t ~peer =
+  match Rowstore.find t.store peer with
+  | None -> None
+  | Some off ->
+      let d = Rowstore.data t.store in
+      Some { Summary.total = d.(off); by_topic = Array.sub d (off + 1) t.width }
 
-let remove_row t ~peer = Hashtbl.remove t.rows peer
+let remove_row t ~peer = Rowstore.remove t.store peer
 
-let peers t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
+let peers t = Rowstore.peers t.store
 
-let peer_count t = Hashtbl.length t.rows
+let peer_count t = Rowstore.count t.store
 
-(* One allocation per aggregate, not one per row — exports run once per
-   node per index build. *)
+let storage_words t = 1 + t.width + Rowstore.capacity_words t.store
+
+(* One allocation per aggregate, accumulated off the flat store in row
+   table order (the bit-identity contract). *)
 let aggregate_rows t =
   let by_topic = Array.make t.width 0. in
   let total = ref 0. in
-  Hashtbl.iter
-    (fun _ (r : Summary.t) ->
-      total := !total +. r.total;
-      let bt = r.by_topic in
-      for i = 0 to t.width - 1 do
-        by_topic.(i) <- by_topic.(i) +. bt.(i)
-      done)
-    t.rows;
+  let d = Rowstore.data t.store in
+  Rowstore.iter t.store (fun _ off ->
+      total := !total +. d.(off);
+      Vecf.add_slice ~dst:by_topic ~dst_pos:0 d ~src_pos:(off + 1) ~len:t.width);
   { Summary.total = !total; by_topic }
 
-(* [finish t rest] is local + rest/F.  Fused with the per-peer
-   subtraction into one pass: exports run per peer per wave message, and
-   the three intermediate summaries (minus, scale, add) would triple the
-   allocation. *)
+(* [finish t rest] is local + rest/F.  Fused into one pass: exports run
+   per peer per wave message, and the intermediate summaries (minus,
+   scale, add) would triple the allocation. *)
 let finish t (rest : Summary.t) =
   let k = 1. /. t.fanout in
   let local = t.local in
@@ -70,21 +82,21 @@ let finish t (rest : Summary.t) =
   done;
   { Summary.total = local.Summary.total +. (rest.Summary.total *. k); by_topic }
 
-(* local + (agg - row)/F in a single pass. *)
-let finish_without t (agg : Summary.t) (r : Summary.t) =
+(* local + (agg - row)/F in a single pass over the flat row. *)
+let finish_without t (agg : Summary.t) off =
+  let d = Rowstore.data t.store in
   let k = 1. /. t.fanout in
   let local = t.local in
-  let lbt = local.Summary.by_topic
-  and abt = agg.Summary.by_topic
-  and rbt = r.Summary.by_topic in
+  let lbt = local.Summary.by_topic and abt = agg.Summary.by_topic in
   let by_topic = Array.make t.width 0. in
   for i = 0 to t.width - 1 do
-    by_topic.(i) <- lbt.(i) +. (Float.max 0. (abt.(i) -. rbt.(i)) *. k)
+    let diff = abt.(i) -. d.(off + 1 + i) in
+    by_topic.(i) <- lbt.(i) +. ((if diff > 0. then diff else 0.) *. k)
   done;
+  let dt = agg.Summary.total -. d.(off) in
   {
     Summary.total =
-      local.Summary.total
-      +. (Float.max 0. (agg.Summary.total -. r.Summary.total) *. k);
+      local.Summary.total +. ((if dt > 0. then dt else 0.) *. k);
     by_topic;
   }
 
@@ -93,19 +105,38 @@ let export t ~exclude =
   match exclude with
   | None -> finish t agg
   | Some peer -> (
-      match row t ~peer with
+      match Rowstore.find t.store peer with
       | None -> finish t agg
-      | Some r -> finish_without t agg r)
+      | Some off -> finish_without t agg off)
 
 let export_all t =
   let agg = aggregate_rows t in
   peers t
-  |> List.map (fun p -> (p, finish_without t agg (Hashtbl.find t.rows p)))
+  |> List.map (fun p ->
+         match Rowstore.find t.store p with
+         | Some off -> (p, finish_without t agg off)
+         | None -> assert false)
+
+(* See {!Cri.export_except}: per-peer exports are independent given the
+   aggregate, so skipping the [except] peers is bit-identical. *)
+let export_except t ~except =
+  let agg = aggregate_rows t in
+  peers t
+  |> List.filter_map (fun p ->
+         if List.exists (fun (e : int) -> e = p) except then None
+         else
+           match Rowstore.find t.store p with
+           | Some off -> Some (p, finish_without t agg off)
+           | None -> assert false)
 
 let goodness t ~peer ~query =
-  match row t ~peer with
+  match Rowstore.find t.store peer with
   | None -> 0.
-  | Some r -> Estimator.goodness r query
+  | Some off ->
+      Estimator.goodness_flat (Rowstore.data t.store) ~pos:off ~width:t.width
+        query
 
 let iter_goodness t ~query f =
-  Hashtbl.iter (fun p r -> f p (Estimator.goodness r query)) t.rows
+  let d = Rowstore.data t.store in
+  Rowstore.iter t.store (fun p off ->
+      f p (Estimator.goodness_flat d ~pos:off ~width:t.width query))

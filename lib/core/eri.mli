@@ -14,11 +14,16 @@
 
 type t
 
-val create : fanout:float -> width:int -> local:Ri_content.Summary.t -> t
+val create :
+  ?rows:int -> fanout:float -> width:int -> local:Ri_content.Summary.t -> unit -> t
 (** [fanout] is the assumed regular-tree fanout [F] (the paper's "decay
-    for ERIs", 4 in the base configuration).
+    for ERIs", 4 in the base configuration); [rows] pre-sizes the row
+    store (see {!Rowstore.create}).
     @raise Invalid_argument unless [fanout > 1], [width > 0] and the
     local summary width matches. *)
+
+val copy : t -> t
+(** Independent clone; see {!Cri.copy}. *)
 
 val fanout : t -> float
 
@@ -38,10 +43,18 @@ val peers : t -> int list
 
 val peer_count : t -> int
 
+val storage_words : t -> int
+(** Float slots this index has allocated (local summary plus the flat
+    row store's capacity) — the scale experiment's memory metric. *)
+
 val export : t -> exclude:int option -> Ri_content.Summary.t
 (** [local + (Σ rows except exclude) / F]. *)
 
 val export_all : t -> (int * Ri_content.Summary.t) list
+
+val export_except : t -> except:int list -> (int * Ri_content.Summary.t) list
+(** {!export_all} restricted to peers not in [except] (see
+    {!Cri.export_except}). *)
 
 val goodness : t -> peer:int -> query:int list -> float
 (** {!Estimator.goodness} applied to the (discounted) row; for a

@@ -7,5 +7,21 @@ let goodness (s : Summary.t) query =
       (fun acc topic -> acc *. (Summary.get s topic /. s.total))
       s.total query
 
+(* Same estimate over a flat routing-index row: slot [pos] is the total,
+   slots [pos+1 .. pos+width] the per-topic counts.  The arithmetic —
+   including evaluation order and the out-of-range error [Summary.get]
+   would raise — mirrors [goodness] exactly, so flat and boxed ranking
+   agree bit for bit. *)
+let goodness_flat d ~pos ~width query =
+  let total = d.(pos) in
+  if total <= 0. then 0.
+  else
+    List.fold_left
+      (fun acc topic ->
+        if topic < 0 || topic >= width then
+          invalid_arg "Summary.get: topic out of range";
+        acc *. (d.(pos + 1 + topic) /. total))
+      total query
+
 let documents_per_message ~goodness ~messages =
   if messages <= 0. then 0. else goodness /. messages

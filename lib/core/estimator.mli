@@ -18,6 +18,15 @@ val goodness : Ri_content.Summary.t -> int list -> float
     to exceed the total as well — it is a hint, not a bound.
     @raise Invalid_argument on an out-of-range topic index. *)
 
+val goodness_flat : float array -> pos:int -> width:int -> int list -> float
+(** {!goodness} computed directly over a flat routing-index row (slot
+    [pos] holds the total, slots [pos+1 .. pos+width] the per-topic
+    counts) with no intermediate allocation — the forwarding hot path
+    over [Rowstore]-backed indices.  Bit-identical to boxing the row
+    into a summary and calling {!goodness}.
+    @raise Invalid_argument on an out-of-range topic index (same message
+    as [Summary.get]). *)
+
 val documents_per_message : goodness:float -> messages:float -> float
 (** The hop-count RI's neighbor-quality ratio, Section 6.1: "a neighbor
     that allows us to find 3 documents per message is better than a

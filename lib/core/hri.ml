@@ -1,30 +1,48 @@
+open Ri_util
 open Ri_content
 
+(* Hop-striped flat rows: each peer row is [row_length] summary slots
+   laid out consecutively, slot [h] at [off + h * (1 + width)], each
+   slot [total; by_topic...].  One contiguous float array holds every
+   row — see {!Cri} for the store layout and {!Rowstore} for the
+   bit-identity contract on iteration order. *)
 type t = {
   horizon : int;
   tail : bool;  (* hybrid CRI-HRI: keep a beyond-horizon aggregate *)
   cost : Cost_model.t;
   width : int;
   mutable local : Summary.t;
-  rows : (int, Summary.t array) Hashtbl.t;
+  store : Rowstore.t;
 }
 
 let check_width t s name =
   if Summary.topics s <> t.width then
     invalid_arg (Printf.sprintf "Hri.%s: summary width mismatch" name)
 
-let make_t ~tail ~horizon ~cost ~width ~local =
+let make_t ?rows ~tail ~horizon ~cost ~width ~local () =
   if horizon <= 0 then invalid_arg "Hri.create: horizon must be positive";
   if width <= 0 then invalid_arg "Hri.create: width must be positive";
-  let t = { horizon; tail; cost; width; local; rows = Hashtbl.create 8 } in
+  let slots = horizon + if tail then 1 else 0 in
+  let t =
+    {
+      horizon;
+      tail;
+      cost;
+      width;
+      local;
+      store = Rowstore.create ?rows ~stride:(slots * (1 + width)) ();
+    }
+  in
   check_width t local "create";
   t
 
-let create ~horizon ~cost ~width ~local =
-  make_t ~tail:false ~horizon ~cost ~width ~local
+let create ?rows ~horizon ~cost ~width ~local () =
+  make_t ?rows ~tail:false ~horizon ~cost ~width ~local ()
 
-let create_hybrid ~horizon ~cost ~width ~local =
-  make_t ~tail:true ~horizon ~cost ~width ~local
+let create_hybrid ?rows ~horizon ~cost ~width ~local () =
+  make_t ?rows ~tail:true ~horizon ~cost ~width ~local ()
+
+let copy t = { t with store = Rowstore.copy t.store }
 
 let has_tail t = t.tail
 
@@ -42,51 +60,78 @@ let set_local t s =
   check_width t s "set_local";
   t.local <- s
 
+(* Summary slot width inside a row. *)
+let sw t = 1 + t.width
+
 let set_row t ~peer r =
   if Array.length r <> row_length t then
     invalid_arg "Hri.set_row: row length must equal the horizon";
   Array.iter (fun s -> check_width t s "set_row") r;
-  Hashtbl.replace t.rows peer r
+  let off = Rowstore.ensure t.store peer in
+  let d = Rowstore.data t.store in
+  let sw = sw t in
+  Array.iteri
+    (fun h (s : Summary.t) ->
+      let pos = off + (h * sw) in
+      d.(pos) <- s.total;
+      Array.blit s.by_topic 0 d (pos + 1) t.width)
+    r
 
-let row t ~peer = Hashtbl.find_opt t.rows peer
+let row t ~peer =
+  match Rowstore.find t.store peer with
+  | None -> None
+  | Some off ->
+      let d = Rowstore.data t.store in
+      let sw = sw t in
+      Some
+        (Array.init (row_length t) (fun h ->
+             let pos = off + (h * sw) in
+             {
+               Summary.total = d.(pos);
+               by_topic = Array.sub d (pos + 1) t.width;
+             }))
 
-let remove_row t ~peer = Hashtbl.remove t.rows peer
+let remove_row t ~peer = Rowstore.remove t.store peer
 
-let peers t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.rows [] |> List.sort compare
+let peers t = Rowstore.peers t.store
 
-let peer_count t = Hashtbl.length t.rows
+let peer_count t = Rowstore.count t.store
 
-(* Clamped subtraction, built without [Summary.make]'s copy/validate:
-   runs per (peer, hop slot) per export. *)
-let minus (a : Summary.t) (b : Summary.t) =
-  let n = Array.length a.by_topic in
-  let by_topic = Array.make n 0. in
-  for i = 0 to n - 1 do
-    by_topic.(i) <- Float.max 0. (a.by_topic.(i) -. b.by_topic.(i))
-  done;
-  { Summary.total = Float.max 0. (a.total -. b.total); by_topic }
+let storage_words t = 1 + t.width + Rowstore.capacity_words t.store
 
-(* Sum of all rows, per slot, accumulated in place: one allocation per
-   slot instead of one per (row, slot), since exports run once per node
-   per index build. *)
+(* Sum of all rows, per slot, accumulated off the flat store in row
+   table order (the bit-identity contract): one allocation per slot
+   instead of one per (row, slot). *)
 let aggregate_rows t =
   let len = row_length t in
+  let sw = sw t in
   let totals = Array.make len 0. in
   let by_topic = Array.init len (fun _ -> Array.make t.width 0.) in
-  Hashtbl.iter
-    (fun _ r ->
+  let d = Rowstore.data t.store in
+  Rowstore.iter t.store (fun _ off ->
       for h = 0 to len - 1 do
-        let (s : Summary.t) = r.(h) in
-        totals.(h) <- totals.(h) +. s.total;
-        let bt = s.by_topic
-        and acc = by_topic.(h) in
-        for i = 0 to t.width - 1 do
-          acc.(i) <- acc.(i) +. bt.(i)
-        done
-      done)
-    t.rows;
-  Array.init len (fun h -> { Summary.total = totals.(h); by_topic = by_topic.(h) })
+        let pos = off + (h * sw) in
+        totals.(h) <- totals.(h) +. d.(pos);
+        Vecf.add_slice ~dst:by_topic.(h) ~dst_pos:0 d ~src_pos:(pos + 1)
+          ~len:t.width
+      done);
+  Array.init len (fun h ->
+      { Summary.total = totals.(h); by_topic = by_topic.(h) })
+
+(* Aggregate minus one flat row, clamped, slot by slot — per peer per
+   export, built without [Summary.make]'s copy/validate. *)
+let minus_row t agg off =
+  let sw = sw t in
+  let d = Rowstore.data t.store in
+  Array.mapi
+    (fun h (s : Summary.t) ->
+      let pos = off + (h * sw) in
+      let by_topic = Array.copy s.Summary.by_topic in
+      Vecf.sub_clamp_slice ~dst:by_topic ~dst_pos:0 d ~src_pos:(pos + 1)
+        ~len:t.width;
+      let total = s.Summary.total -. d.(pos) in
+      { Summary.total = (if total > 0. then total else 0.); by_topic })
+    agg
 
 (* Shift the aggregate one hop outward.  Plain HRI discards the column
    that crosses the horizon; the hybrid merges it into the tail slot, so
@@ -106,9 +151,9 @@ let export t ~exclude =
     match exclude with
     | None -> agg
     | Some peer -> (
-        match row t ~peer with
+        match Rowstore.find t.store peer with
         | None -> agg
-        | Some r -> Array.mapi (fun h s -> minus s r.(h)) agg)
+        | Some off -> minus_row t agg off)
   in
   shift_with_local t agg
 
@@ -116,32 +161,53 @@ let export_all t =
   let agg = aggregate_rows t in
   peers t
   |> List.map (fun p ->
-         let r = Hashtbl.find t.rows p in
-         let without = Array.mapi (fun h s -> minus s r.(h)) agg in
-         (p, shift_with_local t without))
+         match Rowstore.find t.store p with
+         | Some off -> (p, shift_with_local t (minus_row t agg off))
+         | None -> assert false)
+
+(* See {!Cri.export_except}: per-peer exports are independent given the
+   aggregate, so skipping the [except] peers is bit-identical. *)
+let export_except t ~except =
+  let agg = aggregate_rows t in
+  peers t
+  |> List.filter_map (fun p ->
+         if List.exists (fun (e : int) -> e = p) except then None
+         else
+           match Rowstore.find t.store p with
+           | Some off -> Some (p, shift_with_local t (minus_row t agg off))
+           | None -> assert false)
 
 (* In hybrid mode the tail slot sits at index [horizon] and is
-   discounted as if everything in it were horizon+1 hops away — the
-   hop_count_goodness formula already does exactly that for a per-hop
-   array one slot longer. *)
-let goodness_of_row t r query =
-  let per_hop = Array.map (fun s -> Estimator.goodness s query) r in
-  Cost_model.hop_count_goodness t.cost ~per_hop_goodness:per_hop
+   discounted as if everything in it were horizon+1 hops away.  Per-hop
+   goodness runs straight over the flat row — no intermediate per-hop
+   array — accumulating in the same slot order as the boxed
+   [Cost_model.hop_count_goodness] pass did. *)
+let goodness_at t d ~off query =
+  let sw = sw t in
+  let acc = ref 0. in
+  for h = 0 to row_length t - 1 do
+    let g = Estimator.goodness_flat d ~pos:(off + (h * sw)) ~width:t.width query in
+    acc := !acc +. (g *. Cost_model.discount t.cost ~hop:(h + 1))
+  done;
+  !acc
 
 let goodness t ~peer ~query =
-  match row t ~peer with
+  match Rowstore.find t.store peer with
   | None -> 0.
-  | Some r -> goodness_of_row t r query
+  | Some off -> goodness_at t (Rowstore.data t.store) ~off query
 
 let iter_goodness t ~query f =
-  Hashtbl.iter (fun p r -> f p (goodness_of_row t r query)) t.rows
+  let d = Rowstore.data t.store in
+  Rowstore.iter t.store (fun p off -> f p (goodness_at t d ~off query))
 
 let total_beyond_hop t ~peer ~hop =
-  match row t ~peer with
+  match Rowstore.find t.store peer with
   | None -> 0.
-  | Some r ->
+  | Some off ->
+      let d = Rowstore.data t.store in
+      let sw = sw t in
       let acc = ref 0. in
       for h = hop to row_length t - 1 do
-        acc := !acc +. r.(h).Summary.total
+        acc := !acc +. d.(off + (h * sw))
       done;
       !acc

@@ -18,18 +18,34 @@
 type t
 
 val create :
-  horizon:int -> cost:Cost_model.t -> width:int -> local:Ri_content.Summary.t -> t
-(** @raise Invalid_argument if [horizon <= 0], [width <= 0] or the local
+  ?rows:int ->
+  horizon:int ->
+  cost:Cost_model.t ->
+  width:int ->
+  local:Ri_content.Summary.t ->
+  unit ->
+  t
+(** [rows] pre-sizes the row store (see {!Rowstore.create}).
+    @raise Invalid_argument if [horizon <= 0], [width <= 0] or the local
     summary's width differs. *)
 
 val create_hybrid :
-  horizon:int -> cost:Cost_model.t -> width:int -> local:Ri_content.Summary.t -> t
+  ?rows:int ->
+  horizon:int ->
+  cost:Cost_model.t ->
+  width:int ->
+  local:Ri_content.Summary.t ->
+  unit ->
+  t
 (** The {e hybrid CRI-HRI} the paper sketches in Section 6.2 ("a hybrid
     CRI-HRI overcomes this disadvantage"): rows carry one extra slot
     that aggregates every document {e beyond} the horizon, compound-RI
     style.  On export the column that would fall off the horizon merges
     into the tail instead of being discarded, so no information is ever
     lost; goodness discounts the tail at [horizon + 1] hops. *)
+
+val copy : t -> t
+(** Independent clone; see {!Cri.copy}. *)
 
 val has_tail : t -> bool
 
@@ -53,13 +69,18 @@ val set_row : t -> peer:int -> Ri_content.Summary.t array -> unit
     @raise Invalid_argument on wrong length or width. *)
 
 val row : t -> peer:int -> Ri_content.Summary.t array option
-(** The stored row (not a copy). *)
+(** A fresh copy of the stored row, boxed out of the flat store —
+    mutating it never affects the index. *)
 
 val remove_row : t -> peer:int -> unit
 
 val peers : t -> int list
 
 val peer_count : t -> int
+
+val storage_words : t -> int
+(** Float slots this index has allocated (local summary plus the flat
+    row store's capacity) — the scale experiment's memory metric. *)
 
 val export : t -> exclude:int option -> Ri_content.Summary.t array
 (** The shifted aggregate sent to a neighbor: slot 0 = local summary,
@@ -68,6 +89,11 @@ val export : t -> exclude:int option -> Ri_content.Summary.t array
 
 val export_all : t -> (int * Ri_content.Summary.t array) list
 (** One export per peer, sharing a single aggregation pass. *)
+
+val export_except :
+  t -> except:int list -> (int * Ri_content.Summary.t array) list
+(** {!export_all} restricted to peers not in [except] (see
+    {!Cri.export_except}). *)
 
 val goodness : t -> peer:int -> query:int list -> float
 (** Cost-model-discounted goodness; [0.] for an unknown peer. *)

@@ -1,0 +1,129 @@
+(* Flat structure-of-arrays row storage for routing indices.
+
+   One contiguous float array holds every peer row of a node's index:
+   row [slot] occupies [stride] consecutive slots starting at
+   [slot * stride].  A peer -> slot hash table resolves rows; freed
+   slots are recycled LIFO, so the backing array never shrinks but also
+   never fragments.
+
+   Bit-for-bit determinism contract: aggregation iterates rows in the
+   order of the peer index table, NOT in slot order.  The table is
+   created with the same initial size (8) and sees exactly the same
+   add/remove key sequence as the per-peer [Summary] hash tables this
+   store replaced, and OCaml's [Hashtbl.replace] mutates an existing
+   binding in place, so iteration order — and therefore float summation
+   order — is unchanged from the boxed representation. *)
+
+type t = {
+  stride : int;
+  mutable data : float array;
+  mutable index : (int, int) Hashtbl.t;  (* peer -> slot *)
+  mutable shared_index : bool;
+      (* the peer table is shared with clones (copy-on-write): it must
+         be re-copied privately before any insert or remove *)
+  mutable free : int list;  (* recycled slots, most recently freed first *)
+  mutable next : int;  (* first never-used slot *)
+}
+
+let initial_rows = 4
+
+(* [rows] is a capacity hint — typically the node's overlay degree, so a
+   well-hinted store never reallocates and wastes no slots.  The minor
+   heap feels the difference: a default-sized store on a 2000-node tree
+   costs an extra ~250 words per node in unused and regrown rows. *)
+let create ?(rows = initial_rows) ~stride () =
+  if stride <= 0 then invalid_arg "Rowstore.create: stride must be positive";
+  {
+    stride;
+    data = Array.make (max 1 rows * stride) 0.;
+    index = Hashtbl.create 8;
+    shared_index = false;
+    free = [];
+    next = 0;
+  }
+
+(* Template cloning: the floats are blitted, but the peer table is
+   shared copy-on-write — a converged-network clone only ever rewrites
+   existing rows, so in the common case no clone pays for a table.
+   When a mutation does force materialisation, [Hashtbl.copy]
+   duplicates the bucket structure verbatim, so iteration order — and
+   therefore every aggregation's float summation order — is identical
+   either way.  This is what makes cached converged networks safe to
+   hand out as per-trial clones. *)
+let copy t =
+  t.shared_index <- true;
+  { t with data = Array.copy t.data }
+
+(* Materialise a private peer table before an insert or remove.  The
+   original's flag stays set: it may be shared with any number of other
+   clones, none of which ever sees this mutation. *)
+let own_index t =
+  if t.shared_index then begin
+    t.index <- Hashtbl.copy t.index;
+    t.shared_index <- false
+  end
+
+let stride t = t.stride
+
+let data t = t.data
+
+let count t = Hashtbl.length t.index
+
+let mem t peer = Hashtbl.mem t.index peer
+
+let find t peer =
+  match Hashtbl.find_opt t.index peer with
+  | None -> None
+  | Some slot -> Some (slot * t.stride)
+
+let grow t needed_rows =
+  let cap = Array.length t.data / t.stride in
+  (* Double from the actual capacity: flooring at [initial_rows] here
+     would quadruple every degree-1 store on its first insert and undo
+     the caller's degree hint. *)
+  let cap' = ref (max cap 1) in
+  while !cap' < needed_rows do
+    cap' := !cap' * 2
+  done;
+  if !cap' > cap then begin
+    let data' = Array.make (!cap' * t.stride) 0. in
+    Array.blit t.data 0 data' 0 (t.next * t.stride);
+    t.data <- data'
+  end
+
+let ensure t peer =
+  match Hashtbl.find_opt t.index peer with
+  | Some slot -> slot * t.stride
+  | None ->
+      own_index t;
+      let slot =
+        match t.free with
+        | s :: rest ->
+            t.free <- rest;
+            s
+        | [] ->
+            let s = t.next in
+            grow t (s + 1);
+            t.next <- s + 1;
+            s
+      in
+      Hashtbl.replace t.index peer slot;
+      slot * t.stride
+
+let remove t peer =
+  match Hashtbl.find_opt t.index peer with
+  | None -> ()
+  | Some slot ->
+      own_index t;
+      Hashtbl.remove t.index peer;
+      (* Zero the freed row so a recycled slot starts clean and stale
+         values can never leak into a future peer's partial writes. *)
+      Array.fill t.data (slot * t.stride) t.stride 0.;
+      t.free <- slot :: t.free
+
+let iter t f = Hashtbl.iter (fun peer slot -> f peer (slot * t.stride)) t.index
+
+let peers t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.index [] |> List.sort Int.compare
+
+let capacity_words t = Array.length t.data

@@ -1,0 +1,68 @@
+(** Flat structure-of-arrays storage for routing-index rows.
+
+    One contiguous float array per node holds all peer rows; each row is
+    [stride] consecutive slots at the offset returned by {!find} /
+    {!ensure}.  Rows are addressed through a peer -> slot table whose
+    iteration order deliberately mirrors the per-peer hash tables this
+    store replaced, so aggregation (float summation) order — and with it
+    every figure in the paper reproduction — is bit-for-bit unchanged.
+
+    The backing array grows by doubling and is exposed raw through
+    {!data} so the arithmetic kernels ([Ri_util.Vecf] slice operations,
+    [Estimator.goodness_flat]) can run over it with zero intermediate
+    allocation.  A reference obtained from {!data} is invalidated by any
+    subsequent {!ensure} that grows the store — re-fetch after inserts. *)
+
+type t
+
+val create : ?rows:int -> stride:int -> unit -> t
+(** An empty store whose rows are [stride] floats wide.  [rows] (default
+    4, minimum 1) pre-sizes the backing array; pass the node's expected
+    peer count (its overlay degree) to avoid both regrowth copies and
+    slack slots.
+    @raise Invalid_argument if [stride <= 0]. *)
+
+val copy : t -> t
+(** An independent clone: one [Array.copy] of the backing floats; the
+    peer table is shared copy-on-write and re-copied structurally
+    ([Hashtbl.copy]) only if either side later inserts or removes a
+    row.  Iteration order — and with it every aggregation's summation
+    order — is bit-for-bit the original's in both regimes.
+    O(capacity), no per-row boxing, and no table cost for clones that
+    only rewrite existing rows (a converged network's update waves). *)
+
+val stride : t -> int
+
+val data : t -> float array
+(** The current backing array.  Offsets from {!find}/{!ensure}/{!iter}
+    index into it.  Invalidated by growth — do not hold across
+    {!ensure}. *)
+
+val count : t -> int
+(** Number of rows present. *)
+
+val mem : t -> int -> bool
+
+val find : t -> int -> int option
+(** Offset of the peer's row into {!data}, if present. *)
+
+val ensure : t -> int -> int
+(** Offset of the peer's row, allocating a zeroed row (recycling freed
+    slots, growing the backing array as needed) when absent. *)
+
+val remove : t -> int -> unit
+(** Drop the peer's row and recycle its slot (zeroed).  No-op when
+    absent. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] calls [f peer offset] for every row, in the peer table's
+    iteration order — the order float aggregation must use to stay
+    bit-identical with the boxed representation. *)
+
+val peers : t -> int list
+(** Peers with a row, in increasing id order. *)
+
+val capacity_words : t -> int
+(** Allocated length of the backing array (slots, not rows) — the
+    store's memory footprint for the scale experiment's bytes-per-node
+    metric. *)

@@ -24,14 +24,16 @@ type payload = Vector of Summary.t | Hop_vector of Summary.t array
 
 type t = C of Cri.t | H of Hri.t | E of Eri.t
 
-let create k ~width ~local =
+let create ?rows k ~width ~local =
   match k with
-  | Cri_kind -> C (Cri.create ~width ~local)
+  | Cri_kind -> C (Cri.create ?rows ~width ~local ())
   | Hri_kind { horizon; fanout } ->
-      H (Hri.create ~horizon ~cost:(Cost_model.make ~fanout) ~width ~local)
+      H (Hri.create ?rows ~horizon ~cost:(Cost_model.make ~fanout) ~width ~local ())
   | Hybrid_kind { horizon; fanout } ->
-      H (Hri.create_hybrid ~horizon ~cost:(Cost_model.make ~fanout) ~width ~local)
-  | Eri_kind { fanout } -> E (Eri.create ~fanout ~width ~local)
+      H
+        (Hri.create_hybrid ?rows ~horizon ~cost:(Cost_model.make ~fanout)
+           ~width ~local ())
+  | Eri_kind { fanout } -> E (Eri.create ?rows ~fanout ~width ~local ())
 
 let kind = function
   | C _ -> Cri_kind
@@ -51,6 +53,11 @@ let local = function
   | C c -> Cri.local c
   | H h -> Hri.local h
   | E e -> Eri.local e
+
+let copy = function
+  | C c -> C (Cri.copy c)
+  | H h -> H (Hri.copy h)
+  | E e -> E (Eri.copy e)
 
 let set_local t s =
   match t with
@@ -97,6 +104,13 @@ let export_all t =
   | H h -> List.map (fun (p, r) -> (p, Hop_vector r)) (Hri.export_all h)
   | E e -> List.map (fun (p, s) -> (p, Vector s)) (Eri.export_all e)
 
+let export_except t ~except =
+  match t with
+  | C c -> List.map (fun (p, s) -> (p, Vector s)) (Cri.export_except c ~except)
+  | H h ->
+      List.map (fun (p, r) -> (p, Hop_vector r)) (Hri.export_except h ~except)
+  | E e -> List.map (fun (p, s) -> (p, Vector s)) (Eri.export_except e ~except)
+
 let goodness t ~peer ~query =
   match t with
   | C c -> Cri.goodness c ~peer ~query
@@ -117,7 +131,7 @@ let iter_goodness t ~query f =
 (* Goodness descending, peer id ascending: a total order over distinct
    peers, so the ranking is independent of row iteration order. *)
 let compare_ranked (p1, g1) (p2, g2) =
-  match Float.compare g2 g1 with 0 -> compare p1 p2 | c -> c
+  match Float.compare g2 g1 with 0 -> Int.compare p1 p2 | c -> c
 
 let rank_array t ~query ~keep =
   let buf = Array.make (peer_count t) (0, 0.) in
@@ -135,15 +149,16 @@ let rank_peers t ~query ~keep =
   Array.fold_right (fun (p, _) acc -> p :: acc) (rank_array t ~query ~keep) []
 
 let rank t ~query ~exclude =
+  (* Exclude lists are tiny (typically 0-2 entries): specialize the
+     common shapes into direct comparisons so the closure allocates no
+     intermediate structure at all, and fall back to a list scan (ints
+     compare physically) for longer lists. *)
   let keep =
     match exclude with
     | [] -> fun _ -> true
-    | excl ->
-        (* Exclude lists are tiny (typically 0-2 entries); a scan over a
-           sorted array beats the old per-peer [List.mem]. *)
-        let excl = Array.of_list excl in
-        Array.sort compare excl;
-        fun p -> not (Array.exists (Int.equal p) excl)
+    | [ a ] -> fun p -> p <> a
+    | [ a; b ] -> fun p -> p <> a && p <> b
+    | excl -> fun p -> not (List.memq p excl)
   in
   Array.to_list (rank_array t ~query ~keep)
 
@@ -169,6 +184,68 @@ let payload_rel_diff a b =
       end
   | Vector _, Hop_vector _ | Hop_vector _, Vector _ -> infinity
 
+(* Early-exit form of [payload_rel_diff a b > threshold]: the max over
+   entries exceeds the threshold iff some entry does, so the scan can
+   stop at the first hit instead of computing the full max.  This is the
+   significance test every delivered update message runs. *)
+let summary_exceeds_rel (x : Summary.t) (y : Summary.t) ~threshold =
+  let exceeds old_ new_ =
+    Float.abs (new_ -. old_) /. Float.max (Float.abs old_) 1. > threshold
+  in
+  Summary.topics x <> Summary.topics y
+  || exceeds x.Summary.total y.Summary.total
+  ||
+  let xb = x.Summary.by_topic and yb = y.Summary.by_topic in
+  let n = Array.length xb in
+  let rec go i = i < n && (exceeds xb.(i) yb.(i) || go (i + 1)) in
+  go 0
+
+let payload_exceeds_rel a b ~threshold =
+  match (a, b) with
+  | Vector x, Vector y -> summary_exceeds_rel x y ~threshold
+  | Hop_vector x, Hop_vector y ->
+      Array.length x <> Array.length y
+      ||
+      let n = Array.length x in
+      let rec go i =
+        i < n && (summary_exceeds_rel x.(i) y.(i) ~threshold || go (i + 1))
+      in
+      go 0
+  | Vector _, Hop_vector _ | Hop_vector _, Vector _ ->
+      (* A shape change is always significant. *)
+      true
+
+(* Entries whose value differs between two payloads of the same shape —
+   what a sparse (index, delta) update encoding would ship.  A shape or
+   width mismatch can only be sent dense: every entry counts. *)
+let summary_changed_entries (x : Summary.t) (y : Summary.t) =
+  if Summary.topics x <> Summary.topics y then 1 + Summary.topics y
+  else begin
+    let n = ref (if x.Summary.total <> y.Summary.total then 1 else 0) in
+    let xb = x.Summary.by_topic and yb = y.Summary.by_topic in
+    for i = 0 to Array.length xb - 1 do
+      if xb.(i) <> yb.(i) then incr n
+    done;
+    !n
+  end
+
+let payload_entries = function
+  | Vector s -> 1 + Summary.topics s
+  | Hop_vector r ->
+      if Array.length r = 0 then 0
+      else Array.length r * (1 + Summary.topics r.(0))
+
+let payload_changed_entries a b =
+  match (a, b) with
+  | Vector x, Vector y -> summary_changed_entries x y
+  | Hop_vector x, Hop_vector y when Array.length x = Array.length y ->
+      let acc = ref 0 in
+      Array.iteri
+        (fun i sx -> acc := !acc + summary_changed_entries sx y.(i))
+        x;
+      !acc
+  | _ -> payload_entries b
+
 let payload_distance a b =
   match (a, b) with
   | Vector x, Vector y -> Summary.euclidean_distance x y
@@ -189,12 +266,6 @@ let payload_total = function
   | Vector s -> s.Summary.total
   | Hop_vector r -> Array.fold_left (fun acc s -> acc +. s.Summary.total) 0. r
 
-let payload_entries = function
-  | Vector s -> 1 + Summary.topics s
-  | Hop_vector r ->
-      if Array.length r = 0 then 0
-      else Array.length r * (1 + Summary.topics r.(0))
-
 let storage_entries k ~width ~neighbors =
   if width <= 0 || neighbors < 0 then
     invalid_arg "Scheme.storage_entries: bad dimensions";
@@ -207,6 +278,14 @@ let storage_entries k ~width ~neighbors =
   in
   (* One local-summary row plus one row per neighbor. *)
   (neighbors + 1) * slots * per_summary
+
+let storage_bytes t =
+  8
+  *
+  match t with
+  | C c -> Cri.storage_words c
+  | H h -> Hri.storage_words h
+  | E e -> Eri.storage_words e
 
 let payload_perturb rng ~relative_stddev ~kind payload =
   let f = Compression.perturb rng ~relative_stddev ~kind in

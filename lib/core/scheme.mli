@@ -28,13 +28,22 @@ type payload =
 type t
 (** One node's routing index. *)
 
-val create : kind -> width:int -> local:Ri_content.Summary.t -> t
+val create : ?rows:int -> kind -> width:int -> local:Ri_content.Summary.t -> t
+(** [rows] pre-sizes the per-peer row store — pass the node's overlay
+    degree to avoid regrowth copies and slack slots. *)
 
 val kind : t -> kind
 
 val width : t -> int
 
 val local : t -> Ri_content.Summary.t
+
+val copy : t -> t
+(** An independent clone of the index: the flat row store is duplicated
+    with its peer-table iteration order intact ({!Rowstore.copy}), so a
+    clone behaves — bit for bit — like the original, while sharing the
+    immutable local summary.  This is what lets a cached converged
+    network be handed out as cheap per-trial copies. *)
 
 val set_local : t -> Ri_content.Summary.t -> unit
 
@@ -52,6 +61,11 @@ val export : t -> exclude:int option -> payload
 
 val export_all : t -> (int * payload) list
 (** One export per known peer, sharing one aggregation pass. *)
+
+val export_except : t -> except:int list -> (int * payload) list
+(** {!export_all} restricted to peers not in [except], skipping the
+    excluded exports entirely — bit-identical to filtering
+    {!export_all}. *)
 
 val goodness : t -> peer:int -> query:int list -> float
 
@@ -84,6 +98,19 @@ val payload_rel_diff : payload -> payload -> float
     shape — the [minUpdate] significance test.  [infinity] on shape
     mismatch (a shape change is always significant). *)
 
+val payload_exceeds_rel : payload -> payload -> threshold:float -> bool
+(** [payload_exceeds_rel old new_ ~threshold] is
+    [payload_rel_diff old new_ > threshold], but stops scanning at the
+    first entry over the threshold — the early-exit form the update
+    wave's per-message significance test uses.  A shape (or width)
+    mismatch always exceeds. *)
+
+val payload_changed_entries : payload -> payload -> int
+(** Entries whose value differs between two payloads of the same shape —
+    the pair count a sparse (index, delta) update encoding ships.  On a
+    shape or width mismatch every entry of the second payload counts
+    (such an update can only be sent dense). *)
+
 val payload_distance : payload -> payload -> float
 (** Euclidean distance between two payloads' entry vectors (summed over
     hops for HRI) — the absolute update-significance criterion the paper
@@ -104,6 +131,13 @@ val storage_entries : kind -> width:int -> neighbors:int -> int
     counter size in bytes gives the paper's Section 4.1 storage figures:
     "each node of a distributed system would need [s x (c+1) x b]
     bytes". *)
+
+val storage_bytes : t -> int
+(** Bytes this node's index has actually allocated for summaries: the
+    local row plus the flat row store's capacity, at 8 bytes per float
+    slot.  Unlike {!storage_entries} (the paper's analytical formula)
+    this reflects the live data structure, including growth slack — the
+    scale experiment's RI-bytes-per-node metric. *)
 
 val payload_perturb :
   Ri_util.Prng.t ->

@@ -41,7 +41,10 @@ let extensions =
     { id = Fig_faults.id; title = Fig_faults.title; run = Fig_faults.run };
   ]
 
-let everything = all @ extensions
+let scale =
+  [ { id = Fig_scale.id; title = Fig_scale.title; run = Fig_scale.run } ]
+
+let everything = all @ extensions @ scale
 
 let find id = List.find_opt (fun e -> e.id = id) everything
 

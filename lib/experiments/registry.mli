@@ -16,8 +16,14 @@ val extensions : experiment list
     8.2's omitted runs), parallel forwarding (Section 3.1), and update
     batching (Section 4.3). *)
 
+val scale : experiment list
+(** The simulator-scale sweep ({!Fig_scale}) — not run by [risim all]
+    (it measures the harness, not the paper, and the 100k sweep takes
+    minutes); reachable through {!find} and the [risim scale]
+    subcommand. *)
+
 val everything : experiment list
-(** [all @ extensions]. *)
+(** [all @ extensions @ scale]. *)
 
 val find : string -> experiment option
 (** Looks in {!everything}. *)

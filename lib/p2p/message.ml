@@ -3,6 +3,7 @@ type counters = {
   mutable query_returns : int;
   mutable result_messages : int;
   mutable update_messages : int;
+  mutable update_wire_bytes : int;
 }
 
 let create () =
@@ -11,13 +12,15 @@ let create () =
     query_returns = 0;
     result_messages = 0;
     update_messages = 0;
+    update_wire_bytes = 0;
   }
 
 let reset c =
   c.query_forwards <- 0;
   c.query_returns <- 0;
   c.result_messages <- 0;
-  c.update_messages <- 0
+  c.update_messages <- 0;
+  c.update_wire_bytes <- 0
 
 let query_messages c = c.query_forwards + c.query_returns + c.result_messages
 
@@ -27,13 +30,23 @@ let add dst src =
   dst.query_forwards <- dst.query_forwards + src.query_forwards;
   dst.query_returns <- dst.query_returns + src.query_returns;
   dst.result_messages <- dst.result_messages + src.result_messages;
-  dst.update_messages <- dst.update_messages + src.update_messages
+  dst.update_messages <- dst.update_messages + src.update_messages;
+  dst.update_wire_bytes <- dst.update_wire_bytes + src.update_wire_bytes
 
 type byte_costs = { query_bytes : int; result_bytes : int; update_bytes : int }
 
 let paper_base_bytes = { query_bytes = 250; result_bytes = 250; update_bytes = 1000 }
 
 let gnutella_bytes = { query_bytes = 70; result_bytes = 70; update_bytes = 3500 }
+
+(* Simulated wire sizes for routing-index update payloads, independent
+   of the fixed per-message costs above (which reproduce the paper's
+   figures): 8 bytes per float entry plus an 8-byte header for a dense
+   absolute vector; a sparse delta ships (topic index, delta) pairs at
+   12 bytes each (4-byte index + 8-byte float). *)
+let wire_full_bytes ~entries = 8 + (8 * entries)
+
+let wire_delta_bytes ~changed = 8 + (12 * changed)
 
 let bytes_of b c =
   float_of_int

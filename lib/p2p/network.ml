@@ -50,11 +50,38 @@ type t = {
 
 let size t = Array.length t.adj
 
+(* Per-trial clone of a cached template.  Mutable state — adjacency
+   rows (churn), RIs and projected locals (update waves) — is deep
+   copied; the content closures, compression and policy knobs are
+   shared.  The RI clones preserve row-table iteration order
+   ([Scheme.copy]), so a copy is bit-for-bit indistinguishable from
+   rebuilding the network from scratch.  The PRNG is shared: with no
+   perturbation model the network never draws from it, and templates
+   are only cached in that case. *)
+let copy t =
+  {
+    t with
+    (* Only the outer array: [add_link]/[remove_link] replace rows with
+       fresh arrays rather than mutating them, so rows can be shared. *)
+    adj = Array.copy t.adj;
+    ris = Array.map Scheme.copy t.ris;
+    locals = Array.copy t.locals;
+  }
+
+let storage_words t =
+  let words = ref 0 in
+  Array.iter (fun a -> words := !words + Array.length a + 3) t.adj;
+  Array.iter
+    (fun ri -> words := !words + (Scheme.storage_bytes ri / 8) + 16)
+    t.ris;
+  !words + (4 * Array.length t.locals)
+
 let neighbors t v = t.adj.(v)
 
 let degree t v = Array.length t.adj.(v)
 
-let has_link t u v = Array.exists (( = ) v) t.adj.(u)
+(* Monomorphic compare: this runs once per queued update message. *)
+let has_link t u v = Array.exists (fun (y : int) -> y = v) t.adj.(u)
 
 let scheme t = t.scheme_kind
 
@@ -93,8 +120,25 @@ let maybe_perturb t payload =
 let outgoing_exports t v =
   if not (has_ri t) then []
   else
-    Scheme.export_all t.ris.(v)
-    |> List.map (fun (p, payload) -> (p, maybe_perturb t payload))
+    let exports = Scheme.export_all t.ris.(v) in
+    (* No perturbation model: skip the identity [List.map] — this runs
+       twice per delivered update message (pre/post exports). *)
+    match t.perturb with
+    | None -> exports
+    | Some _ ->
+        List.map (fun (p, payload) -> (p, maybe_perturb t payload)) exports
+
+let outgoing_exports_except t v ~except =
+  if not (has_ri t) then []
+  else
+    match t.perturb with
+    | None -> Scheme.export_except t.ris.(v) ~except
+    | Some _ ->
+        (* Perturbation draws one rng sample per exported payload, so the
+           skip would shift the stream: keep the full pass and filter. *)
+        List.filter
+          (fun ((p : int), _) -> not (List.exists (fun e -> e = p) except))
+          (outgoing_exports t v)
 
 let export_to t v ~peer =
   if not (has_ri t) then invalid_arg "Network.export_to: No-RI network";
@@ -262,7 +306,9 @@ let create ~graph ~content ?scheme ?(compression = Compression.exact)
     match scheme with
     | None -> [||]
     | Some kind ->
-        Array.init n (fun v -> Scheme.create kind ~width ~local:locals.(v))
+        Array.init n (fun v ->
+            Scheme.create ~rows:(Array.length adj.(v)) kind ~width
+              ~local:locals.(v))
   in
   let t =
     {
@@ -334,8 +380,8 @@ let add_link t u v =
   if has_link t u v then invalid_arg "Network.add_link: link exists";
   t.adj.(u) <- Array.append t.adj.(u) [| v |];
   t.adj.(v) <- Array.append t.adj.(v) [| u |];
-  Array.sort compare t.adj.(u);
-  Array.sort compare t.adj.(v)
+  Array.sort Int.compare t.adj.(u);
+  Array.sort Int.compare t.adj.(v)
 
 let remove_link t u v =
   if not (has_link t u v) then

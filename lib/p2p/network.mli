@@ -101,6 +101,20 @@ val create :
     @raise Invalid_argument for CRI + [No_op] on a cyclic graph in
     [Converged] mode, or an out-of-range [Rooted] origin. *)
 
+val copy : t -> t
+(** An independent clone: adjacency rows, routing indices and projected
+    locals are deep-copied (flat-store blits plus structural hash-table
+    copies, so iteration order — and with it every figure — is
+    bit-for-bit preserved); content closures and configuration are
+    shared.  Used by the setup cache to stamp out per-trial networks
+    from one converged template at a fraction of a rebuild's cost.
+    Only valid without a perturbation model: a perturbing network draws
+    from its PRNG, which the clone shares. *)
+
+val storage_words : t -> int
+(** Approximate resident size in words (adjacency + RI stores +
+    locals) — the setup cache's memory-budget accounting unit. *)
+
 (** {2 Structure} *)
 
 val size : t -> int
@@ -156,6 +170,15 @@ val outgoing_exports : t -> int -> (int * Ri_core.Scheme.payload) list
 (** The aggregated RIs node [v] would send to each neighbor right now,
     with the Gaussian perturbation applied when configured.  Empty on a
     No-RI network. *)
+
+val outgoing_exports_except :
+  t -> int -> except:int list -> (int * Ri_core.Scheme.payload) list
+(** {!outgoing_exports} restricted to neighbors not in [except] — the
+    wave hot path, which never sends an update back to its sender.
+    Without perturbation the excluded exports are never computed;
+    with it they are computed and dropped so the perturbation rng
+    stream is unchanged.  Bit-identical to filtering
+    {!outgoing_exports} either way. *)
 
 val export_to : t -> int -> peer:int -> Ri_core.Scheme.payload
 (** One outgoing export, perturbed when configured. *)

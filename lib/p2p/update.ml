@@ -35,39 +35,88 @@ let m_budget_stops =
     ~help:"Update waves cut off by the message budget."
     "ri_update_budget_stops_total"
 
+let m_wire_bytes =
+  Ri_obs.Metrics.counter
+    ~help:"Simulated bytes shipped by update messages (delta encoding)."
+    "ri_update_wire_bytes_total"
+
 let significant net ~baseline ~payload =
   match baseline with
   | None -> true
   | Some old ->
-      Scheme.payload_rel_diff old payload > Network.min_update net
+      (* Cheap test first, and early-exit: the rel-diff scan stops at the
+         first entry over the threshold, and the (full-pass) distance is
+         only computed for payloads that already cleared it. *)
+      Scheme.payload_exceeds_rel old payload
+        ~threshold:(Network.min_update net)
       && Scheme.payload_distance old payload > Network.update_distance_floor net
 
+(* Simulated wire cost of one update message.  Senders diff the new
+   aggregate against the last export acknowledged by this neighbor (the
+   seed's baseline) and ship sparse (index, delta) pairs when that is
+   smaller than the dense absolute vector.  First contact (no baseline)
+   and anti-entropy repair (the receiver detectably missed updates from
+   this sender, so the sender's baseline does not describe the
+   receiver's row) must go dense.  State application stays absolute —
+   [old + (new - old)] re-derives the exact floats only symbolically, so
+   the simulation applies the payload itself and only the byte metric
+   models the encoding. *)
+let wire_bytes plan { sender; receiver; payload; baseline; _ } =
+  let full = Message.wire_full_bytes ~entries:(Scheme.payload_entries payload) in
+  match baseline with
+  | None -> full
+  | Some b ->
+      let repair =
+        match plan with
+        | Some p -> Fault.missed p ~at:receiver ~peer:sender > 0
+        | None -> false
+      in
+      if repair then full
+      else
+        min full
+          (Message.wire_delta_bytes
+             ~changed:(Scheme.payload_changed_entries b payload))
+
+(* Int-specialized list membership/lookup: these run per peer per
+   forwarded message, where polymorphic compare is measurable. *)
+let rec mem_int (x : int) = function
+  | [] -> false
+  | y :: rest -> y = x || mem_int x rest
+
+let rec assoc_opt_int (x : int) = function
+  | [] -> None
+  | (y, v) :: rest -> if y = x then Some v else assoc_opt_int x rest
+
 let seeds_for_change ?plan net ~at ~except ~mutate =
-  if not (Network.has_ri net) then begin
+  let no_recipient () =
+    (* A leaf hearing from its only neighbor (the overwhelmingly common
+       delivery in a tree) has nobody to forward to: the pre/post
+       exports would be computed only to be filtered away below, so
+       skip them — the stored-row mutation is all that is observable. *)
+    Array.for_all (fun p -> mem_int p except) (Network.neighbors net at)
+  in
+  if (not (Network.has_ri net)) || no_recipient () then begin
     mutate ();
     []
   end
   else begin
-    let pre = Network.outgoing_exports net at in
+    let pre = Network.outgoing_exports_except net at ~except in
     mutate ();
-    let post = Network.outgoing_exports net at in
+    let post = Network.outgoing_exports_except net at ~except in
     let tainted peer =
       match plan with
       | Some p -> Fault.tainted p ~at ~toward:peer
       | None -> false
     in
-    List.filter_map
+    List.map
       (fun (peer, payload) ->
-        if List.mem peer except then None
-        else
-          Some
-            {
-              sender = at;
-              receiver = peer;
-              payload;
-              baseline = List.assoc_opt peer pre;
-              tainted = tainted peer;
-            })
+        {
+          sender = at;
+          receiver = peer;
+          payload;
+          baseline = assoc_opt_int peer pre;
+          tainted = tainted peer;
+        })
       post
   end
 
@@ -96,8 +145,10 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
     let budget =
       match max_messages with Some b -> b | None -> default_budget net
     in
-    let reached = Hashtbl.create 64 in
-    List.iter (fun v -> Hashtbl.replace reached v ()) already_reached;
+    (* Node ids are dense [0, size): a byte map beats a hash table for
+       the per-delivery reached test (no hashing, no growth). *)
+    let reached = Bytes.make (Network.size net) '\000' in
+    List.iter (fun v -> Bytes.set reached v '\001') already_reached;
     (* The wave advances in rounds (message generations): [current] is
        the round in flight, onward exports land in [next], and delayed
        messages sit in [delayed] until their round comes up.  With no
@@ -110,6 +161,7 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
     let round = ref 0 in
     let detect = Network.cycle_policy net = Network.Detect_recover in
     let sent = ref 0 in
+    let wire = ref 0 in
     let deliver { sender; receiver; payload; baseline; tainted } =
       let ri = Network.ri net receiver in
       let baseline =
@@ -131,8 +183,8 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
         | _ -> baseline
       in
       if significant net ~baseline ~payload then begin
-        let repeat = Hashtbl.mem reached receiver in
-        Hashtbl.replace reached receiver ();
+        let repeat = Bytes.get reached receiver <> '\000' in
+        Bytes.set reached receiver '\001';
         on_event
           (Delivered
              {
@@ -196,6 +248,10 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
             incr sent;
             counters.Message.update_messages <-
               counters.Message.update_messages + 1;
+            let bytes = wire_bytes plan seed in
+            wire := !wire + bytes;
+            counters.Message.update_wire_bytes <-
+              counters.Message.update_wire_bytes + bytes;
             match plan with
             | Some p when Fault.is_dead p seed.receiver ->
                 Fault.note_drop p ~dead:true;
@@ -234,6 +290,7 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
     if Ri_obs.Metrics.enabled () then begin
       Ri_obs.Metrics.incr m_waves;
       Ri_obs.Metrics.add m_messages !sent;
+      Ri_obs.Metrics.add m_wire_bytes !wire;
       if more () then Ri_obs.Metrics.incr m_budget_stops
     end
   end

@@ -25,7 +25,19 @@
     originator's message id and a node reached a second time does not
     forward further; under [No_op] the wave is damped only by the
     significance tests (which is why a compound RI — no decay — must not
-    run [No_op] on a cyclic overlay). *)
+    run [No_op] on a cyclic overlay).
+
+    {b Delta encoding.}  Each sent message additionally charges
+    [counters.update_wire_bytes] with its simulated wire size: the
+    sender diffs the new aggregate against the seed's baseline (its last
+    acknowledged export to that neighbor) and ships sparse
+    (index, delta) pairs when smaller than the dense absolute vector
+    ({!Message.wire_delta_bytes} vs {!Message.wire_full_bytes}).  First
+    contact and anti-entropy repair go dense.  Row state is still
+    applied as the absolute payload — float addition is not exactly
+    invertible, and the bit-for-bit determinism contract requires the
+    receiver to end with the sender's exact floats — so the encoding is
+    a byte-accounting model, never a semantic change. *)
 
 type wave_seed = {
   sender : int;

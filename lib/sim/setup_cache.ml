@@ -38,11 +38,30 @@ type content_key = {
   c_trial : int;
 }
 
+(* Converged (or rooted) networks are pure functions of the overlay,
+   the content draw and the index parameters below — nothing else in a
+   [Config.t] feeds the build.  Keying on exactly those fields lets a
+   stop-condition or byte-cost sweep reuse one template across every
+   cell; each access returns [Network.copy template], never the
+   template itself, so callers may mutate their copy freely. *)
+type network_key = {
+  n_graph : graph_key;
+  n_content : content_key;
+  n_scheme : Ri_core.Scheme.kind option;
+  n_ratio : float;
+  n_error_kind : Compression.error_kind;
+  n_policy : Ri_p2p.Network.cycle_policy;
+  n_min_update : float;
+  n_origin : int option;  (* [Rooted] origin; [None] is converged *)
+}
+
 type stats = {
   graph_hits : int;
   graph_misses : int;
   content_hits : int;
   content_misses : int;
+  network_hits : int;
+  network_misses : int;
 }
 
 (* Trials inside a runner wave execute on separate domains; one mutex
@@ -55,9 +74,13 @@ let graphs : (graph_key, Graph.t) Hashtbl.t = Hashtbl.create 64
 
 let contents : (content_key, content) Hashtbl.t = Hashtbl.create 64
 
+let networks : (network_key, Ri_p2p.Network.t) Hashtbl.t = Hashtbl.create 64
+
 let graph_words = ref 0
 
 let content_words = ref 0
+
+let network_words = ref 0
 
 let g_hits = ref 0
 
@@ -67,11 +90,17 @@ let c_hits = ref 0
 
 let c_misses = ref 0
 
+let n_hits = ref 0
+
+let n_misses = ref 0
+
 (* Bound resident memory rather than entry counts: a 60k-node placement
    is ~15MB while a 300-node one is trivial.  On overflow the table is
    reset wholesale — reuse distances within an experiment sweep are
-   short, so the refill cost is one trial set. *)
-let budget_words = 32_000_000
+   short, so the refill cost is one trial set.  Each of the three
+   tables gets its own budget; [RI_CACHE_WORDS] resizes it (the scale
+   experiment's 100k-node templates are ~8M words apiece). *)
+let budget_words = Env.int ~min:1 "RI_CACHE_WORDS" 32_000_000
 
 let cache_enabled = ref (Env.int ~min:0 "RI_CACHE" 1 <> 0)
 
@@ -83,12 +112,16 @@ let clear () =
   Mutex.lock lock;
   Hashtbl.reset graphs;
   Hashtbl.reset contents;
+  Hashtbl.reset networks;
   graph_words := 0;
   content_words := 0;
+  network_words := 0;
   g_hits := 0;
   g_misses := 0;
   c_hits := 0;
   c_misses := 0;
+  n_hits := 0;
+  n_misses := 0;
   Mutex.unlock lock
 
 let stats () =
@@ -99,6 +132,8 @@ let stats () =
       graph_misses = !g_misses;
       content_hits = !c_hits;
       content_misses = !c_misses;
+      network_hits = !n_hits;
+      network_misses = !n_misses;
     }
   in
   Mutex.unlock lock;
@@ -150,3 +185,14 @@ let graph key compute = find_or graphs g_hits g_misses graph_words ~cost:graph_c
 
 let content key compute =
   find_or contents c_hits c_misses content_words ~cost:content_cost key compute
+
+(* The template stays private to the cache: every access — the miss
+   that built it included — hands out a [Network.copy], whose flat-store
+   blits preserve bit-identity with a from-scratch build.  With the
+   cache disabled the freshly built network is returned as is. *)
+let network key compute =
+  if not !cache_enabled then compute ()
+  else
+    Ri_p2p.Network.copy
+      (find_or networks n_hits n_misses network_words
+         ~cost:Ri_p2p.Network.storage_words key compute)

@@ -42,12 +42,38 @@ type content_key = {
   c_trial : int;
 }
 
+type network_key = {
+  n_graph : graph_key;
+  n_content : content_key;
+  n_scheme : Ri_core.Scheme.kind option;
+  n_ratio : float;
+  n_error_kind : Ri_content.Compression.error_kind;
+  n_policy : Ri_p2p.Network.cycle_policy;
+  n_min_update : float;
+  n_origin : int option;  (** [Rooted] origin; [None] is converged *)
+}
+(** Everything a network build depends on — and nothing it does not, so
+    sweeps over stop conditions, byte costs or update batch sizes share
+    one template per trial. *)
+
 val graph : graph_key -> (unit -> Ri_topology.Graph.t) -> Ri_topology.Graph.t
 (** [graph key compute] returns the cached overlay for [key], calling
     [compute] on a miss.  [compute] runs outside the cache lock. *)
 
 val content : content_key -> (unit -> content) -> content
 (** Same, for the (query topics, placement, origin) draw. *)
+
+val network :
+  network_key -> (unit -> Ri_p2p.Network.t) -> Ri_p2p.Network.t
+(** Same, for the built network — except that what is returned is a
+    fresh {!Ri_p2p.Network.copy} of the cached template (bit-identical
+    to a from-scratch build, including hash-table iteration orders), so
+    the caller may freely run update waves or churn against it.  Only
+    cache perturbation-free builds over immutable placements:
+    {!Trial.build} bypasses this table when a perturbation model is
+    installed (the build draws from the PRNG) or when the caller
+    requested a mutable placement (the network's content closures must
+    bind the caller's private copy). *)
 
 val enabled : unit -> bool
 
@@ -63,6 +89,8 @@ type stats = {
   graph_misses : int;
   content_hits : int;
   content_misses : int;
+  network_hits : int;
+  network_misses : int;
 }
 
 val stats : unit -> stats

@@ -18,6 +18,10 @@ let g_content_hits = g_cache "content" "hits"
 
 let g_content_misses = g_cache "content" "misses"
 
+let g_network_hits = g_cache "network" "hits"
+
+let g_network_misses = g_cache "network" "misses"
+
 let g_pool_jobs = Metrics.gauge ~help:"Pool width (domains)." "ri_pool_jobs"
 
 let g_pool_waves = Metrics.gauge ~help:"Waves submitted." "ri_pool_waves"
@@ -39,6 +43,8 @@ let export_metrics () =
   Metrics.set g_graph_misses (float_of_int s.Setup_cache.graph_misses);
   Metrics.set g_content_hits (float_of_int s.Setup_cache.content_hits);
   Metrics.set g_content_misses (float_of_int s.Setup_cache.content_misses);
+  Metrics.set g_network_hits (float_of_int s.Setup_cache.network_hits);
+  Metrics.set g_network_misses (float_of_int s.Setup_cache.network_misses);
   let pool = Pool.global () in
   let p = Pool.stats pool in
   Metrics.set g_pool_jobs (float_of_int (Pool.jobs pool));
@@ -60,11 +66,13 @@ let cache_line () =
     let s = Setup_cache.stats () in
     Printf.sprintf
       "setup-cache: graphs %d hits / %d misses (%.0f%%), content %d hits / %d \
-       misses (%.0f%%)"
+       misses (%.0f%%), networks %d hits / %d misses (%.0f%%)"
       s.Setup_cache.graph_hits s.Setup_cache.graph_misses
       (pct s.Setup_cache.graph_hits s.Setup_cache.graph_misses)
       s.Setup_cache.content_hits s.Setup_cache.content_misses
       (pct s.Setup_cache.content_hits s.Setup_cache.content_misses)
+      s.Setup_cache.network_hits s.Setup_cache.network_misses
+      (pct s.Setup_cache.network_hits s.Setup_cache.network_misses)
 
 let pool_line () =
   let pool = Pool.global () in

@@ -41,32 +41,36 @@ let build ?(purpose = For_query) ?perturb ?(mutable_placement = false)
   let net_rng = Prng.split master in
   let trial_rng = Prng.split master in
   let universe = Topic.make cfg.topics in
+  let graph_key =
+    {
+      Setup_cache.g_topology = cfg.topology;
+      g_num_nodes = cfg.num_nodes;
+      g_fanout = cfg.fanout;
+      g_exponent = cfg.outdegree_exponent;
+      g_seed = cfg.seed;
+      g_trial = trial;
+    }
+  in
   let graph =
-    Setup_cache.graph
-      {
-        Setup_cache.g_topology = cfg.topology;
-        g_num_nodes = cfg.num_nodes;
-        g_fanout = cfg.fanout;
-        g_exponent = cfg.outdegree_exponent;
-        g_seed = cfg.seed;
-        g_trial = trial;
-      }
+    Setup_cache.graph graph_key
       (fun () -> Phase.time "topology" (fun () -> topology_graph cfg topo_rng))
   in
   (* The query's stop condition is carried in the config, not drawn from
      the stream, so the cached draw is shared across stop sweeps and the
      query record is rebuilt with the right stop below. *)
+  let content_key =
+    {
+      Setup_cache.c_num_nodes = cfg.num_nodes;
+      c_topics = cfg.topics;
+      c_query_results = cfg.query_results;
+      c_distribution = cfg.distribution;
+      c_background = cfg.background_per_node;
+      c_seed = cfg.seed;
+      c_trial = trial;
+    }
+  in
   let draw =
-    Setup_cache.content
-      {
-        Setup_cache.c_num_nodes = cfg.num_nodes;
-        c_topics = cfg.topics;
-        c_query_results = cfg.query_results;
-        c_distribution = cfg.distribution;
-        c_background = cfg.background_per_node;
-        c_seed = cfg.seed;
-        c_trial = trial;
-      }
+    Setup_cache.content content_key
       (fun () ->
         Phase.time "placement" (fun () ->
             let query =
@@ -113,11 +117,36 @@ let build ?(purpose = For_query) ?perturb ?(mutable_placement = false)
   in
   let network =
     Phase.time "ri_build" (fun () ->
-        Network.create ~graph ~content
-          ?scheme:(Config.scheme_kind cfg)
-          ~compression:(Config.compression cfg)
-          ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update ?perturb
-          ~rng:net_rng ~mode ())
+        let fresh () =
+          Network.create ~graph ~content
+            ?scheme:(Config.scheme_kind cfg)
+            ~compression:(Config.compression cfg)
+            ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update ?perturb
+            ~rng:net_rng ~mode ()
+        in
+        (* The built network is itself cacheable: a template is shared
+           across every sweep cell with the same overlay, content and
+           index parameters, and each trial gets a bit-identical
+           [Network.copy].  Perturbed builds draw from the PRNG and
+           mutable placements bind content closures to this call's
+           private copy — both must build fresh. *)
+        if Option.is_some perturb || mutable_placement then fresh ()
+        else
+          Setup_cache.network
+            {
+              Setup_cache.n_graph = graph_key;
+              n_content = content_key;
+              n_scheme = Config.scheme_kind cfg;
+              n_ratio = cfg.compression_ratio;
+              n_error_kind = cfg.compression_mode;
+              n_policy = cfg.cycle_policy;
+              n_min_update = cfg.min_update;
+              n_origin =
+                (match mode with
+                | Network.Rooted o -> Some o
+                | Network.Converged -> None);
+            }
+            fresh)
   in
   { network; universe; query; origin; rng = trial_rng; placement }
 
@@ -425,7 +454,11 @@ let run_query_parallel (cfg : Config.t) ~branch ~trial =
         par_satisfied = o.Query.p_satisfied;
       })
 
-type update_metrics = { update_messages : int; update_bytes : float }
+type update_metrics = {
+  update_messages : int;
+  update_bytes : float;
+  update_wire_bytes : int;
+}
 
 let run_update_on ?on_event ?plan (cfg : Config.t) setup =
   let counters = Message.create () in
@@ -460,6 +493,7 @@ let run_update_on ?on_event ?plan (cfg : Config.t) setup =
     update_messages = counters.Message.update_messages;
     update_bytes =
       float_of_int (counters.Message.update_messages * cfg.bytes.Message.update_bytes);
+    update_wire_bytes = counters.Message.update_wire_bytes;
   }
 
 let run_update (cfg : Config.t) ~trial =

@@ -128,6 +128,10 @@ val run_query_parallel : Config.t -> branch:int -> trial:int -> parallel_metrics
 type update_metrics = {
   update_messages : int;
   update_bytes : float;
+      (** messages priced at the paper's fixed per-message cost *)
+  update_wire_bytes : int;
+      (** simulated bytes under the sparse delta encoding — see
+          {!Ri_p2p.Update} *)
 }
 
 val run_update : Config.t -> trial:int -> update_metrics

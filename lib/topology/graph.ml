@@ -8,14 +8,17 @@ let neighbors t v = t.adj.(v)
 
 let degree t v = Array.length t.adj.(v)
 
+(* Rows are sorted with [Int.compare] (see [Builder.to_graph]); the
+   bsearch reuses it so lookup and sort can never disagree. *)
 let has_edge t u v =
   let row = t.adj.(u) in
   let rec bsearch lo hi =
     if lo >= hi then false
     else
       let mid = (lo + hi) / 2 in
-      if row.(mid) = v then true
-      else if row.(mid) < v then bsearch (mid + 1) hi
+      let c = Int.compare row.(mid) v in
+      if c = 0 then true
+      else if c < 0 then bsearch (mid + 1) hi
       else bsearch lo mid
   in
   bsearch 0 (Array.length row)
@@ -68,7 +71,11 @@ module Builder = struct
               a.(!i) <- v;
               incr i)
             row;
-          Array.sort compare a;
+          (* [Int.compare], not polymorphic [compare]: the generic
+             structural compare walks its runtime-type dispatch per
+             element pair, measurable on the 100k-node power-law
+             build's hub rows. *)
+          Array.sort Int.compare a;
           a)
         t.rows
     in

@@ -50,6 +50,47 @@ let max_rel_diff old_ new_ =
   done;
   !worst
 
+(* Slice kernels: the arithmetic backbone of the flat structure-of-arrays
+   routing-index store, where one backing array holds many logical rows.
+   Each kernel touches exactly [len] slots starting at the given
+   positions and performs the same per-slot operation as the boxed
+   Summary counterpart, so flat and boxed paths stay bit-identical. *)
+
+let check_slice a pos len name =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg (Printf.sprintf "Vecf.%s: slice out of range" name)
+
+let add_slice ~dst ~dst_pos src ~src_pos ~len =
+  check_slice dst dst_pos len "add_slice";
+  check_slice src src_pos len "add_slice";
+  for i = 0 to len - 1 do
+    dst.(dst_pos + i) <- dst.(dst_pos + i) +. src.(src_pos + i)
+  done
+
+let sub_clamp_slice ~dst ~dst_pos src ~src_pos ~len =
+  check_slice dst dst_pos len "sub_clamp_slice";
+  check_slice src src_pos len "sub_clamp_slice";
+  for i = 0 to len - 1 do
+    (* Branch instead of [Float.max 0.]: identical on every finite float
+       and on ±0 (both produce +0.), and the branch skips Float.max's
+       signbit/nan handling in the hottest kernel. *)
+    let diff = dst.(dst_pos + i) -. src.(src_pos + i) in
+    dst.(dst_pos + i) <- (if diff > 0. then diff else 0.)
+  done
+
+let scale_slice v ~pos ~len k =
+  check_slice v pos len "scale_slice";
+  for i = pos to pos + len - 1 do
+    v.(i) <- v.(i) *. k
+  done
+
+let decay_slice ~dst ~dst_pos src ~src_pos ~len ~k =
+  check_slice dst dst_pos len "decay_slice";
+  check_slice src src_pos len "decay_slice";
+  for i = 0 to len - 1 do
+    dst.(dst_pos + i) <- dst.(dst_pos + i) +. (src.(src_pos + i) *. k)
+  done
+
 let approx_equal ?(eps = 1e-9) a b =
   Array.length a = Array.length b
   &&

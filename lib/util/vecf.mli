@@ -35,3 +35,40 @@ val max_rel_diff : float array -> float array -> float
     registers. *)
 
 val approx_equal : ?eps:float -> float array -> float array -> bool
+
+(** {2 Slice kernels}
+
+    In-place operations over [len] consecutive slots of a backing array,
+    used by the flat structure-of-arrays routing-index store
+    ([Ri_core.Rowstore]) where one contiguous float array holds many
+    logical rows.  Per-slot arithmetic matches the boxed
+    [Summary.add]/[sub]/[scale] operations exactly (including the
+    clamp-at-zero subtraction), so flat and boxed code paths produce
+    bit-identical results.
+
+    All kernels raise [Invalid_argument] when a slice falls outside its
+    array. *)
+
+val add_slice :
+  dst:float array -> dst_pos:int -> float array -> src_pos:int -> len:int -> unit
+(** [dst.(dst_pos+i) <- dst.(dst_pos+i) +. src.(src_pos+i)] for
+    [i < len]. *)
+
+val sub_clamp_slice :
+  dst:float array -> dst_pos:int -> float array -> src_pos:int -> len:int -> unit
+(** Clamped subtraction, [max 0. (dst - src)] per slot — the paper's
+    non-negative-count invariant under float rounding. *)
+
+val scale_slice : float array -> pos:int -> len:int -> float -> unit
+(** Multiply [len] slots starting at [pos] by a factor, in place. *)
+
+val decay_slice :
+  dst:float array ->
+  dst_pos:int ->
+  float array ->
+  src_pos:int ->
+  len:int ->
+  k:float ->
+  unit
+(** [dst += src *. k] per slot — the exponential-RI decay-accumulate
+    step fused into one pass. *)

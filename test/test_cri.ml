@@ -13,7 +13,7 @@ let row_c = s 1000 [| 0; 300; 0; 50 |]
 let row_d = s 300 [| 140; 0; 140; 225 |]
 
 let make_a () =
-  let t = Cri.create ~width:4 ~local:local_a in
+  let t = Cri.create ~width:4 ~local:local_a () in
   Cri.set_row t ~peer:1 row_b;
   Cri.set_row t ~peer:2 row_c;
   t
@@ -21,10 +21,10 @@ let make_a () =
 let test_create_validation () =
   Alcotest.check_raises "width mismatch"
     (Invalid_argument "Cri.create: summary width mismatch") (fun () ->
-      ignore (Cri.create ~width:3 ~local:local_a));
+      ignore (Cri.create ~width:3 ~local:local_a ()));
   Alcotest.check_raises "bad width"
     (Invalid_argument "Cri.create: width must be positive") (fun () ->
-      ignore (Cri.create ~width:0 ~local:(Summary.zero ~topics:0)))
+      ignore (Cri.create ~width:0 ~local:(Summary.zero ~topics:0) ()))
 
 let test_rows () =
   let t = make_a () in
@@ -92,7 +92,7 @@ let prop_export_is_local_plus_rows =
   QCheck.Test.make ~name:"export equals local plus kept rows" ~count:100
     QCheck.(list_of_size Gen.(int_range 0 6) (float_range 0. 100.))
     (fun totals ->
-      let t = Cri.create ~width:1 ~local:(Summary.make ~total:5. ~by_topic:[| 5. |]) in
+      let t = Cri.create ~width:1 ~local:(Summary.make ~total:5. ~by_topic:[| 5. |]) () in
       List.iteri
         (fun i v -> Cri.set_row t ~peer:i (Summary.make ~total:v ~by_topic:[| v |]))
         totals;

@@ -18,7 +18,7 @@ let kids_z = s 70 [| 10; 40; 20; 50 |]
 (* Build a mid node's ERI (fanout 3) from its local index and the
    aggregate of its leaf children, then export toward W. *)
 let export_toward_w local kids =
-  let t = Eri.create ~fanout:3. ~width:4 ~local in
+  let t = Eri.create ~fanout:3. ~width:4 ~local () in
   Eri.set_row t ~peer:100 kids;
   Eri.export t ~exclude:None
 
@@ -47,7 +47,7 @@ let test_figure9_rows () =
     (export_toward_w local_z kids_z)
 
 let test_figure9_goodness_ranking () =
-  let w = Eri.create ~fanout:3. ~width:4 ~local:(Summary.zero ~topics:4) in
+  let w = Eri.create ~fanout:3. ~width:4 ~local:(Summary.zero ~topics:4) () in
   Eri.set_row w ~peer:1 (export_toward_w local_x kids_x);
   Eri.set_row w ~peer:2 (export_toward_w local_y kids_y);
   Eri.set_row w ~peer:3 (export_toward_w local_z kids_z);
@@ -58,14 +58,14 @@ let test_figure9_goodness_ranking () =
 
 let test_validation () =
   Alcotest.check_raises "fanout" (Invalid_argument "Eri.create: fanout must be > 1")
-    (fun () -> ignore (Eri.create ~fanout:1. ~width:4 ~local:(Summary.zero ~topics:4)));
+    (fun () -> ignore (Eri.create ~fanout:1. ~width:4 ~local:(Summary.zero ~topics:4) ()));
   Alcotest.check_raises "width mismatch"
     (Invalid_argument "Eri.create: summary width mismatch") (fun () ->
-      ignore (Eri.create ~fanout:3. ~width:2 ~local:(Summary.zero ~topics:4)))
+      ignore (Eri.create ~fanout:3. ~width:2 ~local:(Summary.zero ~topics:4) ()))
 
 let test_export_formula () =
   (* export = local + (sum of rows except target) / F. *)
-  let t = Eri.create ~fanout:4. ~width:1 ~local:(Summary.make ~total:8. ~by_topic:[| 8. |]) in
+  let t = Eri.create ~fanout:4. ~width:1 ~local:(Summary.make ~total:8. ~by_topic:[| 8. |]) () in
   Eri.set_row t ~peer:1 (Summary.make ~total:12. ~by_topic:[| 12. |]);
   Eri.set_row t ~peer:2 (Summary.make ~total:20. ~by_topic:[| 20. |]);
   let to_peer1 = Eri.export t ~exclude:(Some 1) in
@@ -80,7 +80,7 @@ let test_decay_over_distance () =
   let rec chain depth payload =
     if depth = 0 then payload
     else
-      let t = Eri.create ~fanout:4. ~width:1 ~local:(Summary.zero ~topics:1) in
+      let t = Eri.create ~fanout:4. ~width:1 ~local:(Summary.zero ~topics:1) () in
       Eri.set_row t ~peer:0 payload;
       chain (depth - 1) (Eri.export t ~exclude:None)
   in
@@ -88,7 +88,7 @@ let test_decay_over_distance () =
   Alcotest.(check (float 1e-9)) "64 / 4^3" 1. after3.Summary.total
 
 let test_export_all_pointwise () =
-  let t = Eri.create ~fanout:3. ~width:4 ~local:local_x in
+  let t = Eri.create ~fanout:3. ~width:4 ~local:local_x () in
   Eri.set_row t ~peer:1 kids_x;
   Eri.set_row t ~peer:2 kids_y;
   Eri.set_row t ~peer:3 kids_z;
@@ -101,7 +101,7 @@ let test_export_all_pointwise () =
     (Eri.export_all t)
 
 let test_rows_crud () =
-  let t = Eri.create ~fanout:3. ~width:4 ~local:local_x in
+  let t = Eri.create ~fanout:3. ~width:4 ~local:local_x () in
   Eri.set_row t ~peer:7 kids_x;
   Alcotest.(check (list int)) "peers" [ 7 ] (Eri.peers t);
   Eri.remove_row t ~peer:7;

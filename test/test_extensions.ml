@@ -15,10 +15,10 @@ let cost3 = Cost_model.make ~fanout:3.
 (* Hybrid CRI-HRI.                                                     *)
 
 let test_hybrid_row_shape () =
-  let t = Hri.create_hybrid ~horizon:2 ~cost:cost3 ~width:1 ~local:(s 5 [| 5 |]) in
+  let t = Hri.create_hybrid ~horizon:2 ~cost:cost3 ~width:1 ~local:(s 5 [| 5 |]) () in
   Alcotest.(check bool) "has tail" true (Hri.has_tail t);
   Alcotest.(check int) "row length = horizon + 1" 3 (Hri.row_length t);
-  let plain = Hri.create ~horizon:2 ~cost:cost3 ~width:1 ~local:(s 5 [| 5 |]) in
+  let plain = Hri.create ~horizon:2 ~cost:cost3 ~width:1 ~local:(s 5 [| 5 |]) () in
   Alcotest.(check int) "plain row length" 2 (Hri.row_length plain)
 
 let test_hybrid_never_forgets () =
@@ -27,26 +27,28 @@ let test_hybrid_never_forgets () =
   let chain create =
     let local = s 100 [| 100 |] in
     let zero = Summary.zero ~topics:1 in
-    let a = create ~horizon:2 ~cost:cost3 ~width:1 ~local in
-    let b = create ~horizon:2 ~cost:cost3 ~width:1 ~local:zero in
+    let a = create ~horizon:2 ~cost:cost3 ~width:1 ~local () in
+    let b = create ~horizon:2 ~cost:cost3 ~width:1 ~local:zero () in
     Hri.set_row b ~peer:0 (Hri.export a ~exclude:None);
-    let c = create ~horizon:2 ~cost:cost3 ~width:1 ~local:zero in
+    let c = create ~horizon:2 ~cost:cost3 ~width:1 ~local:zero () in
     Hri.set_row c ~peer:1 (Hri.export b ~exclude:None);
-    let d = create ~horizon:2 ~cost:cost3 ~width:1 ~local:zero in
+    let d = create ~horizon:2 ~cost:cost3 ~width:1 ~local:zero () in
     Hri.set_row d ~peer:2 (Hri.export c ~exclude:None);
     Hri.goodness d ~peer:2 ~query:[ 0 ]
   in
-  Alcotest.(check (float 1e-9)) "plain HRI is blind" 0. (chain Hri.create);
+  Alcotest.(check (float 1e-9))
+    "plain HRI is blind" 0.
+    (chain (Hri.create ?rows:None));
   (* Hybrid: 100 docs in the tail, discounted at horizon+1 = 3 hops:
      100 / 3^2. *)
   Alcotest.(check (float 1e-6)) "hybrid sees the tail" (100. /. 9.)
-    (chain Hri.create_hybrid)
+    (chain (Hri.create_hybrid ?rows:None))
 
 let test_hybrid_tail_accumulates () =
   (* The column crossing the horizon merges into the tail rather than
      replacing it. *)
   let local = s 10 [| 10 |] in
-  let t = Hri.create_hybrid ~horizon:2 ~cost:cost3 ~width:1 ~local in
+  let t = Hri.create_hybrid ~horizon:2 ~cost:cost3 ~width:1 ~local () in
   Hri.set_row t ~peer:0
     [| s 1 [| 1 |]; s 2 [| 2 |]; s 40 [| 40 |] |];
   let e = Hri.export t ~exclude:None in

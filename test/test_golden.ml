@@ -1,0 +1,83 @@
+(* Golden bit-identity tests: fig13 and fig18 at a small scale must
+   reproduce, bit for bit, the cell values captured before the flat
+   routing-index store and delta-update refactor landed.  Any change to
+   aggregation order, goodness arithmetic or wave scheduling shows up
+   here as a one-ULP difference long before it is visible in the
+   rendered tables (which round to one decimal).
+
+   The expected values are IEEE-754 bit patterns (Int64.bits_of_float)
+   captured at nodes=200, trials=3, seed=42 on the pre-refactor tree.
+   Regenerate by running the suite with RI_GOLDEN_PRINT=1 and pasting
+   the printed table — but only when a change is *meant* to alter the
+   numbers, and say so in the commit. *)
+
+open Ri_sim
+
+let nodes = 200
+
+let spec = { Runner.min_trials = 3; max_trials = 3; target_rel_error = 0.1 }
+
+let base = Config.scaled { Config.base with Config.seed = 42 } ~num_nodes:nodes
+
+let cells report =
+  let open Ri_experiments in
+  List.concat
+    (List.mapi
+       (fun r row ->
+         List.filteri (fun _ c -> c.Report.value <> None) row
+         |> List.mapi (fun c cell ->
+                ( Printf.sprintf "r%dc%d" r c,
+                  match cell.Report.value with Some v -> v | None -> 0. )))
+       report.Report.rows)
+
+let expected_fig13 =
+  [
+    ("r0c0", 0x4073655555555555L);
+    ("r0c1", 0x4077300000000000L);
+    ("r1c0", 0x4072baaaaaaaaaabL);
+    ("r1c1", 0x4073faaaaaaaaaabL);
+    ("r2c0", 0x4072baaaaaaaaaabL);
+    ("r2c1", 0x4073faaaaaaaaaabL);
+    ("r3c0", 0x4076355555555555L);
+    ("r3c1", 0x4077f55555555555L);
+  ]
+
+let expected_fig18 =
+  [
+    ("r0c0", 0x4068e00000000000L);
+    ("r0c1", 0x406b600000000000L);
+    ("r0c2", 0x406d6aaaaaaaaaabL);
+    ("r1c0", 0x405beaaaaaaaaaabL);
+    ("r1c1", 0x405f400000000000L);
+    ("r1c2", 0x405bc00000000000L);
+    ("r2c0", 0x4019555555555555L);
+    ("r2c1", 0x401aaaaaaaaaaaabL);
+    ("r2c2", 0x401c000000000000L);
+  ]
+
+let check_report id run expected () =
+  let report = run ~base ~spec in
+  let actual = cells report in
+  if Ri_util.Env.int "RI_GOLDEN_PRINT" 0 <> 0 then
+    List.iter
+      (fun (k, v) ->
+        Printf.printf "    (%S, 0x%LxL);\n" k (Int64.bits_of_float v))
+      actual;
+  Alcotest.(check int)
+    (id ^ " cell count") (List.length expected) (List.length actual);
+  List.iter2
+    (fun (k, bits) (k', v) ->
+      Alcotest.(check string) (id ^ " cell key") k k';
+      Alcotest.(check int64)
+        (Printf.sprintf "%s %s bits" id k)
+        bits (Int64.bits_of_float v))
+    expected actual
+
+let suite =
+  ( "golden",
+    [
+      Alcotest.test_case "fig13 bit-identical at 200 nodes" `Slow
+        (check_report "fig13" Ri_experiments.Fig13_schemes.run expected_fig13);
+      Alcotest.test_case "fig18 bit-identical at 200 nodes" `Slow
+        (check_report "fig18" Ri_experiments.Fig18_updates.run expected_fig18);
+    ] )

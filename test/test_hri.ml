@@ -14,7 +14,7 @@ let row_y = [| s 30 [| 0; 3; 15; 12 |]; s 50 [| 31; 0; 15; 20 |] |]
 let row_z = [| s 5 [| 2; 0; 3; 3 |]; s 70 [| 10; 40; 20; 50 |] |]
 
 let make_w () =
-  let t = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) in
+  let t = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) () in
   Hri.set_row t ~peer:1 row_x;
   Hri.set_row t ~peer:2 row_y;
   Hri.set_row t ~peer:3 row_z;
@@ -23,7 +23,7 @@ let make_w () =
 let test_validation () =
   Alcotest.check_raises "horizon"
     (Invalid_argument "Hri.create: horizon must be positive") (fun () ->
-      ignore (Hri.create ~horizon:0 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4)));
+      ignore (Hri.create ~horizon:0 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) ()));
   let t = make_w () in
   Alcotest.check_raises "row length"
     (Invalid_argument "Hri.set_row: row length must equal the horizon")
@@ -53,7 +53,7 @@ let test_export_shifts_right () =
      are discarded and the summary of the local index is placed as the
      first column". *)
   let local = s 7 [| 1; 2; 3; 1 |] in
-  let t = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local in
+  let t = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local () in
   Hri.set_row t ~peer:1 row_x;
   Hri.set_row t ~peer:2 row_y;
   let e = Hri.export t ~exclude:None in
@@ -88,15 +88,15 @@ let test_no_information_beyond_horizon () =
   (* Chain the export along a - b - c - d: from d, node a's documents
      are three hops away, beyond the horizon of 2, so they vanish. *)
   let local = s 100 [| 100; 0; 0; 0 |] in
-  let a = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local in
-  let b = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) in
+  let a = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local () in
+  let b = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) () in
   Hri.set_row b ~peer:0 (Hri.export a ~exclude:None);
   (* From c, a sits exactly at the horizon: still visible. *)
-  let c = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) in
+  let c = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) () in
   Hri.set_row c ~peer:1 (Hri.export b ~exclude:None);
   Alcotest.(check (float 1e-6)) "visible at the horizon" (100. /. 3.)
     (Hri.goodness c ~peer:1 ~query:[ 0 ]);
-  let d = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) in
+  let d = Hri.create ~horizon:2 ~cost:cost3 ~width:4 ~local:(Summary.zero ~topics:4) () in
   Hri.set_row d ~peer:2 (Hri.export c ~exclude:None);
   Alcotest.(check (float 1e-9)) "goodness saw nothing" 0.
     (Hri.goodness d ~peer:2 ~query:[ 0 ]);

@@ -15,6 +15,7 @@ let () =
       Test_compression.suite;
       Test_placement.suite;
       Test_estimator.suite;
+      Test_store.suite;
       Test_cost_model.suite;
       Test_cri.suite;
       Test_hri.suite;
@@ -33,5 +34,6 @@ let () =
       Test_experiments.suite;
       Test_extensions.suite;
       Test_invariants.suite;
+      Test_golden.suite;
       Test_taxonomy.suite;
     ]
