@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-smoke clean
+.PHONY: all check test bench bench-smoke bench-check bench-baseline clean
 
 all:
 	dune build
@@ -17,6 +17,16 @@ bench:
 # Quick wall-clock check of the figure harness, micro section skipped.
 bench-smoke:
 	RI_NODES=2000 RI_TRIALS=5 RI_MICRO=0 dune exec bench/main.exe
+
+# Regression gate: compare BENCH_results.json against the committed
+# BENCH_baseline.json (threshold RI_BENCH_THRESHOLD percent, default 15).
+# Exits nonzero on regression; a no-op until a baseline is committed.
+bench-check:
+	dune exec bench/regress.exe
+
+# Refresh the committed baseline from the latest local bench run.
+bench-baseline:
+	cp BENCH_results.json BENCH_baseline.json
 
 clean:
 	dune clean

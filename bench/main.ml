@@ -331,6 +331,30 @@ let write_json ~figures ~figure_words ~sections ~cache ~micro ~minor_words
     in
     entry "{\n";
     entry "  \"unix_time\": %.0f,\n" (Unix.time ());
+    (* Provenance stamp so a results file can be traced back to the tree
+       and machine that produced it (consumed by `risim report`). *)
+    let git_commit =
+      try
+        let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+        let line = try String.trim (input_line ic) with End_of_file -> "" in
+        match (Unix.close_process_in ic, line) with
+        | Unix.WEXITED 0, l when l <> "" -> l
+        | _ -> "unknown"
+      with _ -> "unknown"
+    in
+    let tm = Unix.gmtime (Unix.time ()) in
+    entry "  \"meta\": {\n";
+    entry "    \"git_commit\": \"%s\",\n" (Ri_util.Json.escape git_commit);
+    entry "    \"timestamp_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+      (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+      tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+    entry "    \"hostname\": \"%s\",\n"
+      (Ri_util.Json.escape (Unix.gethostname ()));
+    entry "    \"ri_jobs\": \"%s\",\n"
+      (Ri_util.Json.escape
+         (match Sys.getenv_opt "RI_JOBS" with Some v -> v | None -> ""));
+    entry "    \"jobs_resolved\": %d\n" (Pool.jobs (Pool.global ()));
+    entry "  },\n";
     entry "  \"config\": {\n";
     entry "    \"nodes\": %d,\n" nodes;
     entry "    \"max_trials\": %d,\n" spec.Runner.max_trials;

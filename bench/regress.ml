@@ -1,0 +1,51 @@
+(* Bench regression gate.
+
+   Compares the microbenchmark ns/run figures of a fresh
+   BENCH_results.json against a committed baseline and exits nonzero
+   when any micro slowed down by more than the threshold
+   (RI_BENCH_THRESHOLD percent, default 15).  Wired into CI and
+   `make bench-check`; the comparison itself lives in
+   Ri_experiments.Regress so it is unit-testable.
+
+   Usage: regress.exe [BASELINE [RESULTS]]
+     BASELINE  defaults to BENCH_baseline.json (missing -> warn, exit 0,
+               so the gate is a no-op until a baseline is committed)
+     RESULTS   defaults to BENCH_results.json (missing -> error) *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let () =
+  let baseline_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_baseline.json"
+  in
+  let results_path =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_results.json"
+  in
+  if not (Sys.file_exists baseline_path) then begin
+    Printf.printf
+      "bench-regress: no baseline at %s — nothing to gate against.\n\
+       Commit one with: cp BENCH_results.json %s\n"
+      baseline_path baseline_path;
+    exit 0
+  end;
+  if not (Sys.file_exists results_path) then begin
+    Printf.eprintf
+      "bench-regress: no results at %s — run the bench first (make bench).\n"
+      results_path;
+    exit 2
+  end;
+  let threshold =
+    Ri_util.Env.float "RI_BENCH_THRESHOLD"
+      Ri_experiments.Regress.default_threshold
+  in
+  match
+    Ri_experiments.Regress.compare ~threshold
+      ~baseline:(read_file baseline_path)
+      ~results:(read_file results_path) ()
+  with
+  | Error e ->
+      Printf.eprintf "bench-regress: %s\n" e;
+      exit 2
+  | Ok outcome ->
+      print_string (Ri_experiments.Regress.render outcome);
+      if Ri_experiments.Regress.any_regressed outcome then exit 1

@@ -138,10 +138,14 @@ let apply_jobs jobs = if jobs > 0 then Ri_util.Pool.set_global_jobs jobs
 let metrics_t =
   let doc =
     "Write metrics (message counters, per-phase timings, setup-cache hit \
-     rates, pool utilization) to $(docv) in Prometheus text format.  \
-     Implies metric recording for this run (as does $(b,RI_OBS)=1)."
+     rates, pool utilization) to $(docv) in Prometheus text format; bare \
+     $(b,--metrics) (or $(docv)=$(b,-)) prints them to stdout.  Implies \
+     metric recording for this run (as does $(b,RI_OBS)=1)."
   in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 let trace_t =
   let doc =
@@ -162,12 +166,24 @@ let trace_format_t =
     & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
     & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
 
+let decisions_t =
+  let doc =
+    "Record per-hop routing-decision provenance (candidate goodness \
+     vectors, oracle-best counterfactuals, staleness and update-wave \
+     lineage) and write it to $(docv) as JSONL.  Like $(b,--trace), the \
+     output is byte-identical at any $(b,--jobs) width.  Feed the file \
+     to $(b,risim report), or use $(b,risim explain) for an annotated \
+     single-trial replay."
+  in
+  Arg.(value & opt (some string) None & info [ "decisions" ] ~docv:"FILE" ~doc)
+
 (* Enable recording before the run, export files after.  Metrics go out
    with the cache/pool gauges refreshed so one file carries the whole
    picture. *)
-let with_obs metrics trace fmt f =
+let with_obs metrics trace fmt decisions f =
   if metrics <> None then Ri_obs.Metrics.set_enabled true;
   if trace <> None then Ri_obs.Trace.start ();
+  if decisions <> None then Ri_obs.Decision.start ();
   let result = f () in
   (match trace with
   | None -> ()
@@ -177,14 +193,24 @@ let with_obs metrics trace fmt f =
       | `Jsonl -> Ri_obs.Trace.export_jsonl file
       | `Chrome -> Ri_obs.Trace.export_chrome file);
       Printf.printf "trace written to %s\n" file);
+  (match decisions with
+  | None -> ()
+  | Some file ->
+      Ri_obs.Decision.stop ();
+      Ri_obs.Decision.export_jsonl file;
+      Printf.printf "decisions written to %s\n" file);
   (match metrics with
   | None -> ()
   | Some file ->
       Telemetry.export_metrics ();
-      let oc = open_out file in
-      output_string oc (Ri_obs.Metrics.render ());
-      close_out oc;
-      Printf.printf "metrics written to %s\n" file);
+      let text = Ri_obs.Metrics.render () in
+      if file = "-" then print_string text
+      else begin
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "metrics written to %s\n" file
+      end);
   result
 
 (* ------------------------------------------------------------------ *)
@@ -279,9 +305,10 @@ let run_cmd =
     let doc = "Experiment id(s), e.g. fig13 (see `risim list')." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run ids nodes seed trials rel_error csv_dir jobs metrics trace fmt =
+  let run ids nodes seed trials rel_error csv_dir jobs metrics trace fmt
+      decisions =
     apply_jobs jobs;
-    with_obs metrics trace fmt (fun () ->
+    with_obs metrics trace fmt decisions (fun () ->
         run_experiments ?csv_dir ids nodes seed trials rel_error)
   in
   Cmd.v
@@ -289,19 +316,21 @@ let run_cmd =
     Term.(
       ret
         (const run $ ids_t $ nodes_t $ seed_t $ trials_t $ rel_error_t
-       $ csv_dir_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t))
+       $ csv_dir_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t
+       $ decisions_t))
 
 let all_cmd =
   let with_extensions_t =
     Arg.(value & flag & info [ "extensions" ] ~doc:"Also run the ablations.")
   in
-  let run nodes seed trials rel_error with_extensions jobs metrics trace fmt =
+  let run nodes seed trials rel_error with_extensions jobs metrics trace fmt
+      decisions =
     apply_jobs jobs;
     let ids =
       Ri_experiments.Registry.ids
       @ if with_extensions then Ri_experiments.Registry.extension_ids else []
     in
-    with_obs metrics trace fmt (fun () ->
+    with_obs metrics trace fmt decisions (fun () ->
         run_experiments ids nodes seed trials rel_error)
   in
   Cmd.v
@@ -309,7 +338,8 @@ let all_cmd =
     Term.(
       ret
         (const run $ nodes_t $ seed_t $ trials_t $ rel_error_t
-       $ with_extensions_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t))
+       $ with_extensions_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t
+       $ decisions_t))
 
 let print_query_metrics cfg ~nodes ~trial (m : Trial.query_metrics) =
   Printf.printf
@@ -324,7 +354,7 @@ let print_query_metrics cfg ~nodes ~trial (m : Trial.query_metrics) =
 
 let query_cmd =
   let run nodes seed topology search trial loss crash delay drift metrics
-      trace fmt =
+      trace fmt decisions =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
@@ -333,12 +363,16 @@ let query_cmd =
     match Config.validate cfg with
     | Error msg -> `Error (false, msg)
     | Ok () when not (Ri_p2p.Fault.active fault) ->
-        let m = with_obs metrics trace fmt (fun () -> Trial.run_query cfg ~trial) in
+        let m =
+          with_obs metrics trace fmt decisions (fun () ->
+              Trial.run_query cfg ~trial)
+        in
         print_query_metrics cfg ~nodes ~trial m;
         `Ok ()
     | Ok () ->
         let m =
-          with_obs metrics trace fmt (fun () -> Trial.run_query_faulty cfg ~trial)
+          with_obs metrics trace fmt decisions (fun () ->
+              Trial.run_query_faulty cfg ~trial)
         in
         print_query_metrics cfg ~nodes ~trial m.Trial.f_query;
         let st = m.Trial.f_stats in
@@ -363,7 +397,7 @@ let query_cmd =
       ret
         (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
        $ fault_loss_t $ fault_crash_t $ fault_delay_t $ fault_drift_t
-       $ metrics_t $ trace_t $ trace_format_t))
+       $ metrics_t $ trace_t $ trace_format_t $ decisions_t))
 
 let topology_cmd =
   let run nodes seed topology =
@@ -402,14 +436,17 @@ let topology_cmd =
     Term.(const run $ nodes_t $ seed_t $ topology_t)
 
 let update_cmd =
-  let run nodes seed topology search trial metrics trace fmt =
+  let run nodes seed topology search trial metrics trace fmt decisions =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
     match Config.validate cfg with
     | Error msg -> `Error (false, msg)
     | Ok () ->
-        let m = with_obs metrics trace fmt (fun () -> Trial.run_update cfg ~trial) in
+        let m =
+          with_obs metrics trace fmt decisions (fun () ->
+              Trial.run_update cfg ~trial)
+        in
         Printf.printf
           "search=%s topology=%s nodes=%d trial=%d\n\
            update_messages=%d bytes=%.0f wire_bytes=%d\n"
@@ -427,7 +464,7 @@ let update_cmd =
     Term.(
       ret
         (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
-       $ metrics_t $ trace_t $ trace_format_t))
+       $ metrics_t $ trace_t $ trace_format_t $ decisions_t))
 
 let scale_cmd =
   let sizes_t =
@@ -445,12 +482,13 @@ let scale_cmd =
     let doc = "Also write the sweep's points as a JSON array to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
-  let run nodes seed trials rel_error sizes json jobs metrics trace fmt =
+  let run nodes seed trials rel_error sizes json jobs metrics trace fmt
+      decisions =
     apply_jobs jobs;
     let base = base_config nodes seed in
     let spec = spec_of trials rel_error in
     let swept =
-      with_obs metrics trace fmt (fun () ->
+      with_obs metrics trace fmt decisions (fun () ->
           try Ok (Ri_experiments.Fig_scale.sweep ?sizes ~base ~spec ())
           with Invalid_argument msg -> Error msg)
     in
@@ -487,7 +525,198 @@ let scale_cmd =
     Term.(
       ret
         (const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ sizes_t
-       $ json_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t))
+       $ json_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t
+       $ decisions_t))
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_or_print ~what out text =
+  match out with
+  | None -> print_string text
+  | Some file ->
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "%s written to %s\n" what file
+
+let explain_cmd =
+  let trial_t =
+    Arg.(value & opt int 0 & info [ "trial" ] ~docv:"I" ~doc:"Trial index.")
+  in
+  let out_t =
+    let doc = "Write the explanation to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let jsonl_t =
+    let doc = "Also export the raw decision records to $(docv) as JSONL." in
+    Arg.(value & opt (some string) None & info [ "decisions" ] ~docv:"FILE" ~doc)
+  in
+  let run nodes seed topology search trial loss crash delay drift out jsonl =
+    let cfg = base_config nodes seed in
+    let cfg = Config.with_topology cfg topology in
+    let cfg = Config.with_search cfg (search_of cfg search) in
+    let fault = fault_spec_of ~loss ~crash ~delay ~drift in
+    let cfg = { cfg with Config.fault } in
+    match Config.validate cfg with
+    | Error msg -> `Error (false, msg)
+    | Ok () -> (
+        match cfg.Config.search with
+        | Config.Flooding _ ->
+            `Error
+              ( false,
+                "flooding makes no per-neighbor routing decisions — nothing \
+                 to explain (pick --search cri/hri/eri/no-ri)" )
+        | Config.Ri _ | Config.No_ri ->
+            (* Replay exactly the trial the figures would run, with the
+               provenance recorder on for just this data point. *)
+            Ri_obs.Decision.clear ();
+            Ri_obs.Decision.start ();
+            Ri_obs.Decision.next_unit ();
+            (if Ri_p2p.Fault.active fault then
+               ignore (Trial.run_query_faulty cfg ~trial)
+             else ignore (Trial.run_query cfg ~trial));
+            Ri_obs.Decision.stop ();
+            let groups = Ri_obs.Decision.records () in
+            write_or_print ~what:"explanation" out
+              (Ri_experiments.Explain.render groups);
+            (match jsonl with
+            | None -> ()
+            | Some file ->
+                Ri_obs.Decision.export_jsonl file;
+                Printf.printf "decisions written to %s\n" file);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Replay one query trial with provenance on and print an annotated \
+          hop tree: per-decision candidate goodness vs oracle ground truth, \
+          regret, staleness and update-wave lineage")
+    Term.(
+      ret
+        (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
+       $ fault_loss_t $ fault_crash_t $ fault_delay_t $ fault_drift_t $ out_t
+       $ jsonl_t))
+
+let report_cmd =
+  let bench_t =
+    let doc =
+      "BENCH_results.json to summarize (defaults to ./BENCH_results.json \
+       when present)."
+    in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"FILE" ~doc)
+  in
+  let baseline_t =
+    let doc =
+      "Committed bench baseline; adds the regression-gate table (threshold \
+       from $(b,RI_BENCH_THRESHOLD), default 15%)."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let decisions_file_t =
+    let doc = "Decision JSONL from $(b,--decisions); adds routing-quality tables." in
+    Arg.(value & opt (some string) None & info [ "decisions" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_file_t =
+    let doc = "Prometheus dump from $(b,--metrics); adds the metric table." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-file" ] ~docv:"FILE" ~doc)
+  in
+  let out_t =
+    let doc = "Write the report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let html_t =
+    Arg.(
+      value & flag
+      & info [ "html" ] ~doc:"Render a self-contained HTML page instead of Markdown.")
+  in
+  let run bench baseline decisions metrics_file out html =
+    let module D = Ri_experiments.Dashboard in
+    let tables = ref [] in
+    let errors = ref [] in
+    let add ts = tables := !tables @ ts in
+    let with_input label path f =
+      if not (Sys.file_exists path) then
+        errors := Printf.sprintf "%s: %s does not exist" label path :: !errors
+      else f (read_file path)
+    in
+    let bench =
+      match bench with
+      | Some _ -> bench
+      | None ->
+          if Sys.file_exists "BENCH_results.json" then
+            Some "BENCH_results.json"
+          else None
+    in
+    (match bench with
+    | None -> ()
+    | Some path ->
+        with_input "--bench" path (fun text ->
+            match Ri_util.Json.parse text with
+            | Error e -> errors := Printf.sprintf "%s: %s" path e :: !errors
+            | Ok j -> (
+                add (D.of_bench j);
+                match baseline with
+                | None -> ()
+                | Some bpath ->
+                    with_input "--baseline" bpath (fun btext ->
+                        match Ri_util.Json.parse btext with
+                        | Error e ->
+                            errors :=
+                              Printf.sprintf "%s: %s" bpath e :: !errors
+                        | Ok b -> (
+                            let threshold =
+                              Ri_util.Env.float "RI_BENCH_THRESHOLD"
+                                Ri_experiments.Regress.default_threshold
+                            in
+                            match
+                              Ri_experiments.Regress.compare_values ~threshold
+                                ~baseline:b ~results:j
+                            with
+                            | Error e -> errors := e :: !errors
+                            | Ok o -> add [ D.of_regression o ])))));
+    (match baseline with
+    | Some _ when bench = None ->
+        errors := "--baseline given without a --bench results file" :: !errors
+    | _ -> ());
+    (match decisions with
+    | None -> ()
+    | Some path ->
+        with_input "--decisions" path (fun text ->
+            match D.of_decisions text with
+            | Some t -> add [ t ]
+            | None ->
+                errors :=
+                  Printf.sprintf "%s: no decision records" path :: !errors));
+    (match metrics_file with
+    | None -> ()
+    | Some path ->
+        with_input "--metrics-file" path (fun text ->
+            match D.of_metrics text with
+            | Some t -> add [ t ]
+            | None ->
+                errors := Printf.sprintf "%s: no metrics" path :: !errors));
+    let title = "risim observability report" in
+    let text =
+      if html then D.render_html ~title !tables
+      else D.render_markdown ~title !tables
+    in
+    write_or_print ~what:"report" out text;
+    match List.rev !errors with
+    | [] -> `Ok ()
+    | es -> `Error (false, String.concat "; " es)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate run artifacts (bench results, decision provenance, \
+          metrics) into a Markdown or HTML dashboard, optionally with the \
+          bench regression gate against a committed baseline")
+    Term.(
+      ret
+        (const run $ bench_t $ baseline_t $ decisions_file_t $ metrics_file_t
+       $ out_t $ html_t))
 
 let () =
   Printexc.record_backtrace true;
@@ -505,4 +734,6 @@ let () =
             update_cmd;
             topology_cmd;
             scale_cmd;
+            explain_cmd;
+            report_cmd;
           ]))

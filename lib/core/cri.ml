@@ -55,6 +55,10 @@ let row t ~peer =
 
 let remove_row t ~peer = Rowstore.remove t.store peer
 
+let stamp_row t ~peer wave = Rowstore.set_stamp t.store peer wave
+
+let row_stamp t ~peer = Rowstore.stamp t.store peer
+
 let peers t = Rowstore.peers t.store
 
 let peer_count t = Rowstore.count t.store

@@ -37,6 +37,14 @@ val remove_row : t -> peer:int -> unit
 (** Forget a neighbor (e.g. on disconnection, Section 4.3).  No-op if
     absent. *)
 
+val stamp_row : t -> peer:int -> int -> unit
+(** Record the logical update-wave id that last wrote the peer's row
+    (provenance lineage; see {!Rowstore.set_stamp}).  No-op when
+    absent. *)
+
+val row_stamp : t -> peer:int -> int
+(** The recorded wave id; [0] for build-time or absent rows. *)
+
 val peers : t -> int list
 (** Neighbors with a row, in increasing id order. *)
 

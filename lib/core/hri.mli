@@ -76,6 +76,14 @@ val remove_row : t -> peer:int -> unit
 
 val peers : t -> int list
 
+val stamp_row : t -> peer:int -> int -> unit
+(** Record the logical update-wave id that last wrote the peer's row
+    (provenance lineage; see {!Rowstore.set_stamp}).  No-op when
+    absent. *)
+
+val row_stamp : t -> peer:int -> int
+(** The recorded wave id; [0] for build-time or absent rows. *)
+
 val peer_count : t -> int
 
 val storage_words : t -> int

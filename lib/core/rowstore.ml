@@ -17,6 +17,11 @@
 type t = {
   stride : int;
   mutable data : float array;
+  mutable stamps : int array;
+      (* per-slot provenance stamp: the logical update-wave id that last
+         wrote the row; 0 marks rows untouched since construction.  Kept
+         parallel to [data] (one int per row) and excluded from
+         [capacity_words], which reports the index payload only. *)
   mutable index : (int, int) Hashtbl.t;  (* peer -> slot *)
   mutable shared_index : bool;
       (* the peer table is shared with clones (copy-on-write): it must
@@ -36,6 +41,7 @@ let create ?(rows = initial_rows) ~stride () =
   {
     stride;
     data = Array.make (max 1 rows * stride) 0.;
+    stamps = Array.make (max 1 rows) 0;
     index = Hashtbl.create 8;
     shared_index = false;
     free = [];
@@ -52,7 +58,7 @@ let create ?(rows = initial_rows) ~stride () =
    hand out as per-trial clones. *)
 let copy t =
   t.shared_index <- true;
-  { t with data = Array.copy t.data }
+  { t with data = Array.copy t.data; stamps = Array.copy t.stamps }
 
 (* Materialise a private peer table before an insert or remove.  The
    original's flag stays set: it may be shared with any number of other
@@ -88,7 +94,10 @@ let grow t needed_rows =
   if !cap' > cap then begin
     let data' = Array.make (!cap' * t.stride) 0. in
     Array.blit t.data 0 data' 0 (t.next * t.stride);
-    t.data <- data'
+    t.data <- data';
+    let stamps' = Array.make !cap' 0 in
+    Array.blit t.stamps 0 stamps' 0 t.next;
+    t.stamps <- stamps'
   end
 
 let ensure t peer =
@@ -119,9 +128,20 @@ let remove t peer =
       (* Zero the freed row so a recycled slot starts clean and stale
          values can never leak into a future peer's partial writes. *)
       Array.fill t.data (slot * t.stride) t.stride 0.;
+      t.stamps.(slot) <- 0;
       t.free <- slot :: t.free
 
 let iter t f = Hashtbl.iter (fun peer slot -> f peer (slot * t.stride)) t.index
+
+let set_stamp t peer wave =
+  match Hashtbl.find_opt t.index peer with
+  | None -> ()
+  | Some slot -> t.stamps.(slot) <- wave
+
+let stamp t peer =
+  match Hashtbl.find_opt t.index peer with
+  | None -> 0
+  | Some slot -> t.stamps.(slot)
 
 let peers t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.index [] |> List.sort Int.compare

@@ -59,6 +59,16 @@ val iter : t -> (int -> int -> unit) -> unit
     iteration order — the order float aggregation must use to stay
     bit-identical with the boxed representation. *)
 
+val set_stamp : t -> int -> int -> unit
+(** [set_stamp t peer wave] records the logical update-wave id that last
+    wrote the peer's row — provenance lineage for the observability
+    plane.  No-op when the peer has no row. *)
+
+val stamp : t -> int -> int
+(** The wave id recorded by {!set_stamp}; [0] for rows untouched since
+    construction or peers without a row.  Stamps survive {!copy}, move
+    with growth, and reset to 0 on {!remove}. *)
+
 val peers : t -> int list
 (** Peers with a row, in increasing id order. *)
 

@@ -87,6 +87,18 @@ let remove_row t ~peer =
   | H h -> Hri.remove_row h ~peer
   | E e -> Eri.remove_row e ~peer
 
+let stamp_row t ~peer wave =
+  match t with
+  | C c -> Cri.stamp_row c ~peer wave
+  | H h -> Hri.stamp_row h ~peer wave
+  | E e -> Eri.stamp_row e ~peer wave
+
+let row_stamp t ~peer =
+  match t with
+  | C c -> Cri.row_stamp c ~peer
+  | H h -> Hri.row_stamp h ~peer
+  | E e -> Eri.row_stamp e ~peer
+
 let peers = function
   | C c -> Cri.peers c
   | H h -> Hri.peers h

@@ -55,6 +55,15 @@ val row : t -> peer:int -> payload option
 
 val remove_row : t -> peer:int -> unit
 
+val stamp_row : t -> peer:int -> int -> unit
+(** Record the logical update-wave id that last wrote the peer's row —
+    provenance lineage for the observability plane.  No-op when the peer
+    has no row. *)
+
+val row_stamp : t -> peer:int -> int
+(** The wave id recorded by {!stamp_row}; [0] for rows untouched since
+    network construction or absent peers. *)
+
 val peers : t -> int list
 
 val export : t -> exclude:int option -> payload

@@ -1,0 +1,398 @@
+(* Offline observability dashboard.
+
+   Aggregates whatever artifacts a run produced — BENCH_results.json,
+   Decision JSONL, a Prometheus metrics dump, a regression-gate outcome
+   — into tables, rendered as Markdown or a self-contained HTML page.
+   Each [of_*] ingester is independent: the report shows the sections it
+   was given inputs for and nothing else. *)
+
+open Ri_util
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let cell_f fmt v = Printf.sprintf fmt v
+
+(* ------------------------------------------------------------------ *)
+(* Decision JSONL -> per-scheme routing-quality table.                  *)
+
+type walk_acc = {
+  mutable scheme : string;
+  mutable decisions : int;
+  mutable scored : int;
+  mutable regret : int;
+  mutable rank : int;
+  mutable agree : int;
+  mutable stale : int;
+  mutable follows : int;
+  mutable backtracks : int;
+  mutable timeouts : int;
+}
+
+let of_decisions text =
+  let walks : (int * int, walk_acc) Hashtbl.t = Hashtbl.create 64 in
+  let walk key =
+    match Hashtbl.find_opt walks key with
+    | Some w -> w
+    | None ->
+        let w =
+          {
+            scheme = "unknown";
+            decisions = 0;
+            scored = 0;
+            regret = 0;
+            rank = 0;
+            agree = 0;
+            stale = 0;
+            follows = 0;
+            backtracks = 0;
+            timeouts = 0;
+          }
+        in
+        Hashtbl.add walks key w;
+        w
+  in
+  let int_field name j =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some i -> i
+    | None -> 0
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if String.trim line <> "" then
+           match Json.parse line with
+           | Error _ -> ()
+           | Ok j -> (
+               let w = walk (int_field "unit" j, int_field "trial" j) in
+               match Option.bind (Json.member "kind" j) Json.to_string with
+               | Some "decide" ->
+                   w.decisions <- w.decisions + 1;
+                   (if w.scheme = "unknown" then
+                      match
+                        Option.bind (Json.member "scheme" j) Json.to_string
+                      with
+                      | Some s -> w.scheme <- s
+                      | None -> ());
+                   w.stale <- w.stale + int_field "stale_demoted" j;
+                   (match Json.member "candidates" j with
+                   | Some (Json.Arr (_ :: _)) ->
+                       w.scored <- w.scored + 1;
+                       w.regret <- w.regret + int_field "regret" j;
+                       let r = int_field "oracle_rank" j in
+                       w.rank <- w.rank + r;
+                       if r = 0 then w.agree <- w.agree + 1
+                   | _ -> ())
+               | Some "follow" -> w.follows <- w.follows + 1
+               | Some "backtrack" -> w.backtracks <- w.backtracks + 1
+               | Some "timeout" -> w.timeouts <- w.timeouts + 1
+               | _ -> ()));
+  if Hashtbl.length walks = 0 then None
+  else begin
+    (* Fold walks into per-scheme aggregates. *)
+    let schemes : (string, int ref * walk_acc) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun _ w ->
+        let n, acc =
+          match Hashtbl.find_opt schemes w.scheme with
+          | Some e -> e
+          | None ->
+              let e =
+                ( ref 0,
+                  {
+                    scheme = w.scheme;
+                    decisions = 0;
+                    scored = 0;
+                    regret = 0;
+                    rank = 0;
+                    agree = 0;
+                    stale = 0;
+                    follows = 0;
+                    backtracks = 0;
+                    timeouts = 0;
+                  } )
+              in
+              Hashtbl.add schemes w.scheme e;
+              e
+        in
+        incr n;
+        acc.decisions <- acc.decisions + w.decisions;
+        acc.scored <- acc.scored + w.scored;
+        acc.regret <- acc.regret + w.regret;
+        acc.rank <- acc.rank + w.rank;
+        acc.agree <- acc.agree + w.agree;
+        acc.stale <- acc.stale + w.stale;
+        acc.follows <- acc.follows + w.follows;
+        acc.backtracks <- acc.backtracks + w.backtracks;
+        acc.timeouts <- acc.timeouts + w.timeouts)
+      walks;
+    let rows =
+      Hashtbl.fold (fun s e acc -> (s, e) :: acc) schemes []
+      |> List.sort compare
+      |> List.map (fun (scheme, (walks, a)) ->
+             let per_scored x =
+               if a.scored = 0 then 0.
+               else float_of_int x /. float_of_int a.scored
+             in
+             [
+               scheme;
+               string_of_int !walks;
+               string_of_int a.decisions;
+               string_of_int a.follows;
+               string_of_int a.backtracks;
+               (if a.follows = 0 then "0"
+                else
+                  cell_f "%.2f"
+                    (float_of_int a.backtracks /. float_of_int a.follows));
+               string_of_int a.timeouts;
+               string_of_int a.stale;
+               cell_f "%.2f" (per_scored a.rank);
+               cell_f "%.0f%%" (100. *. per_scored a.agree);
+               cell_f "%.2f" (per_scored a.regret);
+             ])
+    in
+    Some
+      {
+        title = "Routing decisions vs oracle";
+        header =
+          [
+            "scheme";
+            "walks";
+            "decisions";
+            "follows";
+            "backtracks";
+            "bt/follow";
+            "timeouts";
+            "stale demoted";
+            "mean oracle rank";
+            "agreement";
+            "mean regret";
+          ];
+        rows;
+        notes =
+          [
+            "Oracle = ground-truth results reachable through each \
+             candidate (deciding node removed, dead nodes impassable); \
+             agreement = decisions whose first candidate was the oracle \
+             best.";
+          ];
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text dump -> flat value table.                            *)
+
+let of_metrics text =
+  let rows =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.rindex_opt line ' ' with
+             | None -> None
+             | Some i ->
+                 Some
+                   [
+                     String.sub line 0 i;
+                     String.sub line (i + 1) (String.length line - i - 1);
+                   ])
+  in
+  if rows = [] then None
+  else
+    Some
+      {
+        title = "Metrics";
+        header = [ "metric"; "value" ];
+        rows;
+        notes = [];
+      }
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json -> timing tables.                                 *)
+
+let num_rows json name fmt =
+  match Json.member name json with
+  | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          match Json.to_float v with
+          | Some f -> Some [ k; cell_f fmt f ]
+          | None -> None)
+        kvs
+  | _ -> []
+
+let of_bench_config json =
+  match Json.member "config" json with
+  | Some (Json.Obj kvs) ->
+      let rows = List.map (fun (k, v) -> [ k; Json.render v ]) kvs in
+      Some
+        {
+          title = "Bench config";
+          header = [ "key"; "value" ];
+          rows;
+          notes = [];
+        }
+  | _ -> None
+
+let of_bench json =
+  let tables = ref [] in
+  let add t = tables := t :: !tables in
+  let micro = num_rows json "micro_ns_per_run" "%.1f" in
+  if micro <> [] then
+    add
+      {
+        title = "Microbenchmarks";
+        header = [ "micro"; "ns/run" ];
+        rows = List.sort compare micro;
+        notes = [];
+      };
+  let figures = num_rows json "figures_wall_clock_s" "%.3f" in
+  if figures <> [] then
+    add
+      {
+        title = "Figure wall clock";
+        header = [ "figure"; "seconds" ];
+        rows = figures;
+        notes = [];
+      };
+  (match Json.member "phase_seconds" json with
+  | Some (Json.Obj kvs) ->
+      let rows =
+        List.filter_map
+          (fun (k, v) ->
+            match
+              ( Option.bind (Json.member "samples" v) Json.to_int,
+                Option.bind (Json.member "total_s" v) Json.to_float )
+            with
+            | Some n, Some s ->
+                Some [ k; string_of_int n; cell_f "%.3f" s ]
+            | _ -> None)
+          kvs
+      in
+      if rows <> [] then
+        add
+          {
+            title = "Phase timings";
+            header = [ "phase"; "samples"; "total s" ];
+            rows;
+            notes = [];
+          }
+  | _ -> ());
+  let notes =
+    match Json.member "meta" json with
+    | Some (Json.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Json.Str s -> Some (Printf.sprintf "%s: %s" k s)
+            | Json.Num _ -> (
+                match Json.to_float v with
+                | Some f -> Some (Printf.sprintf "%s: %g" k f)
+                | None -> None)
+            | _ -> None)
+          kvs
+    | _ -> []
+  in
+  (match of_bench_config json with
+  | Some t -> add t
+  | None -> ());
+  match List.rev !tables with
+  | [] -> []
+  | first :: rest -> { first with notes = first.notes @ notes } :: rest
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate -> table.                                            *)
+
+let of_regression (o : Regress.outcome) =
+  {
+    title = "Regression gate";
+    header = [ "micro"; "baseline ns"; "current ns"; "delta"; "verdict" ];
+    rows =
+      List.map
+        (fun (v : Regress.verdict) ->
+          [
+            v.name;
+            cell_f "%.1f" v.baseline_ns;
+            cell_f "%.1f" v.current_ns;
+            cell_f "%+.1f%%" ((v.ratio -. 1.) *. 100.);
+            (if v.regressed then "REGRESSED" else "ok");
+          ])
+        o.verdicts
+      @ List.map (fun n -> [ n; "-"; "-"; "-"; "missing" ]) o.missing;
+    notes =
+      [ Printf.sprintf "Threshold: +%.0f%% per microbenchmark." o.threshold ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                           *)
+
+let render_markdown ~title tables =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "# %s\n" title;
+  List.iter
+    (fun t ->
+      Printf.bprintf buf "\n## %s\n\n" t.title;
+      Printf.bprintf buf "| %s |\n" (String.concat " | " t.header);
+      Printf.bprintf buf "|%s\n"
+        (String.concat "" (List.map (fun _ -> " --- |") t.header));
+      List.iter
+        (fun row -> Printf.bprintf buf "| %s |\n" (String.concat " | " row))
+        t.rows;
+      List.iter (fun n -> Printf.bprintf buf "\n%s\n" n) t.notes)
+    tables;
+  if tables = [] then
+    Buffer.add_string buf "\nNo inputs given — nothing to report.\n";
+  Buffer.contents buf
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_html ~title tables =
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf
+    "<!DOCTYPE html>\n\
+     <html><head><meta charset=\"utf-8\"><title>%s</title>\n\
+     <style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse;margin:1em \
+     0}th,td{border:1px solid #999;padding:0.3em 0.7em;text-align:left}th{background:#eee}\n\
+     td.num{text-align:right}caption{font-weight:bold;text-align:left;padding:0.3em \
+     0}.note{color:#555;font-size:0.9em}</style></head><body>\n\
+     <h1>%s</h1>\n"
+    (html_escape title) (html_escape title);
+  List.iter
+    (fun t ->
+      Printf.bprintf buf "<h2>%s</h2>\n<table>\n<tr>" (html_escape t.title);
+      List.iter
+        (fun h -> Printf.bprintf buf "<th>%s</th>" (html_escape h))
+        t.header;
+      Buffer.add_string buf "</tr>\n";
+      List.iter
+        (fun row ->
+          Buffer.add_string buf "<tr>";
+          List.iter
+            (fun c -> Printf.bprintf buf "<td>%s</td>" (html_escape c))
+            row;
+          Buffer.add_string buf "</tr>\n")
+        t.rows;
+      Buffer.add_string buf "</table>\n";
+      List.iter
+        (fun n ->
+          Printf.bprintf buf "<p class=\"note\">%s</p>\n" (html_escape n))
+        t.notes)
+    tables;
+  if tables = [] then
+    Buffer.add_string buf "<p>No inputs given — nothing to report.</p>\n";
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

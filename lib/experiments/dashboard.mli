@@ -1,0 +1,40 @@
+(** Offline observability dashboard: aggregate run artifacts —
+    [BENCH_results.json], Decision JSONL, a Prometheus metrics dump, a
+    regression-gate outcome — into tables rendered as Markdown or a
+    self-contained HTML page.
+
+    Each ingester is independent and total: it returns [None] (or [[]])
+    on input it cannot use rather than failing, so the report simply
+    shows the sections it was given valid inputs for. *)
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val of_decisions : string -> table option
+(** Aggregate Decision JSONL text (see {!Ri_obs.Decision.render_jsonl})
+    into a per-scheme routing-quality table: decision/follow/backtrack
+    counts, timeout and stale-demotion totals, mean oracle rank,
+    oracle-agreement rate and mean count regret.  [None] when the text
+    holds no parseable records. *)
+
+val of_metrics : string -> table option
+(** A flat metric/value table from Prometheus text exposition (comment
+    lines skipped).  [None] on empty input. *)
+
+val of_bench : Ri_util.Json.t -> table list
+(** Tables from a parsed BENCH_results.json: microbenchmark ns/run,
+    figure wall-clock seconds, phase timings and the run config, with
+    any [meta] entries (git commit, timestamp, host) as notes. *)
+
+val of_bench_config : Ri_util.Json.t -> table option
+
+val of_regression : Regress.outcome -> table
+
+val render_markdown : title:string -> table list -> string
+
+val render_html : title:string -> table list -> string
+(** Self-contained page, no external assets. *)

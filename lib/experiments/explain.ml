@@ -1,0 +1,133 @@
+(* Annotated hop-tree replay of recorded routing decisions.
+
+   Renders one query walk per (unit, trial) group: each decision point
+   with its full candidate vector (estimated goodness next to oracle
+   ground truth, staleness and update-wave lineage per row), the
+   follow/backtrack/timeout skeleton as an indented tree, and a summary
+   of the walk's rank regret against the oracle. *)
+
+open Ri_obs
+
+type summary = {
+  decisions : int;
+  follows : int;
+  backtracks : int;
+  timeouts : int;
+  stale_demoted : int;
+  mean_regret : float;  (* over decisions with candidates *)
+  mean_oracle_rank : float;
+  oracle_agreement : float;  (* fraction of decisions ranking truth first *)
+}
+
+let summarize records =
+  let decisions = ref 0
+  and follows = ref 0
+  and backtracks = ref 0
+  and timeouts = ref 0
+  and stale_demoted = ref 0
+  and scored = ref 0
+  and regret_sum = ref 0
+  and rank_sum = ref 0
+  and agree = ref 0 in
+  List.iter
+    (fun r ->
+      match r with
+      | Decision.Decide d ->
+          incr decisions;
+          stale_demoted := !stale_demoted + d.stale_demoted;
+          if d.candidates <> [] then begin
+            incr scored;
+            regret_sum := !regret_sum + d.regret;
+            rank_sum := !rank_sum + d.oracle_rank;
+            if d.oracle_rank = 0 then incr agree
+          end
+      | Decision.Follow _ -> incr follows
+      | Decision.Backtrack _ -> incr backtracks
+      | Decision.Timeout _ -> incr timeouts
+      | Decision.Stop _ -> ())
+    records;
+  let per_scored x =
+    if !scored = 0 then 0. else float_of_int x /. float_of_int !scored
+  in
+  {
+    decisions = !decisions;
+    follows = !follows;
+    backtracks = !backtracks;
+    timeouts = !timeouts;
+    stale_demoted = !stale_demoted;
+    mean_regret = per_scored !regret_sum;
+    mean_oracle_rank = per_scored !rank_sum;
+    oracle_agreement = per_scored !agree;
+  }
+
+let bprint_walk buf ((u, t), records) =
+  Printf.bprintf buf "== unit %d trial %d ==\n" u t;
+  let depth = ref 0 in
+  let pad () = Buffer.add_string buf (String.make (2 * !depth) ' ') in
+  List.iter
+    (fun r ->
+      match r with
+      | Decision.Decide d ->
+          pad ();
+          Printf.bprintf buf "decide @%d%s [%s]: " d.node
+            (if d.from >= 0 then Printf.sprintf " (from %d)" d.from
+             else " (origin)")
+            d.scheme;
+          if d.candidates = [] then Buffer.add_string buf "no candidates\n"
+          else begin
+            Printf.bprintf buf
+              "%d candidates, oracle best %d at rank %d, regret %d%s\n"
+              (List.length d.candidates)
+              d.oracle_best d.oracle_rank d.regret
+              (if d.stale_demoted > 0 then
+                 Printf.sprintf ", %d stale demoted" d.stale_demoted
+               else "");
+            List.iteri
+              (fun i c ->
+                pad ();
+                Printf.bprintf buf "  %s%-6d goodness=%-10.3f truth=%-6d wave=%d%s%s\n"
+                  (if i = 0 then "> " else "  ")
+                  c.Decision.peer c.goodness c.truth c.wave
+                  (if c.stale then "  STALE" else "")
+                  (if c.peer = d.oracle_best && i > 0 then "  <- oracle best"
+                   else ""))
+              d.candidates
+          end
+      | Decision.Follow f ->
+          pad ();
+          Printf.bprintf buf "follow %d -> %d (choice #%d)\n" f.node f.target
+            f.rank;
+          incr depth
+      | Decision.Backtrack b ->
+          pad ();
+          Printf.bprintf buf "backtrack %d -> %d\n" b.node b.target;
+          if !depth > 0 then decr depth
+      | Decision.Timeout t' ->
+          pad ();
+          Printf.bprintf buf "timeout %d -> %d (attempt %d)\n" t'.node
+            t'.target t'.attempt
+      | Decision.Stop s ->
+          depth := 0;
+          Printf.bprintf buf
+            "stop: %s — found=%d forwards=%d returns=%d visited=%d\n" s.reason
+            s.found s.forwards s.returns s.visited)
+    records;
+  let s = summarize records in
+  Printf.bprintf buf
+    "summary: %d decisions, %d follows, %d backtracks, %d timeouts, mean \
+     regret %.2f, mean oracle rank %.2f, oracle agreement %.0f%%\n"
+    s.decisions s.follows s.backtracks s.timeouts s.mean_regret
+    s.mean_oracle_rank
+    (100. *. s.oracle_agreement)
+
+let render groups =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i g ->
+      if i > 0 then Buffer.add_char buf '\n';
+      bprint_walk buf g)
+    groups;
+  if groups = [] then
+    Buffer.add_string buf
+      "no decision records (was the query run with provenance on?)\n";
+  Buffer.contents buf

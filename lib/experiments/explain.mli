@@ -1,0 +1,33 @@
+(** Annotated hop-tree replay of {!Ri_obs.Decision} records.
+
+    One walk per [(unit, trial)] group: decision points print their full
+    candidate vector — the RI's goodness estimate next to the oracle's
+    ground-truth reachable-result count, with staleness and update-wave
+    lineage per row — and follow/backtrack/timeout records shape the
+    indented tree.  The per-walk summary quantifies how often the index
+    agreed with the oracle. *)
+
+type summary = {
+  decisions : int;
+  follows : int;
+  backtracks : int;
+  timeouts : int;
+  stale_demoted : int;
+  mean_regret : float;
+      (** mean count regret (oracle-best truth minus chosen truth), over
+          decisions with at least one candidate *)
+  mean_oracle_rank : float;
+      (** mean position of the true-best candidate in forwarding order *)
+  oracle_agreement : float;
+      (** fraction of decisions whose first candidate was the oracle
+          best (rank regret 0) *)
+}
+
+val summarize : Ri_obs.Decision.record list -> summary
+
+val bprint_walk :
+  Buffer.t -> (int * int) * Ri_obs.Decision.record list -> unit
+(** Render one walk (header, tree, summary) into the buffer. *)
+
+val render : ((int * int) * Ri_obs.Decision.record list) list -> string
+(** Render every walk — feed it {!Ri_obs.Decision.records}. *)

@@ -1,0 +1,96 @@
+(* Benchmark regression gate.
+
+   Compares the [micro_ns_per_run] section of a fresh BENCH_results.json
+   against a committed baseline.  Only the microbenchmarks are gated:
+   they run under Bechamel's OLS fit and are stable to a few percent,
+   whereas the figure wall-clock numbers swing with machine load and
+   would make any useful threshold either deaf or flaky. *)
+
+open Ri_util
+
+type verdict = {
+  name : string;
+  baseline_ns : float;
+  current_ns : float;
+  ratio : float;  (* current / baseline *)
+  regressed : bool;
+}
+
+type outcome = {
+  verdicts : verdict list;  (* baseline name order (sorted) *)
+  missing : string list;  (* in the baseline but absent from results *)
+  threshold : float;  (* percent slowdown tolerated *)
+}
+
+let default_threshold = 15.
+
+let micro_map label json =
+  match Json.member "micro_ns_per_run" json with
+  | Some (Json.Obj kvs) ->
+      let entries =
+        List.filter_map
+          (fun (k, v) ->
+            match Json.to_float v with Some f -> Some (k, f) | None -> None)
+          kvs
+      in
+      Ok (List.sort compare entries)
+  | Some _ -> Error (label ^ ": micro_ns_per_run is not an object")
+  | None -> Error (label ^ ": no micro_ns_per_run section (RI_MICRO=0 run?)")
+
+let compare_values ~threshold ~baseline ~results =
+  match (micro_map "baseline" baseline, micro_map "results" results) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok base, Ok cur ->
+      let verdicts, missing =
+        List.fold_left
+          (fun (vs, miss) (name, baseline_ns) ->
+            match List.assoc_opt name cur with
+            | None -> (vs, name :: miss)
+            | Some current_ns ->
+                let ratio =
+                  if baseline_ns > 0. then current_ns /. baseline_ns else 1.
+                in
+                let regressed =
+                  baseline_ns > 0.
+                  && current_ns > baseline_ns *. (1. +. (threshold /. 100.))
+                in
+                ({ name; baseline_ns; current_ns; ratio; regressed } :: vs, miss))
+          ([], []) base
+      in
+      (* Names only in the results are new benchmarks with nothing to
+         compare against; they are simply not gated. *)
+      Ok
+        {
+          verdicts = List.rev verdicts;
+          missing = List.rev missing;
+          threshold;
+        }
+
+let compare ?(threshold = default_threshold) ~baseline ~results () =
+  match (Json.parse baseline, Json.parse results) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("results: " ^ e)
+  | Ok b, Ok r -> compare_values ~threshold ~baseline:b ~results:r
+
+let any_regressed o = List.exists (fun v -> v.regressed) o.verdicts
+
+let render o =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "bench regression gate: %d micros, threshold +%.0f%%\n"
+    (List.length o.verdicts) o.threshold;
+  List.iter
+    (fun v ->
+      Printf.bprintf buf "  %-28s %10.1f ns -> %10.1f ns  %+6.1f%%%s\n" v.name
+        v.baseline_ns v.current_ns
+        ((v.ratio -. 1.) *. 100.)
+        (if v.regressed then "  REGRESSED" else ""))
+    o.verdicts;
+  List.iter
+    (fun name -> Printf.bprintf buf "  %-28s missing from results\n" name)
+    o.missing;
+  (if any_regressed o then
+     Printf.bprintf buf "FAIL: regression over +%.0f%% detected\n" o.threshold
+   else Printf.bprintf buf "OK: no micro regressed more than +%.0f%%\n"
+          o.threshold);
+  Buffer.contents buf

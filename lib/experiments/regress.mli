@@ -1,0 +1,49 @@
+(** Benchmark regression gate: compare a fresh [BENCH_results.json]
+    against a committed baseline and flag microbenchmarks that slowed
+    past a threshold.
+
+    Only the [micro_ns_per_run] section is gated — Bechamel's OLS fits
+    are stable to a few percent, while figure wall-clock times swing
+    with machine load.  Microbenchmarks present only in the results
+    (newly added) are ignored; ones present only in the baseline are
+    reported as missing but do not fail the gate. *)
+
+type verdict = {
+  name : string;
+  baseline_ns : float;
+  current_ns : float;
+  ratio : float;  (** current / baseline *)
+  regressed : bool;  (** current exceeds baseline by over the threshold *)
+}
+
+type outcome = {
+  verdicts : verdict list;  (** in sorted baseline name order *)
+  missing : string list;  (** in the baseline, absent from the results *)
+  threshold : float;  (** percent slowdown tolerated *)
+}
+
+val default_threshold : float
+(** 15 (percent) — [bench/regress] overrides it from
+    [RI_BENCH_THRESHOLD]. *)
+
+val compare :
+  ?threshold:float ->
+  baseline:string ->
+  results:string ->
+  unit ->
+  (outcome, string) result
+(** Parse two BENCH json documents (raw file contents) and compare their
+    micro sections.  [Error] on malformed JSON or a document without a
+    [micro_ns_per_run] object (e.g. an [RI_MICRO=0] smoke run). *)
+
+val compare_values :
+  threshold:float ->
+  baseline:Ri_util.Json.t ->
+  results:Ri_util.Json.t ->
+  (outcome, string) result
+(** {!compare} on already-parsed documents. *)
+
+val any_regressed : outcome -> bool
+
+val render : outcome -> string
+(** Human-readable per-micro table with a final OK/FAIL line. *)

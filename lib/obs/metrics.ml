@@ -69,6 +69,16 @@ let gauge ?help ?labels name = register ?help ?labels name (G (Atomic.make 0.))
 let default_buckets =
   [| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 0.01; 0.03; 0.1; 0.3; 1.; 3.; 10. |]
 
+(* Microsecond-range preset for per-trial hot-path phases: the prebuilt
+   query path runs in ~80us, which the default 10us..10s grid collapses
+   into two buckets.  2.5x steps from 1us to 10ms keep the ~µs regime
+   resolved while the tail still catches a degenerate slow phase. *)
+let micro_buckets =
+  [|
+    1e-6; 2.5e-6; 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3;
+    2.5e-3; 5e-3; 0.01; 0.1;
+  |]
+
 let histogram ?help ?labels ?(buckets = default_buckets) name =
   Array.iteri
     (fun i b ->

@@ -45,6 +45,14 @@ val histogram :
     implicit.  The default buckets are exponential seconds from 10us
     to 10s, suiting phase timings. *)
 
+val default_buckets : float array
+(** Exponential seconds, 10us to 10s — build-scale phases. *)
+
+val micro_buckets : float array
+(** Microsecond-range preset (1us to 10ms in 2.5x steps): per-trial hot
+    paths like the ~80us prebuilt-net query and single update waves,
+    which the default grid collapses into one or two buckets. *)
+
 val incr : counter -> unit
 
 val add : counter -> int -> unit

@@ -8,6 +8,13 @@ let table : (string, Metrics.histogram) Hashtbl.t = Hashtbl.create 16
 
 let names = ref []
 
+(* Per-trial phases (one query, one update wave, one drift pass) run in
+   microseconds-to-milliseconds; build phases in milliseconds-to-seconds.
+   Each gets the bucket grid that resolves its regime. *)
+let buckets_for = function
+  | "query" | "update" | "drift" -> Metrics.micro_buckets
+  | _ -> Metrics.default_buckets
+
 let handle name =
   Mutex.lock lock;
   let h =
@@ -16,6 +23,7 @@ let handle name =
     | None ->
         let h =
           Metrics.histogram ~help:"Wall-clock seconds per pipeline phase."
+            ~buckets:(buckets_for name)
             ~labels:[ ("phase", name) ] "ri_phase_seconds"
         in
         Hashtbl.add table name h;

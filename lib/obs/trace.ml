@@ -1,96 +1,44 @@
 (* Per-trial event tracing.
 
-   Determinism contract: events are buffered in a per-trial sink on
-   whichever domain runs the trial, and completed buffers are merged
-   into the global store keyed by (unit, trial) — [unit] is bumped once
-   per Runner.run, on the submitting domain, so it is scheduling
-   independent.  Rendering sorts by that key and numbers events by their
-   in-trial position, so the exported bytes are identical whatever the
-   pool width.  For the same reason trace timestamps are *logical*
-   ticks, not wall clock: wall clock would differ run to run and domain
-   to domain.  Wall-clock belongs in Metrics/Phase, not here. *)
+   The per-trial buffering, (unit, trial) merge rule and logical-tick
+   numbering live in {!Keyed_log} (shared with {!Decision}); this module
+   instantiates it for generic named events and renders them as JSONL
+   and Chrome trace_event output. *)
 
 type arg = Int of int | Float of float | Str of string | Bool of bool
 
 type event = { name : string; cat : string; args : (string * arg) list }
 
-type sink = {
-  live : bool;
-  key : int * int;  (* (unit, trial) *)
-  mutable rev : event list;  (* newest first *)
-}
+module Log = Keyed_log.Make (struct
+  type t = event
+end)
 
-let null = { live = false; key = (0, 0); rev = [] }
+type sink = Log.sink
 
-let is_live s = s.live
+let null = Log.null
 
-let recording_flag = Atomic.make false
+let is_live = Log.is_live
 
-let recording () = Atomic.get recording_flag
+let recording = Log.recording
 
-let start () = Atomic.set recording_flag true
+let start = Log.start
 
-let stop () = Atomic.set recording_flag false
+let stop = Log.stop
 
-let unit_counter = Atomic.make 0
+let next_unit = Log.next_unit
 
-let next_unit () =
-  if Atomic.get recording_flag then ignore (Atomic.fetch_and_add unit_counter 1)
+let clear = Log.clear
 
-let lock = Mutex.create ()
+let with_trial = Log.with_trial
 
-(* Values are newest-first so same-key registrations (e.g. a query trial
-   followed by an update trial at the same index) prepend in O(own
-   events); rendering reverses once. *)
-let store : (int * int, event list ref) Hashtbl.t = Hashtbl.create 256
+let emit s ?(cat = "sim") name args = Log.push s { name; cat; args }
 
-let clear () =
-  Mutex.lock lock;
-  Hashtbl.reset store;
-  Atomic.set unit_counter 0;
-  Mutex.unlock lock
-
-let with_trial ~trial f =
-  if not (Atomic.get recording_flag) then f null
-  else begin
-    let s = { live = true; key = (Atomic.get unit_counter, trial); rev = [] } in
-    let finally () =
-      if s.rev <> [] then begin
-        Mutex.lock lock;
-        (match Hashtbl.find_opt store s.key with
-        | Some r -> r := s.rev @ !r
-        | None -> Hashtbl.add store s.key (ref s.rev));
-        Mutex.unlock lock
-      end
-    in
-    Fun.protect ~finally (fun () -> f s)
-  end
-
-let emit s ?(cat = "sim") name args =
-  if s.live then s.rev <- { name; cat; args } :: s.rev
-
-let events () =
-  Mutex.lock lock;
-  let all = Hashtbl.fold (fun key r acc -> (key, List.rev !r) :: acc) store [] in
-  Mutex.unlock lock;
-  List.sort (fun (a, _) (b, _) -> compare a b) all
+let events = Log.events
 
 (* ------------------------------------------------------------------ *)
 (* Export.                                                             *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape = Ri_util.Json.escape
 
 let arg_json = function
   | Int i -> string_of_int i

@@ -46,6 +46,12 @@ type t = {
   ris : Scheme.t array;
   locals : Summary.t array;
   mutable converged_iterations : int;
+  mutable next_wave : int;
+      (* logical update-wave counter for provenance lineage: each
+         [Update.wave] draws one id and stamps the RI rows it rewrites.
+         Per instance (so [copy] gives clones independent counters —
+         pool workers stay deterministic) and purely observational:
+         build-time rows keep stamp 0. *)
 }
 
 let size t = Array.length t.adj
@@ -110,6 +116,10 @@ let project_query t q =
 let rng t = t.rng
 
 let converged_iterations t = t.converged_iterations
+
+let fresh_wave t =
+  t.next_wave <- t.next_wave + 1;
+  t.next_wave
 
 let maybe_perturb t payload =
   match t.perturb with
@@ -324,6 +334,7 @@ let create ~graph ~content ?scheme ?(compression = Compression.exact)
       ris;
       locals;
       converged_iterations = 0;
+      next_wave = 0;
     }
   in
   (match (scheme, mode) with

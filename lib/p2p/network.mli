@@ -198,4 +198,11 @@ val converged_iterations : t -> int
 (** Fixed-point sweeps the builder needed (0 for No-RI; 1 means the
     exact tree computation sufficed). *)
 
+val fresh_wave : t -> int
+(** Draw the next logical update-wave id (1, 2, ...) for provenance
+    lineage: [Update.wave] calls this once per wave and stamps the RI
+    rows it rewrites ({!Scheme.stamp_row}).  Per instance — {!copy}
+    clones count independently, so per-trial clones on pool workers stay
+    deterministic. *)
+
 val rng : t -> Ri_util.Prng.t

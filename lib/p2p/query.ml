@@ -62,8 +62,8 @@ let record_outcome kind o =
 
 type frame = { node : int; from : int; mutable pending : int list }
 
-let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
-    ~forwarding =
+let run ?rng ?(on_event = fun (_ : event) -> ())
+    ?(decide = Ri_obs.Decision.null) ?plan net ~origin ~query ~forwarding =
   let n = Network.size net in
   if origin < 0 || origin >= n then invalid_arg "Query.run: origin out of range";
   (match plan with
@@ -166,6 +166,123 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
             Scheme.rank_peers (Network.ri net u) ~query:projected
               ~keep:is_candidate)
   in
+  (* Provenance capture.  Everything below [live] runs only when a
+     Decision sink is recording — in particular the per-candidate oracle
+     BFS, which costs O(edges) per decision and must never touch the
+     measured query path. *)
+  let live = Ri_obs.Decision.is_live decide in
+  let scheme_name =
+    match forwarding with
+    | Random_walk -> "none"
+    | Ri_guided -> (
+        match Network.scheme net with
+        | Some k -> Scheme.kind_name k
+        | None -> "none")
+  in
+  (* Oracle: matching documents actually reachable through candidate [v]
+     when deciding at [u] — BFS over live links with [u] removed (the
+     query would arrive via [u], so paths back through it are not [v]'s
+     to claim) and crash-stopped nodes impassable. *)
+  let truth_of u v =
+    match plan with
+    | Some p when Fault.is_dead p v -> 0
+    | _ ->
+        let seen = Bytes.make n '\000' in
+        Bytes.set seen u '\001';
+        Bytes.set seen v '\001';
+        let q = Queue.create () in
+        Queue.add v q;
+        let total = ref 0 in
+        while not (Queue.is_empty q) do
+          let x = Queue.pop q in
+          total := !total + Network.count_matching net x topics;
+          Array.iter
+            (fun y ->
+              if Bytes.get seen y = '\000' then begin
+                Bytes.set seen y '\001';
+                match plan with
+                | Some p when Fault.is_dead p y -> ()
+                | _ -> Queue.add y q
+              end)
+            (Network.neighbors net x)
+        done;
+        !total
+  in
+  let emit_decide u ~from order =
+    let ri_goodness v =
+      match forwarding with
+      | Ri_guided -> Scheme.goodness (Network.ri net u) ~peer:v ~query:projected
+      | Random_walk -> 0.
+    in
+    let stale_of v =
+      match plan with Some p -> Fault.stale p ~at:u ~peer:v | None -> false
+    in
+    let wave_of v =
+      if Network.has_ri net then Scheme.row_stamp (Network.ri net u) ~peer:v
+      else 0
+    in
+    let cands =
+      List.map
+        (fun v ->
+          {
+            Ri_obs.Decision.peer = v;
+            goodness = ri_goodness v;
+            truth = truth_of u v;
+            stale = stale_of v;
+            wave = wave_of v;
+          })
+        order
+    in
+    let oracle_best, oracle_rank, regret =
+      match cands with
+      | [] -> (-1, 0, 0)
+      | first :: _ ->
+          let _, bp, br, bt =
+            List.fold_left
+              (fun (i, bp, br, bt) (c : Ri_obs.Decision.candidate) ->
+                if c.truth > bt || (c.truth = bt && c.peer < bp) then
+                  (i + 1, c.peer, i, c.truth)
+                else (i + 1, bp, br, bt))
+              (0, -1, 0, min_int) cands
+          in
+          (bp, br, bt - first.Ri_obs.Decision.truth)
+    in
+    let stale_demoted =
+      match plan with
+      | Some p when Fault.fallback p ->
+          List.length (List.filter (fun c -> c.Ri_obs.Decision.stale) cands)
+      | _ -> 0
+    in
+    Ri_obs.Decision.emit decide
+      (Decide
+         {
+           node = u;
+           from;
+           scheme = scheme_name;
+           candidates = cands;
+           oracle_best;
+           oracle_rank;
+           regret;
+           stale_demoted;
+         })
+  in
+  (* Every frame opens through here so each decision point is recorded
+     exactly once, with the candidate list in true forwarding order. *)
+  let ordered u ~from =
+    let order = order_neighbors u ~from in
+    if live then emit_decide u ~from order;
+    order
+  in
+  (* Follow ranks (which candidate in forwarding order a frame tried)
+     live in a side table touched only when recording, so the frame
+     record — one allocation per visited node — stays at its
+     provenance-free size. *)
+  let ranks : (int, int) Hashtbl.t = Hashtbl.create (if live then 32 else 1) in
+  let next_rank u =
+    let r = try Hashtbl.find ranks u with Not_found -> 0 in
+    Hashtbl.replace ranks u (r + 1);
+    r
+  in
   let budget = match plan with Some p -> Fault.query_budget p | None -> max_int in
   let budget_stopped = ref false in
   (* Link pairs already reconciled during this query; anti-entropy runs
@@ -177,19 +294,21 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
       (* The revisited node detects the duplicate and bounces the
          query straight back. *)
       counters.query_returns <- counters.query_returns + 1;
-      on_event (Returned { sender = v; receiver = top.node })
+      on_event (Returned { sender = v; receiver = top.node });
+      if live then
+        Ri_obs.Decision.emit decide (Backtrack { node = v; target = top.node })
     end
     else begin
       process_visit v;
       if !remaining > 0 then
         stack :=
-          { node = v; from = top.node; pending = order_neighbors v ~from:top.node }
+          { node = v; from = top.node; pending = ordered v ~from:top.node }
           :: !stack
     end
   in
   process_visit origin;
   (if !remaining > 0 then
-     stack := [ { node = origin; from = -1; pending = order_neighbors origin ~from:(-1) } ]);
+     stack := [ { node = origin; from = -1; pending = ordered origin ~from:(-1) } ]);
   while !stack <> [] && !remaining > 0 do
     match !stack with
     | [] -> ()
@@ -200,7 +319,10 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
             stack := rest;
             if top.from >= 0 then begin
               counters.query_returns <- counters.query_returns + 1;
-              on_event (Returned { sender = top.node; receiver = top.from })
+              on_event (Returned { sender = top.node; receiver = top.from });
+              if live then
+                Ri_obs.Decision.emit decide
+                  (Backtrack { node = top.node; target = top.from })
             end
         | v :: pending -> (
             top.pending <- pending;
@@ -209,6 +331,9 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
                 Hashtbl.replace sent (top.node, v) (sends top.node v + 1);
                 counters.query_forwards <- counters.query_forwards + 1;
                 on_event (Forwarded { sender = top.node; receiver = v });
+                (if live then
+                   Ri_obs.Decision.emit decide
+                     (Follow { node = top.node; target = v; rank = next_rank top.node }));
                 descend top v
             | Some p ->
                 if counters.query_forwards >= budget then begin
@@ -220,6 +345,9 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
                 end
                 else begin
                   Hashtbl.replace sent (top.node, v) (sends top.node v + 1);
+                  (* Rank is claimed when forwarding begins, so a forward
+                     abandoned after its retries still consumes its slot. *)
+                  let rank = if live then next_rank top.node else 0 in
                   (* Deliver with bounded retry: a crash-stopped receiver
                      (or a flapping link) times out; each attempt is a
                      real message and each timeout charges deterministic
@@ -240,6 +368,10 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
                       on_event
                         (Timed_out
                            { sender = top.node; receiver = v; attempt = !attempt });
+                      if live then
+                        Ri_obs.Decision.emit decide
+                          (Timeout
+                             { node = top.node; target = v; attempt = !attempt });
                       incr attempt;
                       if !attempt > Fault.retries p then exhausted := true
                       else begin
@@ -266,6 +398,9 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
                        Churn.reconcile net top.node v ~plan:p ~counters;
                        on_event (Reconciled { a = top.node; b = v })
                      end);
+                    if live then
+                      Ri_obs.Decision.emit decide
+                        (Follow { node = top.node; target = v; rank });
                     descend top v
                   end
                   else if not (Fault.knows_dead p ~at:top.node ~dead:v) then begin
@@ -278,6 +413,21 @@ let run ?rng ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query
                   end
                 end))
   done;
+  (if live then
+     let reason =
+       if !found >= query.Ri_content.Workload.stop then "satisfied"
+       else if !budget_stopped then "budget"
+       else "exhausted"
+     in
+     Ri_obs.Decision.emit decide
+       (Stop
+          {
+            reason;
+            found = !found;
+            forwards = counters.Message.query_forwards;
+            returns = counters.Message.query_returns;
+            visited = !nodes_visited;
+          }));
   record_outcome
     (match forwarding with Ri_guided -> m_ri_guided | Random_walk -> m_random_walk)
     {

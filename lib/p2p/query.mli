@@ -51,6 +51,7 @@ val messages : outcome -> int
 val run :
   ?rng:Ri_util.Prng.t ->
   ?on_event:(event -> unit) ->
+  ?decide:Ri_obs.Decision.sink ->
   ?plan:Fault.t ->
   Network.t ->
   origin:int ->
@@ -61,6 +62,16 @@ val run :
     [Random_walk]; defaults to the network's generator) supplies the
     random neighbor ordering.  [on_event] observes every message as it
     is sent, in order.
+
+    [decide] (default {!Ri_obs.Decision.null}) receives per-hop
+    provenance: one [Decide] per decision point with the candidate
+    goodness vector, per-row staleness and update-wave lineage, and the
+    counterfactual oracle-best candidate (ground-truth reachability with
+    the deciding node removed); [Follow]/[Backtrack]/[Timeout] for the
+    walk skeleton; one final [Stop].  On a dead sink every capture site
+    — including the per-candidate oracle BFS — is a single branch.
+    [run_parallel] and [flood] take no sink: neither makes per-neighbor
+    routing decisions worth explaining.
 
     [plan] runs the query in the fault environment: forwards to
     crash-stopped neighbors (and, with probability [link_flap], to live

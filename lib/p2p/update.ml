@@ -162,6 +162,11 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
     let detect = Network.cycle_policy net = Network.Detect_recover in
     let sent = ref 0 in
     let wire = ref 0 in
+    (* Provenance lineage: every row this wave rewrites is stamped with
+       one logical wave id, so a later routing decision can name the
+       update wave each consulted row came from.  One int write per
+       delivery — cheap enough to leave ungated. *)
+    let wave_id = Network.fresh_wave net in
     let deliver { sender; receiver; payload; baseline; tainted } =
       let ri = Network.ri net receiver in
       let baseline =
@@ -195,7 +200,10 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
              });
         (* Detect-and-recover: a node reached for the second time updates
            its row but breaks the cycle by not forwarding. *)
-        if detect && repeat then Scheme.set_row ri ~peer:sender payload
+        if detect && repeat then begin
+          Scheme.set_row ri ~peer:sender payload;
+          Scheme.stamp_row ri ~peer:sender wave_id
+        end
         else begin
           (* Align the stored row with the sender's pre-change export
              before measuring the onward change: on a cyclic overlay the
@@ -210,6 +218,7 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
             seeds_for_change ?plan net ~at:receiver ~except:[ sender ]
               ~mutate:(fun () -> Scheme.set_row ri ~peer:sender payload)
           in
+          Scheme.stamp_row ri ~peer:sender wave_id;
           List.iter (fun s -> Queue.add (Fresh s) next) onward
         end
       end

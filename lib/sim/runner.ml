@@ -35,8 +35,10 @@ let run ?pool spec f =
     invalid_arg "Runner.run: bad trial bounds";
   let pool = match pool with Some p -> p | None -> Pool.global () in
   (* One trace unit per data point, bumped on the submitting domain, so
-     trial keys never depend on the pool width. *)
+     trial keys never depend on the pool width.  Each recorder keeps its
+     own counter: provenance can be on without tracing and vice versa. *)
   Trace.next_unit ();
+  Decision.next_unit ();
   Metrics.incr m_units;
   let acc = Stats.Acc.create () in
   let next = ref 0 in

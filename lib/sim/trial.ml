@@ -173,20 +173,22 @@ let metrics_of_outcome (cfg : Config.t) (o : Query.outcome) =
     bytes = Message.bytes_of cfg.bytes o.counters;
   }
 
-let query_outcome ?on_event ?plan (cfg : Config.t) setup =
+let query_outcome ?on_event ?decide ?plan (cfg : Config.t) setup =
   match cfg.search with
   | Config.Ri _ ->
-      Query.run ?on_event ?plan ~rng:setup.rng setup.network
+      Query.run ?on_event ?decide ?plan ~rng:setup.rng setup.network
         ~origin:setup.origin ~query:setup.query ~forwarding:Query.Ri_guided
   | Config.No_ri ->
-      Query.run ?on_event ?plan ~rng:setup.rng setup.network
+      Query.run ?on_event ?decide ?plan ~rng:setup.rng setup.network
         ~origin:setup.origin ~query:setup.query ~forwarding:Query.Random_walk
   | Config.Flooding { ttl } ->
+      (* Flooding makes no per-neighbor routing decisions — there is
+         nothing for a Decision sink to explain, so it is not passed. *)
       Query.flood ?on_event ?plan setup.network ~origin:setup.origin
         ~query:setup.query ?ttl ()
 
-let run_query_on ?on_event ?plan (cfg : Config.t) setup =
-  metrics_of_outcome cfg (query_outcome ?on_event ?plan cfg setup)
+let run_query_on ?on_event ?decide ?plan (cfg : Config.t) setup =
+  metrics_of_outcome cfg (query_outcome ?on_event ?decide ?plan cfg setup)
 
 (* Tracing hooks: built only when a live sink exists, so the disabled
    path passes [None] and the p2p layer keeps its no-op default. *)
@@ -257,14 +259,19 @@ let emit_stop sink (m : query_metrics) =
         ("nodes_visited", Trace.Int m.nodes_visited);
       ]
 
+(* Both recorders wrap the trial body: each hands out its own sink
+   (null when that recorder is off), and each merges under the same
+   (unit, trial) key, so trace and decision output stay independently
+   byte-deterministic at any pool width. *)
 let traced_query (cfg : Config.t) ~trial setup =
   Trace.with_trial ~trial (fun sink ->
-      let m =
-        Phase.time "query" (fun () ->
-            run_query_on ?on_event:(query_hook sink) cfg setup)
-      in
-      emit_stop sink m;
-      m)
+      Decision.with_trial ~trial (fun decide ->
+          let m =
+            Phase.time "query" (fun () ->
+                run_query_on ?on_event:(query_hook sink) ~decide cfg setup)
+          in
+          emit_stop sink m;
+          m))
 
 let run_query cfg ~trial =
   traced_query cfg ~trial (build ~purpose:For_query cfg ~trial)
@@ -394,6 +401,7 @@ let run_query_faulty (cfg : Config.t) ~trial =
     (query_outcome ~plan cfg setup).Query.found
   in
   Trace.with_trial ~trial (fun sink ->
+      Decision.with_trial ~trial (fun decide ->
       let setup =
         build ~purpose:For_update ~mutable_placement:(spec.Fault.drift > 0.)
           cfg ~trial
@@ -408,7 +416,7 @@ let run_query_faulty (cfg : Config.t) ~trial =
             ?on_event:(update_hook sink) ());
       let outcome =
         Phase.time "query" (fun () ->
-            query_outcome ?on_event:(query_hook sink) ~plan cfg setup)
+            query_outcome ?on_event:(query_hook sink) ~decide ~plan cfg setup)
       in
       let m = metrics_of_outcome cfg outcome in
       emit_stop sink m;
@@ -425,7 +433,7 @@ let run_query_faulty (cfg : Config.t) ~trial =
           float_of_int (m.messages + repair_messages)
           /. float_of_int (max 1 m.found);
         f_stats = Fault.stats plan;
-      })
+      }))
 
 type parallel_metrics = {
   par_messages : int;

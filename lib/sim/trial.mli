@@ -61,6 +61,7 @@ val run_query : Config.t -> trial:int -> query_metrics
 
 val run_query_on :
   ?on_event:(Ri_p2p.Query.event -> unit) ->
+  ?decide:Ri_obs.Decision.sink ->
   ?plan:Ri_p2p.Fault.t ->
   Config.t ->
   setup ->
@@ -68,8 +69,11 @@ val run_query_on :
 (** Run the configured search on an existing setup (lets one setup be
     shared across search mechanisms for paired comparisons).
     [on_event] observes every query message; {!run_query} wires it to
-    the {!Ri_obs.Trace} recorder when tracing is on.  [plan] runs the
-    query in a fault environment (see {!Ri_p2p.Fault}). *)
+    the {!Ri_obs.Trace} recorder when tracing is on.  [decide] receives
+    per-hop routing-decision provenance (see {!Ri_p2p.Query.run}; the
+    sink is not passed to flooding, which makes no routing decisions).
+    [plan] runs the query in a fault environment (see
+    {!Ri_p2p.Fault}). *)
 
 val run_query_perturbed :
   Config.t ->

@@ -1,0 +1,107 @@
+(* Strict JSON parser: value coverage, escapes, accessor projections,
+   render round-trips, and rejection of the malformed inputs a lenient
+   parser would wave through. *)
+
+open Ri_util
+
+let ok s = Json.parse_exn s
+
+let rejects name s =
+  match Json.parse s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: accepted %S" name s
+
+let test_atoms () =
+  Alcotest.(check bool) "null" true (ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (ok "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (ok "false" = Json.Bool false);
+  Alcotest.(check bool) "int" true (ok "42" = Json.Num 42.);
+  Alcotest.(check bool) "negative" true (ok "-7" = Json.Num (-7.));
+  Alcotest.(check bool) "float" true (ok "2.5e-3" = Json.Num 0.0025);
+  Alcotest.(check bool) "string" true (ok "\"hi\"" = Json.Str "hi");
+  Alcotest.(check bool) "leading ws" true (ok "  1 " = Json.Num 1.)
+
+let test_containers () =
+  Alcotest.(check bool) "empty array" true (ok "[]" = Json.Arr []);
+  Alcotest.(check bool) "empty object" true (ok "{}" = Json.Obj []);
+  let v = ok {|{"a": [1, {"b": null}], "c": "x"}|} in
+  match v with
+  | Json.Obj [ ("a", Json.Arr [ Json.Num 1.; Json.Obj [ ("b", Json.Null) ] ]);
+               ("c", Json.Str "x") ] -> ()
+  | _ -> Alcotest.fail "nested structure mis-parsed"
+
+let test_string_escapes () =
+  Alcotest.(check bool) "basic escapes" true
+    (ok {|"a\"b\\c\nd\te"|} = Json.Str "a\"b\\c\nd\te");
+  Alcotest.(check bool) "unicode escape" true
+    (ok "\"\\u0041\\u0009\"" = Json.Str "A\t");
+  Alcotest.(check bool) "solidus" true (ok {|"\/"|} = Json.Str "/")
+
+let test_strictness () =
+  rejects "trailing garbage" "1 2";
+  rejects "trailing comma array" "[1,]";
+  rejects "trailing comma object" {|{"a":1,}|};
+  rejects "bare word" "nul";
+  rejects "NaN" "NaN";
+  rejects "Infinity" "Infinity";
+  rejects "single quotes" "'a'";
+  rejects "unterminated string" "\"abc";
+  rejects "unterminated array" "[1,2";
+  rejects "control char in string" "\"a\nb\"";
+  rejects "missing colon" {|{"a" 1}|};
+  rejects "empty input" "";
+  rejects "leading zero" "01"
+
+let test_error_offset () =
+  match Json.parse "[1, x]" with
+  | Ok _ -> Alcotest.fail "accepted bad array"
+  | Error e ->
+      Alcotest.(check bool) "error mentions offset" true
+        (Astring.String.is_infix ~affix:"4" e)
+
+let test_accessors () =
+  let j = ok {|{"n": 3, "f": 1.5, "s": "v", "b": true, "l": [1], "o": {}}|} in
+  let get k = Option.get (Json.member k j) in
+  Alcotest.(check (option int)) "to_int" (Some 3) (Json.to_int (get "n"));
+  Alcotest.(check (option int)) "to_int on float" None (Json.to_int (get "f"));
+  Alcotest.(check bool) "to_float" true (Json.to_float (get "f") = Some 1.5);
+  Alcotest.(check (option string)) "to_string" (Some "v")
+    (Json.to_string (get "s"));
+  Alcotest.(check (option bool)) "to_bool" (Some true) (Json.to_bool (get "b"));
+  Alcotest.(check bool) "to_list" true (Json.to_list (get "l") <> None);
+  Alcotest.(check bool) "to_obj" true (Json.to_obj (get "o") = Some []);
+  Alcotest.(check bool) "member missing" true (Json.member "zz" j = None);
+  Alcotest.(check bool) "member on non-object" true
+    (Json.member "a" (Json.Num 1.) = None)
+
+let test_render_roundtrip () =
+  List.iter
+    (fun s ->
+      let v = ok s in
+      Alcotest.(check bool) (Printf.sprintf "roundtrip %s" s) true
+        (Json.parse_exn (Json.render v) = v))
+    [
+      "null"; "true"; "-3"; "2.5"; {|"a\"bc"|}; "[1,[2,[]]]";
+      {|{"k":[true,null],"s":"\n"}|};
+    ];
+  Alcotest.(check string) "integral floats render as ints" "[1,-2,0]"
+    (Json.render (Json.Arr [ Json.Num 1.; Json.Num (-2.); Json.Num 0. ]))
+
+let test_escape () =
+  Alcotest.(check string) "escape specials" {|a\"b\\c\nd|}
+    (Json.escape "a\"b\\c\nd");
+  Alcotest.(check string) "escape control byte" "x\\u0001y"
+    (Json.escape "x\001y")
+
+let suite =
+  ( "json",
+    [
+      Alcotest.test_case "atoms" `Quick test_atoms;
+      Alcotest.test_case "containers" `Quick test_containers;
+      Alcotest.test_case "string escapes" `Quick test_string_escapes;
+      Alcotest.test_case "strict rejections" `Quick test_strictness;
+      Alcotest.test_case "error carries offset" `Quick test_error_offset;
+      Alcotest.test_case "accessors" `Quick test_accessors;
+      Alcotest.test_case "render roundtrip" `Quick test_render_roundtrip;
+      Alcotest.test_case "escape" `Quick test_escape;
+    ] )

@@ -29,7 +29,9 @@ let () =
       Test_fault.suite;
       Test_paper_examples.suite;
       Test_pool.suite;
+      Test_json.suite;
       Test_obs.suite;
+      Test_provenance.suite;
       Test_sim.suite;
       Test_experiments.suite;
       Test_extensions.suite;

@@ -213,6 +213,90 @@ let test_trace_off_collects_nothing () =
   ignore (Trial.run_query cfg ~trial:0);
   Alcotest.(check string) "no events" "" (Trace.render_jsonl ())
 
+(* Emitted artifacts must satisfy the strict JSON parser — a malformed
+   export is a failure here, not a quirk tolerated downstream. *)
+let test_trace_strict_json () =
+  let jsonl, chrome = trace_run 1 in
+  let doc = Json.parse_exn chrome in
+  (match Json.member "traceEvents" doc with
+  | Some (Json.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "chrome trace: traceEvents missing or empty");
+  String.split_on_char '\n' jsonl
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line ->
+         match Json.parse line with
+         | Error e -> Alcotest.failf "trace line rejected: %s\n%s" e line
+         | Ok j ->
+             if Json.member "name" j = None then
+               Alcotest.failf "trace line without name: %s" line)
+
+(* ------------------------------------------------------------------ *)
+(* Decision provenance (tentpole): byte-identical across pool widths,   *)
+(* strict-JSON clean, and silent when off.                              *)
+
+let decision_run jobs =
+  Decision.clear ();
+  Decision.start ();
+  Fun.protect ~finally:Decision.stop (fun () ->
+      let spec =
+        { Runner.min_trials = 3; max_trials = 6; target_rel_error = 0.05 }
+      in
+      Pool.with_pool ~jobs (fun pool ->
+          let cfg = Config.with_search small (Config.Ri Config.cri) in
+          ignore
+            (Runner.run ~pool spec (fun ~trial ->
+                 float_of_int (Trial.run_query cfg ~trial).Trial.messages))));
+  let jsonl = Decision.render_jsonl () in
+  Decision.clear ();
+  jsonl
+
+let test_decision_bit_identical () =
+  let jsonl1 = decision_run 1 in
+  let jsonl4 = decision_run 4 in
+  Alcotest.(check bool) "decisions recorded" true
+    (Astring.String.is_infix ~affix:"\"kind\":\"decide\"" jsonl1);
+  Alcotest.(check bool) "walk advances recorded" true
+    (Astring.String.is_infix ~affix:"\"kind\":\"follow\"" jsonl1);
+  Alcotest.(check bool) "stop recorded" true
+    (Astring.String.is_infix ~affix:"\"kind\":\"stop\"" jsonl1);
+  Alcotest.(check string) "decision jsonl byte-identical at jobs 1 vs 4"
+    jsonl1 jsonl4
+
+let test_decision_strict_json () =
+  let jsonl = decision_run 2 in
+  String.split_on_char '\n' jsonl
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line ->
+         match Json.parse line with
+         | Error e -> Alcotest.failf "decision line rejected: %s\n%s" e line
+         | Ok j ->
+             List.iter
+               (fun key ->
+                 if Json.member key j = None then
+                   Alcotest.failf "decision line without %s: %s" key line)
+               [ "unit"; "trial"; "seq"; "kind" ])
+
+let test_decision_off_collects_nothing () =
+  Alcotest.(check bool) "not recording" false (Decision.recording ());
+  let cfg = Config.with_search small (Config.Ri Config.cri) in
+  ignore (Trial.run_query cfg ~trial:0);
+  Alcotest.(check string) "no records" "" (Decision.render_jsonl ())
+
+(* Satellite: query/update phase histograms use the µs-range preset;
+   coarser phases keep the default layout. *)
+let test_phase_bucket_presets () =
+  with_metrics (fun () ->
+      ignore (Phase.time "query" (fun () -> 0));
+      ignore (Phase.time "placement" (fun () -> 0));
+      let text = Metrics.render () in
+      Alcotest.(check bool) "query histogram has 1e-06 bucket" true
+        (Astring.String.is_infix
+           ~affix:"ri_phase_seconds_bucket{le=\"1e-06\",phase=\"query\"}" text);
+      Alcotest.(check bool) "placement histogram keeps default buckets" false
+        (Astring.String.is_infix
+           ~affix:"ri_phase_seconds_bucket{le=\"1e-06\",phase=\"placement\"}"
+           text))
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry surfacing.                                                *)
 
