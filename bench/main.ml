@@ -386,7 +386,21 @@ let write_json ~figures ~figure_words ~sections ~cache ~micro ~minor_words
     entry "    \"content_hits\": %d,\n" c.Setup_cache.content_hits;
     entry "    \"content_misses\": %d,\n" c.Setup_cache.content_misses;
     entry "    \"network_hits\": %d,\n" c.Setup_cache.network_hits;
-    entry "    \"network_misses\": %d\n" c.Setup_cache.network_misses;
+    entry "    \"network_misses\": %d,\n" c.Setup_cache.network_misses;
+    entry "    \"networks_generated\": %d,\n" c.Setup_cache.network_generated;
+    entry "    \"networks_from_snapshot\": %d\n" c.Setup_cache.network_snapshot;
+    entry "  },\n";
+    (* Process-level memory at the end of the run: resident set now and
+       the kernel's high-water mark (null where procfs is unavailable). *)
+    let mem_field = function
+      | Some mb -> Printf.sprintf "%.1f" mb
+      | None -> "null"
+    in
+    entry "  \"memory\": {\n";
+    entry "    \"rss_mb\": %s,\n" (mem_field (Rss.resident_mb ()));
+    entry "    \"peak_rss_mb\": %s,\n" (mem_field (Rss.peak_mb ()));
+    entry "    \"top_heap_mb\": %.1f\n"
+      (float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. 8. /. 1e6);
     entry "  },\n";
     let pool = Pool.global () in
     let p = Pool.stats pool in

@@ -482,14 +482,67 @@ let scale_cmd =
     let doc = "Also write the sweep's points as a JSON array to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
-  let run nodes seed trials rel_error sizes json jobs metrics trace fmt
-      decisions =
+  let big_t =
+    let doc =
+      "Sweep the million-node plane (100000, 250000, 500000, 1000000 \
+       nodes) instead of the default sizes.  A $(b,--nodes) that \
+       reaches into the plane trims the sweep to the sizes it covers."
+    in
+    Arg.(value & flag & info [ "big" ] ~doc)
+  in
+  let compress_t =
+    let doc =
+      "Also measure the quantized (bit-packed) rowstore at $(docv) bits \
+       per cell and report the accuracy/size tradeoff against the exact \
+       store."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some 8) (some int) None
+      & info [ "compress" ] ~docv:"BITS" ~doc)
+  in
+  let snapshot_t =
+    let doc =
+      "Time a snapshot save/load round trip per size; files land in \
+       $(docv) as scale_<nodes>.risnap."
+    in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"DIR" ~doc)
+  in
+  let par_compare_t =
+    let doc =
+      "Additionally time a cache-cold converged build on the process \
+       pool and on one core (the intra-trial parallelism speedup)."
+    in
+    Arg.(value & flag & info [ "par-compare" ] ~doc)
+  in
+  let run nodes seed trials rel_error sizes json big compress snapshot
+      par_compare jobs metrics trace fmt decisions =
     apply_jobs jobs;
     let base = base_config nodes seed in
     let spec = spec_of trials rel_error in
+    let sizes =
+      match (sizes, big) with
+      | Some _, _ -> sizes
+      | None, true -> (
+          (* A --nodes below the plane's smallest size is the shared
+             default, not a cap on a sweep it cannot reach. *)
+          match
+            List.filter (fun s -> s <= nodes) Ri_experiments.Fig_scale.big_sizes
+          with
+          | [] -> Some Ri_experiments.Fig_scale.big_sizes
+          | s -> Some s)
+      | None, false -> None
+    in
+    let opts =
+      {
+        Ri_experiments.Fig_scale.o_compress = compress;
+        o_snapshot = snapshot;
+        o_par_compare = par_compare;
+      }
+    in
     let swept =
       with_obs metrics trace fmt decisions (fun () ->
-          try Ok (Ri_experiments.Fig_scale.sweep ?sizes ~base ~spec ())
+          try Ok (Ri_experiments.Fig_scale.sweep ?sizes ~opts ~base ~spec ())
           with Invalid_argument msg -> Error msg)
     in
     match swept with
@@ -497,6 +550,9 @@ let scale_cmd =
     | Ok points ->
         Ri_experiments.Report.print
           (Ri_experiments.Fig_scale.report_of points);
+        if compress <> None then
+          Ri_experiments.Report.print
+            (Ri_experiments.Fig_scale.compress_report_of points);
         Printf.printf "%s\n%s\n" (Telemetry.cache_line ())
           (Telemetry.pool_line ());
         (match json with
@@ -520,13 +576,15 @@ let scale_cmd =
   Cmd.v
     (Cmd.info "scale"
        ~doc:
-         "Sweep network sizes and report queries/sec, update-waves/sec, \
-          wire bytes, RI bytes per node and peak heap")
+         "Sweep network sizes and report build times, queries/sec, \
+          update-waves/sec, wire bytes, RI bytes per node, heap and RSS; \
+          optionally compressed-store, snapshot and parallel-speedup \
+          measurements")
     Term.(
       ret
         (const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ sizes_t
-       $ json_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t
-       $ decisions_t))
+       $ json_t $ big_t $ compress_t $ snapshot_t $ par_compare_t $ jobs_t
+       $ metrics_t $ trace_t $ trace_format_t $ decisions_t))
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 

@@ -59,7 +59,7 @@ let distribute rng ~universe ~n ~query_topics ~results ~distribution
      wider query one random query topic is knocked out of the set. *)
   let tpb = max 1 (min topics_per_background_doc c) in
   let query_arr = Array.of_list query_topics in
-  let add_background v =
+  let add_background rng v =
     let chosen = Sampling.choose_distinct rng ~k:tpb ~n:c in
     let forbidden = query_arr.(Prng.int rng (Array.length query_arr)) in
     let row = counts.(v) in
@@ -84,15 +84,42 @@ let distribute rng ~universe ~n ~query_topics ~results ~distribution
     invalid_arg "Placement.distribute: negative background_per_node";
   let whole = int_of_float background_per_node in
   let frac = background_per_node -. float_of_int whole in
-  for v = 0 to n - 1 do
+  let background_for rng v =
     for _ = 1 to whole do
-      add_background v
+      add_background rng v
     done;
-    if frac > 0. && Prng.bernoulli rng frac then add_background v
-  done;
+    if frac > 0. && Prng.bernoulli rng frac then add_background rng v
+  in
+  (* The background pass is the O(n) bulk of content generation, and
+     each node's draws are independent of every other node's — only the
+     shared stream serializes it.  Above the threshold the nodes are cut
+     into fixed-size shards, each fed its own stream split off the
+     parent in shard order; shard boundaries and stream derivation
+     depend only on [n], so the result is identical at every pool width
+     (though not to the single-stream layout below the threshold, which
+     is why figure-scale runs keep the legacy stream bit-for-bit). *)
+  let shard_min = Env.int ~min:1 "RI_PLACE_SHARD_MIN" 32768 in
+  if n < shard_min || Pool.in_job () then
+    for v = 0 to n - 1 do
+      background_for rng v
+    done
+  else begin
+    let shard = 4096 in
+    let shards = (n + shard - 1) / shard in
+    let rngs = Array.init shards (fun _ -> Prng.split rng) in
+    Pool.iter ~chunk:1 ~label:"placement" (Pool.global ()) ~n:shards (fun s ->
+        let rng = rngs.(s) in
+        for v = s * shard to min n (s * shard + shard) - 1 do
+          background_for rng v
+        done)
+  end;
   let summaries =
-    Array.init n (fun v ->
-        Summary.of_counts ~total:totals.(v) ~by_topic:counts.(v))
+    if n < shard_min || Pool.in_job () then
+      Array.init n (fun v ->
+          Summary.of_counts ~total:totals.(v) ~by_topic:counts.(v))
+    else
+      Pool.map_chunked ~chunk:1024 ~label:"placement" (Pool.global ()) ~n
+        (fun v -> Summary.of_counts ~total:totals.(v) ~by_topic:counts.(v))
   in
   { matches; summaries; total_matches = results }
 

@@ -84,6 +84,8 @@ val create :
   ?perturb:float * Ri_content.Compression.error_kind ->
   ?rng:Ri_util.Prng.t ->
   ?mode:build_mode ->
+  ?quant:Ri_core.Rowstore.quant_config ->
+  ?pool:Ri_util.Pool.t ->
   unit ->
   t
 (** [create ~graph ~content ()] builds the network.  Omitting [scheme]
@@ -98,8 +100,37 @@ val create :
     Euclidean distance between the two vectors is greater than a certain
     number"); it keeps geometrically decayed residues from ringing
     around the network.
+
+    [quant] stores RI peer rows in the bit-packed log-quantized format
+    ({!Ri_core.Rowstore.quant_config}) — the compressed-RI memory mode;
+    figure runs leave it off.  On perturbation-free networks of at
+    least [RI_PAR_BUILD_MIN] nodes (default 4096) the RI construction
+    runs level-synchronized across [pool] (default the process pool),
+    producing bit-for-bit the sequential build's state — see the
+    bit-identity notes in the implementation.
     @raise Invalid_argument for CRI + [No_op] on a cyclic graph in
     [Converged] mode, or an out-of-range [Rooted] origin. *)
+
+val of_parts :
+  adj:int array array ->
+  content:content ->
+  scheme_kind:Ri_core.Scheme.kind option ->
+  compression:Ri_content.Compression.t ->
+  cycle_policy:cycle_policy ->
+  min_update:float ->
+  update_distance_floor:float ->
+  rng:Ri_util.Prng.t ->
+  ris:Ri_core.Scheme.t array ->
+  locals:Ri_content.Summary.t array ->
+  converged_iterations:int ->
+  next_wave:int ->
+  unit ->
+  t
+(** Adopt pre-built state wholesale — the snapshot loader's constructor,
+    skipping every build pass.  The arrays are owned by the network
+    afterwards.  The result never perturbs (a perturbation model's rng
+    position is state a snapshot does not capture).
+    @raise Invalid_argument on per-node array length mismatches. *)
 
 val copy : t -> t
 (** An independent clone: adjacency rows, routing indices and projected
@@ -206,3 +237,14 @@ val fresh_wave : t -> int
     deterministic. *)
 
 val rng : t -> Ri_util.Prng.t
+
+val compression : t -> Ri_content.Compression.t
+(** The index-compression model summaries are projected through. *)
+
+val perturbed : t -> bool
+(** Whether a Gaussian perturbation model is configured — such networks
+    cannot be snapshotted or template-cached. *)
+
+val wave_counter : t -> int
+(** The last wave id handed out by {!fresh_wave} (0 before any wave) —
+    persisted by snapshots so provenance stamps stay meaningful. *)

@@ -1,3 +1,4 @@
+open Ri_util
 open Ri_core
 
 type wave_seed = {
@@ -133,9 +134,12 @@ let default_budget net =
    already counted when it was first sent. *)
 type item = Fresh of wave_seed | Due of wave_seed
 
-let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
-    ~already_reached ~counters =
+let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
+    ~counters =
   if Network.has_ri net then begin
+    let emit =
+      match on_event with Some f -> f | None -> fun (_ : event) -> ()
+    in
     (* Safety valve: on an overlay whose mean degree exceeds the assumed
        fanout, deltas amplify instead of decaying (each node's
        accumulated change grows by (degree-1)/F per generation — the
@@ -167,7 +171,10 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
        update wave each consulted row came from.  One int write per
        delivery — cheap enough to leave ungated. *)
     let wave_id = Network.fresh_wave net in
-    let deliver { sender; receiver; payload; baseline; tainted } =
+    (* [forward] receives the onward seeds this delivery generates —
+       the sequential path enqueues them directly, the sharded path
+       buffers them per message for ordered replay. *)
+    let deliver ~forward { sender; receiver; payload; baseline; tainted } =
       let ri = Network.ri net receiver in
       let baseline =
         match baseline with Some _ as b -> b | None -> Scheme.row ri ~peer:sender
@@ -190,7 +197,7 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
       if significant net ~baseline ~payload then begin
         let repeat = Bytes.get reached receiver <> '\000' in
         Bytes.set reached receiver '\001';
-        on_event
+        emit
           (Delivered
              {
                sender;
@@ -219,14 +226,87 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
               ~mutate:(fun () -> Scheme.set_row ri ~peer:sender payload)
           in
           Scheme.stamp_row ri ~peer:sender wave_id;
-          List.iter (fun s -> Queue.add (Fresh s) next) onward
+          List.iter forward onward
         end
       end
       else begin
         Ri_obs.Metrics.incr m_insignificant;
-        on_event
+        emit
           (Delivered { sender; receiver; significant = false; forwarded = false })
       end
+    in
+    let forward_next s = Queue.add (Fresh s) next in
+    (* Sharded rounds.  A round's messages are fixed when it starts
+       (onward exports land in [next], never in [current]), and a
+       delivery only touches its receiver's state: the receiver's RI,
+       the receiver's byte in [reached], and — through
+       [seeds_for_change] — the receiver's own exports.  Grouping the
+       round by receiver therefore makes deliveries to distinct
+       receivers independent, and running each group's messages in
+       round order reproduces the sequential read/write sequence on
+       every store.  Budget, wire and message counters are charged at
+       drain time in pop order ([wire_bytes] reads only the carried
+       seed, so its value cannot depend on earlier deliveries), and the
+       onward seeds are replayed into [next] in round order afterwards
+       — the concatenation is bit-identical to the sequential round.
+       Faulty or observed waves stay sequential: fault draws consume a
+       shared PRNG in delivery order, and an [on_event] observer is
+       entitled to see events as they happen. *)
+    let shard_min = Env.int ~min:1 "RI_WAVE_SHARD_MIN" 64 in
+    let par_pool =
+      if
+        Option.is_none plan && Option.is_none on_event
+        && (not (Network.perturbed net))
+        && not (Pool.in_job ())
+      then
+        let p = match pool with Some p -> p | None -> Pool.global () in
+        if Pool.jobs p > 1 then Some p else None
+      else None
+    in
+    let sharded_round p =
+      let batch = ref [] in
+      while (not (Queue.is_empty current)) && !sent < budget do
+        match Queue.pop current with
+        | Due seed -> batch := seed :: !batch
+        | Fresh seed ->
+            if Network.has_link net seed.sender seed.receiver then begin
+              incr sent;
+              counters.Message.update_messages <-
+                counters.Message.update_messages + 1;
+              let bytes = wire_bytes plan seed in
+              wire := !wire + bytes;
+              counters.Message.update_wire_bytes <-
+                counters.Message.update_wire_bytes + bytes;
+              batch := seed :: !batch
+            end
+      done;
+      let batch = Array.of_list (List.rev !batch) in
+      let n_msgs = Array.length batch in
+      (* Message indices per receiver, receivers in first-appearance
+         order; each group keeps its indices in round order. *)
+      let groups : (int, int list) Hashtbl.t = Hashtbl.create (2 * n_msgs) in
+      let order = ref [] in
+      Array.iteri
+        (fun i s ->
+          match Hashtbl.find_opt groups s.receiver with
+          | Some is -> Hashtbl.replace groups s.receiver (i :: is)
+          | None ->
+              Hashtbl.add groups s.receiver [ i ];
+              order := s.receiver :: !order)
+        batch;
+      let order = Array.of_list (List.rev !order) in
+      let onward = Array.make (max 1 n_msgs) [] in
+      Pool.iter ~label:"update_wave" p ~n:(Array.length order) (fun g ->
+          let is = List.rev (Hashtbl.find groups order.(g)) in
+          List.iter
+            (fun i ->
+              let acc = ref [] in
+              deliver ~forward:(fun s -> acc := s :: !acc) batch.(i);
+              onward.(i) <- List.rev !acc)
+            is);
+      for i = 0 to n_msgs - 1 do
+        List.iter forward_next onward.(i)
+      done
     in
     let more () =
       (not (Queue.is_empty current))
@@ -242,59 +322,71 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
         List.iter (fun (_, s) -> Queue.add (Due s) current) due
       end
       else
-        match Queue.pop current with
-        | Due seed -> deliver seed
-        | Fresh seed when not (Network.has_link net seed.sender seed.receiver)
-          ->
-            (* A row can outlive its link mid-churn: rows drive the
-               exports, so a node whose neighbor just vanished still
-               addresses it until its own cleanup runs.  There is no
-               link to carry the message — nothing is sent or counted,
-               and above all the departed node must not relay the very
-               wave announcing its departure. *)
-            ()
-        | Fresh seed -> (
-            incr sent;
-            counters.Message.update_messages <-
-              counters.Message.update_messages + 1;
-            let bytes = wire_bytes plan seed in
-            wire := !wire + bytes;
-            counters.Message.update_wire_bytes <-
-              counters.Message.update_wire_bytes + bytes;
-            match plan with
-            | Some p when Fault.is_dead p seed.receiver ->
-                Fault.note_drop p ~dead:true;
-                (* No acknowledgement will ever come back from a
-                   crash-stopped neighbor: the sender's failure detector
-                   marks its own row toward the silent node as suspect —
-                   the row still advertises a subtree nothing can reach. *)
-                Fault.note_missed p ~at:seed.sender ~peer:seed.receiver;
-                on_event
-                  (Dropped
-                     { sender = seed.sender; receiver = seed.receiver; dead = true })
-            | Some p when Fault.drop_update p ->
-                Fault.note_drop p ~dead:false;
-                Fault.note_missed p ~at:seed.receiver ~peer:seed.sender;
-                on_event
-                  (Dropped
-                     {
-                       sender = seed.sender;
-                       receiver = seed.receiver;
-                       dead = false;
-                     })
-            | Some p when Fault.delay_update p ->
-                let rounds = 1 + (Fault.spec p).Fault.delay_waves in
-                Fault.note_delay p;
-                (* Until the late message lands the receiver has a
-                   detectable sequence gap, exactly as for a loss; the
-                   eventual delivery heals it through the missed-branch
-                   above. *)
-                Fault.note_missed p ~at:seed.receiver ~peer:seed.sender;
-                delayed := !delayed @ [ (!round + rounds, seed) ];
-                on_event
-                  (Delayed
-                     { sender = seed.sender; receiver = seed.receiver; rounds })
-            | _ -> deliver seed)
+        match par_pool with
+        | Some p when Queue.length current >= shard_min -> sharded_round p
+        | _ -> (
+            match Queue.pop current with
+            | Due seed -> deliver ~forward:forward_next seed
+            | Fresh seed
+              when not (Network.has_link net seed.sender seed.receiver) ->
+                (* A row can outlive its link mid-churn: rows drive the
+                   exports, so a node whose neighbor just vanished still
+                   addresses it until its own cleanup runs.  There is no
+                   link to carry the message — nothing is sent or
+                   counted, and above all the departed node must not
+                   relay the very wave announcing its departure. *)
+                ()
+            | Fresh seed -> (
+                incr sent;
+                counters.Message.update_messages <-
+                  counters.Message.update_messages + 1;
+                let bytes = wire_bytes plan seed in
+                wire := !wire + bytes;
+                counters.Message.update_wire_bytes <-
+                  counters.Message.update_wire_bytes + bytes;
+                match plan with
+                | Some p when Fault.is_dead p seed.receiver ->
+                    Fault.note_drop p ~dead:true;
+                    (* No acknowledgement will ever come back from a
+                       crash-stopped neighbor: the sender's failure
+                       detector marks its own row toward the silent node
+                       as suspect — the row still advertises a subtree
+                       nothing can reach. *)
+                    Fault.note_missed p ~at:seed.sender ~peer:seed.receiver;
+                    emit
+                      (Dropped
+                         {
+                           sender = seed.sender;
+                           receiver = seed.receiver;
+                           dead = true;
+                         })
+                | Some p when Fault.drop_update p ->
+                    Fault.note_drop p ~dead:false;
+                    Fault.note_missed p ~at:seed.receiver ~peer:seed.sender;
+                    emit
+                      (Dropped
+                         {
+                           sender = seed.sender;
+                           receiver = seed.receiver;
+                           dead = false;
+                         })
+                | Some p when Fault.delay_update p ->
+                    let rounds = 1 + (Fault.spec p).Fault.delay_waves in
+                    Fault.note_delay p;
+                    (* Until the late message lands the receiver has a
+                       detectable sequence gap, exactly as for a loss;
+                       the eventual delivery heals it through the
+                       missed-branch above. *)
+                    Fault.note_missed p ~at:seed.receiver ~peer:seed.sender;
+                    delayed := !delayed @ [ (!round + rounds, seed) ];
+                    emit
+                      (Delayed
+                         {
+                           sender = seed.sender;
+                           receiver = seed.receiver;
+                           rounds;
+                         })
+                | _ -> deliver ~forward:forward_next seed))
     done;
     if Ri_obs.Metrics.enabled () then begin
       Ri_obs.Metrics.incr m_waves;
@@ -304,7 +396,7 @@ let wave ?max_messages ?(on_event = fun (_ : event) -> ()) ?plan net ~seeds
     end
   end
 
-let propagate ?on_event ?plan net ~origin ~counters =
+let propagate ?on_event ?plan ?pool net ~origin ~counters =
   if Network.has_ri net then
     let tainted peer =
       match plan with
@@ -323,14 +415,14 @@ let propagate ?on_event ?plan net ~origin ~counters =
           })
         (Network.outgoing_exports net origin)
     in
-    wave ?on_event ?plan net ~seeds ~already_reached:[ origin ] ~counters
+    wave ?on_event ?plan ?pool net ~seeds ~already_reached:[ origin ] ~counters
 
-let local_change ?on_event ?plan net ~origin ~summary ~counters =
+let local_change ?on_event ?plan ?pool net ~origin ~summary ~counters =
   let seeds =
     seeds_for_change ?plan net ~at:origin ~except:[] ~mutate:(fun () ->
         Network.set_local_summary net origin summary)
   in
-  wave ?on_event ?plan net ~seeds ~already_reached:[ origin ] ~counters
+  wave ?on_event ?plan ?pool net ~seeds ~already_reached:[ origin ] ~counters
 
 module Batcher = struct
   type nonrec t = {

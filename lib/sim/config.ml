@@ -29,6 +29,7 @@ type t = {
   bytes : Message.byte_costs;
   update_fraction : float;
   fault : Fault.spec;
+  quant_bits : int option;
   seed : int;
 }
 
@@ -58,6 +59,7 @@ let base =
     bytes = Message.paper_base_bytes;
     update_fraction = 0.05;
     fault = Fault.none;
+    quant_bits = None;
     seed = 42;
   }
 
@@ -96,6 +98,11 @@ let compression t =
   Compression.of_ratio ~topics:t.topics ~ratio:t.compression_ratio
     ~mode:t.compression_mode
 
+let quant t =
+  Option.map
+    (fun bits -> { Rowstore.default_quant with Rowstore.bits })
+    t.quant_bits
+
 let search_name = function
   | No_ri -> "No-RI"
   | Ri k -> Scheme.kind_name k
@@ -118,6 +125,9 @@ let validate t =
   else if t.compression_ratio < 0. || t.compression_ratio >= 1. then
     err "compression_ratio must be in [0, 1)"
   else if t.min_update < 0. then err "min_update must be non-negative"
+  else if
+    match t.quant_bits with Some b -> b < 1 || b > 16 | None -> false
+  then err "quant_bits must be in [1, 16]"
   else
     match Fault.validate t.fault with
     | Error msg -> err "fault spec: %s" msg

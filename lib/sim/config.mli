@@ -60,6 +60,11 @@ type t = {
       (** fault environment for {!Trial.run_query_faulty} and faulty
           updates; {!Ri_p2p.Fault.none} (the base value) leaves every
           code path bit-for-bit identical to the fault-free simulator *)
+  quant_bits : int option;
+      (** store RI rows log-quantized to this many bits per cell
+          ({!Ri_core.Rowstore.default_quant} vmax); [None] — the base
+          value — keeps the exact float format and with it bit-for-bit
+          figure output *)
   seed : int;
 }
 
@@ -102,6 +107,9 @@ val hybrid : t -> Ri_core.Scheme.kind
     fanout. *)
 
 val compression : t -> Ri_content.Compression.t
+
+val quant : t -> Ri_core.Rowstore.quant_config option
+(** The rowstore quantization implied by [quant_bits] (default vmax). *)
 
 val search_name : search -> string
 

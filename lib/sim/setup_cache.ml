@@ -44,6 +44,13 @@ type content_key = {
    stop-condition or byte-cost sweep reuse one template across every
    cell; each access returns [Network.copy template], never the
    template itself, so callers may mutate their copy freely. *)
+(* Where a template's RI state came from.  A snapshot-loaded network
+   has the same configuration fingerprint as a generator-built one but
+   not necessarily the same floats (the snapshot may predate a content
+   tweak, or carry quantized rows), so the provenance is part of the
+   key — the two must never alias one cache slot. *)
+type source = Generated | Snapshot of string
+
 type network_key = {
   n_graph : graph_key;
   n_content : content_key;
@@ -53,6 +60,8 @@ type network_key = {
   n_policy : Ri_p2p.Network.cycle_policy;
   n_min_update : float;
   n_origin : int option;  (* [Rooted] origin; [None] is converged *)
+  n_quant : int option;  (* quantization bits; [None] is exact floats *)
+  n_source : source;
 }
 
 type stats = {
@@ -62,6 +71,8 @@ type stats = {
   content_misses : int;
   network_hits : int;
   network_misses : int;
+  network_generated : int;
+  network_snapshot : int;
 }
 
 (* Trials inside a runner wave execute on separate domains; one mutex
@@ -94,6 +105,10 @@ let n_hits = ref 0
 
 let n_misses = ref 0
 
+let n_generated = ref 0
+
+let n_snapshot = ref 0
+
 (* Bound resident memory rather than entry counts: a 60k-node placement
    is ~15MB while a 300-node one is trivial.  On overflow the table is
    reset wholesale — reuse distances within an experiment sweep are
@@ -122,6 +137,8 @@ let clear () =
   c_misses := 0;
   n_hits := 0;
   n_misses := 0;
+  n_generated := 0;
+  n_snapshot := 0;
   Mutex.unlock lock
 
 let stats () =
@@ -134,6 +151,8 @@ let stats () =
       content_misses = !c_misses;
       network_hits = !n_hits;
       network_misses = !n_misses;
+      network_generated = !n_generated;
+      network_snapshot = !n_snapshot;
     }
   in
   Mutex.unlock lock;
@@ -191,6 +210,11 @@ let content key compute =
    blits preserve bit-identity with a from-scratch build.  With the
    cache disabled the freshly built network is returned as is. *)
 let network key compute =
+  Mutex.lock lock;
+  (match key.n_source with
+  | Generated -> incr n_generated
+  | Snapshot _ -> incr n_snapshot);
+  Mutex.unlock lock;
   if not !cache_enabled then compute ()
   else
     Ri_p2p.Network.copy

@@ -1,0 +1,39 @@
+(** Snapshot persistence for converged trial setups.
+
+    Building a million-node converged network costs minutes; loading
+    its resting state back costs one sequential file read.  A snapshot
+    captures everything a {!Trial.setup} holds that is not derivable
+    from the configuration — overlay adjacency, content placement,
+    query topics and origin, and every routing-index row with its peer
+    iteration order and provenance stamp — into a versioned binary file
+    (magic ["RISNAP01"], one 4096-byte header page, page-aligned
+    sections).
+
+    Determinism contract: each row store's peers are recorded in live
+    iteration order and replayed by {!Ri_core.Rowstore.of_loaded}, and
+    the per-trial PRNG substreams are re-derived exactly as
+    {!Trial.build} derives them — so queries routed on a loaded setup
+    are bit-for-bit the queries the saved setup would have routed.
+
+    A 21-field fingerprint (sizes, seeds, topology, scheme, policy,
+    quantization — float knobs compared by IEEE bit pattern) ties the
+    file to the exact [(config, trial)] that produced it; {!load} under
+    any other configuration fails loudly.  Perturbed networks cannot be
+    saved (their PRNG position is state the file does not capture), and
+    only exact (uncompressed) index configurations are supported. *)
+
+val save :
+  string -> Config.t -> trial:int -> rooted:bool -> Trial.setup -> unit
+(** [save path cfg ~trial ~rooted setup] writes the snapshot.  [rooted]
+    records whether the setup was built with the rooted (downstream-
+    only) construction — it keys the loaded template's cache slot.
+    @raise Invalid_argument on a perturbed, No-RI, or
+    index-compressed setup, or a config/network size mismatch. *)
+
+val load : string -> Config.t -> trial:int -> Trial.setup
+(** [load path cfg ~trial] rebuilds the setup.  The loaded network is
+    registered as a {!Setup_cache} template under a
+    [Setup_cache.Snapshot] source key (never colliding with generator
+    builds), and the returned network is a bit-identical copy of it.
+    @raise Failure on a bad magic, fingerprint mismatch, or corrupt
+    section data. *)

@@ -5,12 +5,19 @@
 
 val export_metrics : unit -> unit
 (** Snapshot current setup-cache and global-pool statistics into
-    gauges ([ri_setup_cache_*], [ri_pool_*]).  Call just before
+    gauges ([ri_setup_cache_*], [ri_pool_*]), including one
+    [ri_pool_shard_*{phase=...}] family per labeled sharding site
+    (update_wave, placement, ri_build): busy/idle domain averages,
+    steal and inline-wave counters, straggler wait.  Call just before
     {!Ri_obs.Metrics.render}. *)
 
 val cache_line : unit -> string
 (** e.g. ["setup-cache: graphs 40 hits / 8 misses (83%), content ..."],
-    or a note that the cache is disabled. *)
+    or a note that the cache is disabled.  When any network template
+    came from a snapshot file the line carries a
+    [[source: generated xN, snapshot xM]] tag. *)
 
 val pool_line : unit -> string
-(** e.g. ["pool: 4 domains, 12 waves / 96 trials (max wave 8), ..."]. *)
+(** e.g. ["pool: 4 domains, 12 waves / 96 trials (max wave 8), ..."];
+    labeled sharding phases append one per-phase efficiency line
+    each. *)

@@ -122,7 +122,9 @@ let build ?(purpose = For_query) ?perturb ?(mutable_placement = false)
             ?scheme:(Config.scheme_kind cfg)
             ~compression:(Config.compression cfg)
             ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update ?perturb
-            ~rng:net_rng ~mode ()
+            ~rng:net_rng ~mode
+            ?quant:(Config.quant cfg)
+            ()
         in
         (* The built network is itself cacheable: a template is shared
            across every sweep cell with the same overlay, content and
@@ -145,6 +147,8 @@ let build ?(purpose = For_query) ?perturb ?(mutable_placement = false)
                 (match mode with
                 | Network.Rooted o -> Some o
                 | Network.Converged -> None);
+              n_quant = cfg.quant_bits;
+              n_source = Setup_cache.Generated;
             }
             fresh)
   in

@@ -82,6 +82,33 @@ module Builder = struct
     { adj; m = t.m }
 end
 
+(* Direct constructor for generators that can emit each node's sorted
+   row independently (and so in parallel).  Validates what can be
+   checked per row in one pass — range, self-loops, strict ascending
+   order, an even half-edge total — but trusts the caller for symmetry:
+   checking it would cost the bsearches the fast path exists to skip. *)
+let of_sorted_adjacency adj =
+  let n = Array.length adj in
+  if n = 0 then invalid_arg "Graph.of_sorted_adjacency: no nodes";
+  let total = ref 0 in
+  Array.iteri
+    (fun u row ->
+      total := !total + Array.length row;
+      let prev = ref (-1) in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg "Graph.of_sorted_adjacency: node id out of range";
+          if v = u then invalid_arg "Graph.of_sorted_adjacency: self-loop";
+          if v <= !prev then
+            invalid_arg "Graph.of_sorted_adjacency: row not strictly ascending";
+          prev := v)
+        row)
+    adj;
+  if !total land 1 = 1 then
+    invalid_arg "Graph.of_sorted_adjacency: odd half-edge count";
+  { adj; m = !total / 2 }
+
 let of_edges ~n edges =
   let b = Builder.create ~n in
   List.iter

@@ -13,6 +13,18 @@ val of_edges : n:int -> (int * int) list -> t
     are rejected.  @raise Invalid_argument on out-of-range endpoints,
     self-loops or duplicates. *)
 
+val of_sorted_adjacency : int array array -> t
+(** [of_sorted_adjacency adj] adopts [adj] directly as the adjacency
+    structure — the zero-copy path for generators that can emit each
+    node's sorted row independently (and build rows in parallel).  The
+    result is identical to {!of_edges} over the same edge set, since
+    sorted adjacency is a function of the edge set alone.  Rows must be
+    strictly ascending and mutually symmetric; symmetry is the caller's
+    obligation and is not checked.  The arrays are owned by the graph
+    afterwards.
+    @raise Invalid_argument on empty input, out-of-range ids,
+    self-loops, unsorted rows, or an odd half-edge total. *)
+
 val n : t -> int
 (** Number of nodes. *)
 

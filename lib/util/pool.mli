@@ -6,9 +6,13 @@
     worker); a pool created with [jobs = 1] owns no domains at all and
     runs every job inline, which is the sequential path.
 
-    A pool has a single submitter at a time: jobs are not re-entrant,
-    and submitting from inside a running job deadlocks.  Item functions
-    run concurrently and must not share unsynchronized mutable state. *)
+    A pool has a single top-level submitter at a time, but submissions
+    are re-entrant in one specific way: an item function that itself
+    calls {!iter} (intra-trial parallel code running inside a runner
+    trial) is detected through a domain-local flag and runs inline,
+    sequentially — the exact loop a 1-job pool would run — instead of
+    deadlocking on the submitter protocol.  Item functions run
+    concurrently and must not share unsynchronized mutable state. *)
 
 type t
 
@@ -18,15 +22,24 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Parallel width, including the submitting domain. *)
 
-val iter : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+val in_job : unit -> bool
+(** Whether the calling domain is currently executing a pool item.  An
+    {!iter} from such a context runs inline; callers that restructure
+    work for parallelism (batching, sharding) can use this to skip the
+    restructuring when it cannot pay off. *)
+
+val iter : ?chunk:int -> ?label:string -> t -> n:int -> (int -> unit) -> unit
 (** [iter t ~n f] runs [f 0 .. f (n-1)], claiming [chunk]-sized slices
     (default [1]) across the pool's domains.  Returns when all [n]
-    items have finished.  On a 1-job pool this is a plain [for] loop,
+    items have finished.  On a 1-job pool — or when called from inside
+    a running pool item, see {!in_job} — this is a plain [for] loop,
     raising as soon as [f] does; on a wider pool the first recorded
     exception is re-raised after in-flight items settle, carrying the
-    backtrace captured in the domain where it was raised. *)
+    backtrace captured in the domain where it was raised.  [label]
+    attributes the wave to a named phase in {!label_stats}. *)
 
-val map_chunked : ?chunk:int -> t -> n:int -> (int -> 'a) -> 'a array
+val map_chunked :
+  ?chunk:int -> ?label:string -> t -> n:int -> (int -> 'a) -> 'a array
 (** [map_chunked t ~n f] is [[| f 0; ...; f (n-1) |]], computed like
     {!iter}.  Results land at their own index, so the output order is
     deterministic regardless of scheduling. *)
@@ -51,7 +64,28 @@ type stats = {
 
 val stats : t -> stats
 
+(** Per-phase utilization, keyed by the [label] passed to {!iter} —
+    the parallel-efficiency numbers behind the shard gauges in
+    [Ri_obs.Metrics].  Unlabeled waves only feed {!stats}. *)
+type label_stats = {
+  l_waves : int;  (** waves under this label, inline runs included *)
+  l_items : int;  (** total shard indices *)
+  l_busy : int;  (** sum over waves of domains that claimed a chunk *)
+  l_steals : int;
+      (** chunks claimed by non-submitting domains — work that actually
+          migrated off the submitter *)
+  l_idle : int;
+      (** sum over waves of domains that never claimed a chunk — the
+          imbalance counter: idle capacity while the wave ran *)
+  l_inline : int;  (** waves that ran sequentially (nested or 1-job) *)
+  l_wait_s : float;  (** submitter straggler wait, as in {!stats} *)
+}
+
+val label_stats : t -> (string * label_stats) list
+(** Sorted by label name. *)
+
 val reset_stats : t -> unit
+(** Clears both the aggregate counters and every label's. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** Create, run, and always shut down (exception-safe). *)

@@ -98,6 +98,35 @@ let test_determinism () =
   Alcotest.(check bool) "same seed same placement" true
     (a.Placement.matches = b.Placement.matches)
 
+(* Above RI_PLACE_SHARD_MIN the background pass runs in fixed 4096-node
+   shards, each on a stream split off the parent in shard order: the
+   layout may depend only on [n] and the seed, never on how many pool
+   domains drained the shards.  9000 nodes exercises three shards. *)
+let test_shard_determinism_across_widths () =
+  let with_env name value f =
+    let old = Sys.getenv_opt name in
+    Unix.putenv name value;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv name (match old with Some v -> v | None -> ""))
+      f
+  in
+  with_env "RI_PLACE_SHARD_MIN" "64" (fun () ->
+      let build jobs =
+        let prev = Pool.jobs (Pool.global ()) in
+        Pool.set_global_jobs jobs;
+        Fun.protect
+          ~finally:(fun () -> Pool.set_global_jobs prev)
+          (fun () ->
+            distribute ~seed:5 ~n:9000 ~results:400 ~background:2.0 ())
+      in
+      let a = build 1 in
+      let b = build 4 in
+      Alcotest.(check bool) "matches equal" true
+        (a.Placement.matches = b.Placement.matches);
+      Alcotest.(check bool) "summaries bit-identical" true
+        (a.Placement.summaries = b.Placement.summaries))
+
 let prop_matches_nonnegative_and_conserved =
   QCheck.Test.make ~name:"matches are non-negative and sum to QR" ~count:50
     QCheck.(pair (int_range 1 400) (int_range 0 500))
@@ -120,5 +149,7 @@ let suite =
       Alcotest.test_case "multi-topic ground truth" `Quick test_multi_topic_query_ground_truth;
       Alcotest.test_case "validation" `Quick test_validation;
       Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "shard layout invariant under pool width" `Quick
+        test_shard_determinism_across_widths;
       QCheck_alcotest.to_alcotest prop_matches_nonnegative_and_conserved;
     ] )

@@ -112,6 +112,52 @@ let test_shutdown_rejects () =
     (Invalid_argument "Pool.iter: pool is shut down") (fun () ->
       Pool.iter pool ~n:1 (fun _ -> ()))
 
+(* A submission from inside a running job must not wait on the pool (the
+   outer wave can never finish while its domain blocks) — it runs
+   inline, and [in_job] reports the nesting. *)
+let test_nested_iter_inline () =
+  Alcotest.(check bool) "not in a job outside" false (Pool.in_job ());
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let sums = Array.make 8 0 in
+      let nested = Array.make 8 false in
+      Pool.iter pool ~n:8 (fun i ->
+          nested.(i) <- Pool.in_job ();
+          let acc = ref 0 in
+          Pool.iter pool ~n:5 (fun j -> acc := !acc + j);
+          sums.(i) <- !acc);
+      Array.iteri
+        (fun i ok ->
+          Alcotest.(check bool) (Printf.sprintf "slot %d saw in_job" i) true ok;
+          Alcotest.(check int) (Printf.sprintf "slot %d inner sum" i) 10 sums.(i))
+        nested);
+  Alcotest.(check bool) "flag restored" false (Pool.in_job ())
+
+let test_label_stats_accounting () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Pool.iter ~label:"phase_a" pool ~n:10 (fun _ -> ());
+      Pool.iter ~label:"phase_a" pool ~n:6 (fun _ -> ());
+      Pool.iter ~label:"phase_b" pool ~n:4 (fun _ ->
+          Pool.iter ~label:"phase_c" pool ~n:3 (fun _ -> ()));
+      let stats = Pool.label_stats pool in
+      Alcotest.(check (list string))
+        "labels sorted" [ "phase_a"; "phase_b"; "phase_c" ]
+        (List.map fst stats);
+      let get name = List.assoc name stats in
+      let a = get "phase_a" in
+      Alcotest.(check int) "a waves" 2 a.Pool.l_waves;
+      Alcotest.(check int) "a items" 16 a.Pool.l_items;
+      let b = get "phase_b" in
+      Alcotest.(check int) "b waves" 1 b.Pool.l_waves;
+      Alcotest.(check int) "b items" 4 b.Pool.l_items;
+      (* The nested phase_c waves ran inline, one per phase_b item. *)
+      let c = get "phase_c" in
+      Alcotest.(check int) "c waves" 4 c.Pool.l_waves;
+      Alcotest.(check int) "c items" 12 c.Pool.l_items;
+      Alcotest.(check int) "c all inline" 4 c.Pool.l_inline;
+      Pool.reset_stats pool;
+      Alcotest.(check int) "labels cleared" 0
+        (List.length (Pool.label_stats pool)))
+
 (* ------------------------------------------------------------------ *)
 (* Parallel runs are bit-identical to sequential ones.                 *)
 
@@ -204,6 +250,122 @@ let test_cache_matches_fresh () =
       Alcotest.(check bool) "content hits happened" true
         (s.Setup_cache.content_hits > 0))
 
+(* ------------------------------------------------------------------ *)
+(* Intra-trial parallelism: sharded phases are bit-identical to the    *)
+(* sequential paths at every pool width.                               *)
+
+(* One Int64 over every local summary and RI row of the network
+   (FNV-style over IEEE bit patterns), in deterministic node/peer
+   order: two networks fingerprint equal only if their entire routing
+   state is bit-identical. *)
+let net_fingerprint net =
+  let open Ri_p2p in
+  let h = ref 0xcbf29ce484222325L in
+  let mix bits = h := Int64.mul (Int64.logxor !h bits) 0x100000001b3L in
+  let mix_f v = mix (Int64.bits_of_float v) in
+  let mix_summary s =
+    mix_f s.Ri_content.Summary.total;
+    Array.iter mix_f s.Ri_content.Summary.by_topic
+  in
+  for v = 0 to Network.size net - 1 do
+    mix (Int64.of_int v);
+    mix_summary (Network.local_summary net v);
+    if Network.has_ri net then begin
+      let ri = Network.ri net v in
+      List.iter
+        (fun peer ->
+          mix (Int64.of_int peer);
+          match Ri_core.Scheme.row ri ~peer with
+          | None -> ()
+          | Some (Ri_core.Scheme.Vector s) -> mix_summary s
+          | Some (Ri_core.Scheme.Hop_vector rows) -> Array.iter mix_summary rows)
+        (List.sort compare (Ri_core.Scheme.peers ri))
+    end
+  done;
+  !h
+
+let with_global_jobs jobs f =
+  let prev = Pool.jobs (Pool.global ()) in
+  Pool.set_global_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_global_jobs prev) f
+
+(* Receiver-sharded update rounds (RI_WAVE_SHARD_MIN=1 makes every
+   round eligible) must leave the network and the wave counters exactly
+   where the sequential drain leaves them. *)
+let test_sharded_wave_matches_sequential () =
+  with_env "RI_WAVE_SHARD_MIN" "1" (fun () ->
+      List.iter
+        (fun (name, search) ->
+          let cfg = Config.with_search small search in
+          let run jobs =
+            with_global_jobs jobs (fun () ->
+                Setup_cache.clear ();
+                let setup = Trial.build ~purpose:Trial.For_update cfg ~trial:2 in
+                let m = Trial.run_update_on cfg setup in
+                (m, net_fingerprint setup.Trial.network))
+          in
+          let m1, f1 = run 1 in
+          let m4, f4 = run 4 in
+          Alcotest.(check int)
+            (name ^ " messages") m1.Trial.update_messages m4.Trial.update_messages;
+          Alcotest.(check int)
+            (name ^ " wire bytes") m1.Trial.update_wire_bytes
+            m4.Trial.update_wire_bytes;
+          Alcotest.(check int64) (name ^ " network state") f1 f4)
+        [
+          ("cri", Config.Ri Config.cri);
+          ("eri", Config.Ri (Config.eri small));
+        ])
+
+(* Faulty waves carry a plan and must take the sequential path whatever
+   the pool width: the whole faulty trial is width-invariant. *)
+let test_faulty_trial_width_invariant () =
+  with_env "RI_WAVE_SHARD_MIN" "1" (fun () ->
+      let fault =
+        {
+          Ri_p2p.Fault.none with
+          Ri_p2p.Fault.update_loss = 0.3;
+          drift = 0.2;
+          crash = 0.05;
+        }
+      in
+      let cfg =
+        { (Config.with_search small (Config.Ri Config.cri)) with Config.fault }
+      in
+      let run jobs =
+        with_global_jobs jobs (fun () ->
+            Setup_cache.clear ();
+            Trial.run_query_faulty cfg ~trial:3)
+      in
+      let a = run 1 in
+      let b = run 4 in
+      Alcotest.(check int) "messages" a.Trial.f_query.Trial.messages
+        b.Trial.f_query.Trial.messages;
+      Alcotest.(check int) "found" a.Trial.f_query.Trial.found
+        b.Trial.f_query.Trial.found;
+      Alcotest.(check int) "drift messages" a.Trial.f_drift_messages
+        b.Trial.f_drift_messages;
+      Alcotest.(check int) "repair messages" a.Trial.f_repair_messages
+        b.Trial.f_repair_messages)
+
+(* The parallel RI construction (RI_PAR_BUILD_MIN=1 opens it to small
+   networks) must produce the same network as the sequential build. *)
+let test_parallel_build_matches_sequential () =
+  with_env "RI_PAR_BUILD_MIN" "1" (fun () ->
+      List.iter
+        (fun (name, purpose) ->
+          let cfg = Config.with_search small (Config.Ri (Config.eri small)) in
+          let build jobs =
+            with_global_jobs jobs (fun () ->
+                Setup_cache.clear ();
+                let setup = Trial.build ~purpose cfg ~trial:1 in
+                net_fingerprint setup.Trial.network)
+          in
+          Alcotest.(check int64) (name ^ " state") (build 1) (build 4))
+        [
+          ("rooted", Trial.For_query); ("converged", Trial.For_update);
+        ])
+
 let suite =
   ( "pool-and-parallelism",
     [
@@ -214,8 +376,17 @@ let suite =
       Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
       Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
       Alcotest.test_case "shutdown rejects submissions" `Quick test_shutdown_rejects;
+      Alcotest.test_case "nested iter runs inline" `Quick test_nested_iter_inline;
+      Alcotest.test_case "label stats accounting" `Quick
+        test_label_stats_accounting;
       Alcotest.test_case "parallel = sequential (bit-identical)" `Quick
         test_parallel_matches_sequential;
       Alcotest.test_case "cached setups match fresh builds" `Quick
         test_cache_matches_fresh;
+      Alcotest.test_case "sharded wave = sequential wave (bit-identical)" `Quick
+        test_sharded_wave_matches_sequential;
+      Alcotest.test_case "faulty trial invariant under pool width" `Quick
+        test_faulty_trial_width_invariant;
+      Alcotest.test_case "parallel build = sequential build (bit-identical)"
+        `Quick test_parallel_build_matches_sequential;
     ] )
