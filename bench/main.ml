@@ -17,7 +17,10 @@
      RI_TRIALS      max trials per data point (default 30; the 95%/10% CI
                     rule usually stops earlier)
      RI_JOBS        trial-level parallelism (see Ri_util.Pool)
-     RI_MICRO       set to 0 to skip the Bechamel section
+     RI_MICRO       set to 0 to skip the Bechamel + tail-latency sections
+     RI_QUANTILE_REPS
+                    timed reps per micro in the tail-latency pass
+                    (default 200)
      RI_SCALE_NODES comma-separated sizes for an additional scale sweep
                     (e.g. 2000,10000; default off — the 100k point takes
                     minutes)
@@ -88,6 +91,11 @@ let run_figures () =
 (* Part 2: Bechamel timings.                                           *)
 
 open Bechamel
+
+(* The raw ns clock from bechamel's stubs, grabbed before [open
+   Toolkit] shadows the name with its same-named MEASURE instance. *)
+module Clock = Monotonic_clock
+
 open Toolkit
 
 (* One trial of each figure's base configuration, at a fixed small scale
@@ -109,63 +117,68 @@ let fresh_cache counter =
   end;
   incr counter
 
-let trial_test name cfg =
+(* Each micro is a (name, thunk) pair: the same thunk feeds Bechamel's
+   OLS fit (mean ns/run) and the tail-latency pass (p50/p95/p99), so
+   both numbers describe the identical code path.  Builders return
+   fresh closures, so each pass starts from its own rotation counter
+   and a cleared cache. *)
+let trial_micro name cfg =
   let counter = ref 0 in
-  Test.make ~name
-    (Staged.stage (fun () ->
-         fresh_cache counter;
-         ignore (Trial.run_query cfg ~trial:(!counter mod 8))))
+  ( name,
+    fun () ->
+      fresh_cache counter;
+      ignore (Trial.run_query cfg ~trial:(!counter mod 8)) )
 
-let update_trial_test name cfg =
+let update_trial_micro name cfg =
   let counter = ref 0 in
-  Test.make ~name
-    (Staged.stage (fun () ->
-         fresh_cache counter;
-         ignore (Trial.run_update cfg ~trial:(!counter mod 8))))
+  ( name,
+    fun () ->
+      fresh_cache counter;
+      ignore (Trial.run_update cfg ~trial:(!counter mod 8)) )
 
-let figure_tests =
+let figure_micros () =
   [
     (* fig13: scheme comparison - one ERI query trial. *)
-    trial_test "fig13-eri-query"
+    trial_micro "fig13-eri-query"
       (Config.with_search micro_base (Config.Ri (Config.eri micro_base)));
     (* fig14: requested results - a 100-result CRI query trial. *)
-    trial_test "fig14-stop100-cri"
+    trial_micro "fig14-stop100-cri"
       (Config.with_search
          { micro_base with Config.stop_condition = 100 }
          (Config.Ri Config.cri));
     (* fig15: compression - an 80%-compressed ERI query trial. *)
-    trial_test "fig15-compressed"
+    trial_micro "fig15-compressed"
       (Config.with_search
          { micro_base with Config.compression_ratio = 0.8 }
          (Config.Ri (Config.eri micro_base)));
     (* fig16: cycles - ERI query on a tree with extra links. *)
-    trial_test "fig16-tree-cycles"
+    trial_micro "fig16-tree-cycles"
       (Config.with_search
          { micro_base with Config.topology = Config.Tree_with_cycles { extra_links = 33 } }
          (Config.Ri (Config.eri micro_base)));
     (* fig17: topology - ERI query on a power-law overlay. *)
-    trial_test "fig17-powerlaw"
+    trial_micro "fig17-powerlaw"
       (Config.with_search
          (Config.with_topology micro_base Config.Power_law_graph)
          (Config.Ri (Config.eri micro_base)));
     (* fig18: update cost - one CRI update batch. *)
-    update_trial_test "fig18-cri-update"
+    update_trial_micro "fig18-cri-update"
       (Config.with_search micro_base (Config.Ri Config.cri));
     (* fig19: update cost under cycles - ERI update on tree+cycles. *)
-    update_trial_test "fig19-eri-update-cycles"
+    update_trial_micro "fig19-eri-update-cycles"
       (Config.with_search
          { micro_base with Config.topology = Config.Tree_with_cycles { extra_links = 33 } }
          (Config.Ri (Config.eri micro_base)));
     (* fig20: the byte-cost study combines query and update trials; the
        No-RI query side is its distinct ingredient. *)
-    trial_test "fig20-no-ri-query" (Config.with_search micro_base Config.No_ri);
+    trial_micro "fig20-no-ri-query" (Config.with_search micro_base Config.No_ri);
     (* flooding comparison. *)
-    trial_test "flood-query"
+    trial_micro "flood-query"
       (Config.with_search micro_base (Config.Flooding { ttl = None }));
   ]
 
 (* Micro-benchmarks of the core operations. *)
-let core_tests =
+let core_micros () =
   let open Ri_content in
   let open Ri_core in
   let width = 30 in
@@ -192,39 +205,41 @@ let core_tests =
   let boxed_row = Summary.make ~total:row.(0) ~by_topic:(Array.sub row 1 width) in
   let boxed_acc = Summary.scale summary 2. in
   [
-    Test.make ~name:"core-estimator-goodness"
-      (Staged.stage (fun () -> ignore (Estimator.goodness summary [ 3; 17 ])));
-    Test.make ~name:"core-summary-boxed"
-      (Staged.stage (fun () ->
-           ignore
-             (Summary.scale (Summary.sub (Summary.add boxed_acc boxed_row) boxed_row) 1.)));
-    Test.make ~name:"core-summary-inplace"
-      (Staged.stage (fun () ->
-           Vecf.add_slice ~dst:flat ~dst_pos:0 row ~src_pos:0
-             ~len:(width + 1);
-           Vecf.sub_clamp_slice ~dst:flat ~dst_pos:0 row ~src_pos:0
-             ~len:(width + 1);
-           Vecf.scale_slice flat ~pos:0 ~len:(width + 1) 1.));
-    Test.make ~name:"update-delta-wave"
-      (Staged.stage (fun () -> ignore (Trial.run_update_on micro_base upd_setup)));
-    Test.make ~name:"core-export-all-100-peers"
-      (Staged.stage (fun () -> ignore (Scheme.export_all big_ri)));
-    Test.make ~name:"core-rank-100-peers"
-      (Staged.stage (fun () -> ignore (Scheme.rank big_ri ~query:[ 3 ] ~exclude:[])));
-    Test.make ~name:"core-query-prebuilt-net"
-      (Staged.stage (fun () ->
-           ignore
-             (Ri_p2p.Query.run setup.Trial.network ~origin:setup.Trial.origin
-                ~query:setup.Trial.query ~forwarding:Ri_p2p.Query.Ri_guided)));
+    ( "core-estimator-goodness",
+      fun () -> ignore (Estimator.goodness summary [ 3; 17 ]) );
+    ( "core-summary-boxed",
+      fun () ->
+        ignore
+          (Summary.scale (Summary.sub (Summary.add boxed_acc boxed_row) boxed_row) 1.)
+    );
+    ( "core-summary-inplace",
+      fun () ->
+        Vecf.add_slice ~dst:flat ~dst_pos:0 row ~src_pos:0 ~len:(width + 1);
+        Vecf.sub_clamp_slice ~dst:flat ~dst_pos:0 row ~src_pos:0
+          ~len:(width + 1);
+        Vecf.scale_slice flat ~pos:0 ~len:(width + 1) 1. );
+    ( "update-delta-wave",
+      fun () -> ignore (Trial.run_update_on micro_base upd_setup) );
+    ("core-export-all-100-peers", fun () -> ignore (Scheme.export_all big_ri));
+    ( "core-rank-100-peers",
+      fun () -> ignore (Scheme.rank big_ri ~query:[ 3 ] ~exclude:[]) );
+    ( "core-query-prebuilt-net",
+      fun () ->
+        ignore
+          (Ri_p2p.Query.run setup.Trial.network ~origin:setup.Trial.origin
+             ~query:setup.Trial.query ~forwarding:Ri_p2p.Query.Ri_guided) );
   ]
 
-let run_bechamel () =
+let run_bechamel micros =
   Printf.printf
     "=====================================================================\n\
      Bechamel timings (one Test.make per figure at %d nodes, plus core ops)\n\
      =====================================================================\n\n%!"
     micro_nodes;
-  let test = Test.make_grouped ~name:"ri" ~fmt:"%s %s" (figure_tests @ core_tests) in
+  let tests =
+    List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) micros
+  in
+  let test = Test.make_grouped ~name:"ri" ~fmt:"%s %s" tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -256,6 +271,52 @@ let run_bechamel () =
         rows;
       print_newline ();
       rows
+
+(* Tail-latency pass: Bechamel's OLS fit gives the mean cost per run;
+   the p95/p99 columns need each repetition timed individually.  A
+   short warmup settles caches and the minor heap, then every timed rep
+   lands in a quantile sketch (1% relative error) — the same structure
+   the simulator's live telemetry uses, so the BENCH JSON and /metrics
+   agree on what a quantile means.  RI_QUANTILE_REPS sets the rep count
+   (default 200); the p99 values feed the RI_BENCH_P99 regression
+   gate. *)
+let quantile_reps = Env.int ~min:10 "RI_QUANTILE_REPS" 200
+
+let run_quantiles micros =
+  Printf.printf
+    "Tail latency (%d timed reps per micro, DDSketch alpha %.0f%%)\n\n"
+    quantile_reps
+    (100. *. Ri_obs.Sketch.default_alpha);
+  let sample (name, fn) =
+    for _ = 1 to 10 do
+      fn ()
+    done;
+    let sk = Ri_obs.Sketch.create () in
+    for _ = 1 to quantile_reps do
+      let t0 = Clock.now () in
+      fn ();
+      let t1 = Clock.now () in
+      Ri_obs.Sketch.add sk (Int64.to_float (Int64.sub t1 t0))
+    done;
+    (name, sk)
+  in
+  let rows = List.map sample micros in
+  let pretty ns =
+    if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  Printf.printf "%-36s %12s %12s %12s\n" "benchmark" "p50" "p95" "p99";
+  Printf.printf "%s\n" (String.make 75 '-');
+  List.iter
+    (fun (name, sk) ->
+      let q p = Ri_obs.Sketch.quantile sk p in
+      Printf.printf "%-36s %12s %12s %12s\n" name
+        (pretty (q 0.5)) (pretty (q 0.95)) (pretty (q 0.99)))
+    rows;
+  print_newline ();
+  rows
 
 (* Minor words allocated per run of the hot operations, measured by
    hand around a fixed repetition count (Bechamel's allocation probes
@@ -315,7 +376,7 @@ let run_scale () =
 (* Tiny hand-rolled emitter: the only strings are our own benchmark ids
    (alphanumerics and dashes), so escaping is a non-issue. *)
 let write_json ~figures ~figure_words ~sections ~cache ~micro ~minor_words
-    ~scale =
+    ~quantiles ~scale =
   if json_path <> "" then begin
     let buf = Buffer.create 4096 in
     let entry fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -423,6 +484,17 @@ let write_json ~figures ~figure_words ~sections ~cache ~micro ~minor_words
     | words ->
         map "micro_minor_words_per_run" words (fun (name, w) ->
             entry "    \"%s\": %.1f" name w));
+    (* Per-micro tail latency; the p99 values are what RI_BENCH_P99=1
+       gates in bench/regress. *)
+    (match quantiles with
+    | [] -> ()
+    | rows ->
+        map "micro_quantiles_ns" rows (fun (name, sk) ->
+            let q p = Ri_obs.Sketch.quantile sk p in
+            entry
+              "    \"%s\": {\"count\": %d, \"p50\": %.1f, \"p95\": %.1f, \
+               \"p99\": %.1f}"
+              name (Ri_obs.Sketch.count sk) (q 0.5) (q 0.95) (q 0.99)));
     entry "  \"micro_ns_per_run\": {\n";
     let n = List.length micro in
     List.iteri
@@ -449,11 +521,19 @@ let () =
   Setup_cache.clear ();
   Gc.compact ();
   let with_micro = Env.int ~min:0 "RI_MICRO" 1 <> 0 in
-  let micro = if with_micro then run_bechamel () else [] in
+  let micro =
+    if with_micro then run_bechamel (figure_micros () @ core_micros ()) else []
+  in
+  (* Fresh closures for the tail pass: each micro restarts its trial
+     rotation from a cleared cache, exactly like the Bechamel pass. *)
+  let quantiles =
+    if with_micro then run_quantiles (figure_micros () @ core_micros ())
+    else []
+  in
   let minor_words = if with_micro then run_minor_words () else [] in
   let scale = run_scale () in
   write_json
     ~figures:(List.rev !figure_seconds)
     ~figure_words:(List.rev !figure_minor_words)
     ~sections:(List.rev !section_seconds)
-    ~cache ~micro ~minor_words ~scale
+    ~cache ~micro ~minor_words ~quantiles ~scale

@@ -3,9 +3,11 @@
    Compares the microbenchmark ns/run figures of a fresh
    BENCH_results.json against a committed baseline and exits nonzero
    when any micro slowed down by more than the threshold
-   (RI_BENCH_THRESHOLD percent, default 15).  Wired into CI and
-   `make bench-check`; the comparison itself lives in
-   Ri_experiments.Regress so it is unit-testable.
+   (RI_BENCH_THRESHOLD percent, default 15).  RI_BENCH_P99=1
+   additionally gates the p99 tail values of micro_quantiles_ns at the
+   same threshold.  Wired into CI and `make bench-check`; the
+   comparison itself lives in Ri_experiments.Regress so it is
+   unit-testable.
 
    Usage: regress.exe [BASELINE [RESULTS]]
      BASELINE  defaults to BENCH_baseline.json (missing -> warn, exit 0,
@@ -38,8 +40,9 @@ let () =
     Ri_util.Env.float "RI_BENCH_THRESHOLD"
       Ri_experiments.Regress.default_threshold
   in
+  let gate_p99 = Ri_util.Env.bool "RI_BENCH_P99" false in
   match
-    Ri_experiments.Regress.compare ~threshold
+    Ri_experiments.Regress.compare ~threshold ~gate_p99
       ~baseline:(read_file baseline_path)
       ~results:(read_file results_path) ()
   with

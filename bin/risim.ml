@@ -177,14 +177,105 @@ let decisions_t =
   in
   Arg.(value & opt (some string) None & info [ "decisions" ] ~docv:"FILE" ~doc)
 
+let spans_t =
+  let doc =
+    "Record causal spans — a root span per query or update wave \
+     parenting per-hop, retry, fallback and per-round children — and \
+     write them to $(docv).  Span ids and timestamps are deterministic \
+     logical ticks, so the output is byte-identical at any $(b,--jobs) \
+     width."
+  in
+  Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
+
+let span_format_t =
+  let doc =
+    "Span file format: $(b,jsonl) (one span per line), $(b,chrome) \
+     (Chrome trace_event JSON with flow arrows for Perfetto) or \
+     $(b,otlp) (OTLP/HTTP-shaped resourceSpans JSON)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome); ("otlp", `Otlp) ]) `Jsonl
+    & info [ "span-format" ] ~docv:"FORMAT" ~doc)
+
+let serve_obs_t =
+  let doc =
+    "Serve live observability over HTTP on 127.0.0.1:$(docv) while the \
+     run executes: $(b,/metrics) (Prometheus text, counters + quantile \
+     summaries), $(b,/progress) (JSON phase / trial counts / sketch \
+     snapshots / ETA) and $(b,/healthz).  Implies metric recording."
+  in
+  Arg.(value & opt (some int) None & info [ "serve-obs" ] ~docv:"PORT" ~doc)
+
+(* Atomic replace so a concurrent scrape of the file never reads a
+   half-written exposition. *)
+let write_metrics_file file =
+  let text = Telemetry.render_metrics () in
+  if file = "-" then print_string text
+  else begin
+    let tmp = file ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc text;
+    close_out oc;
+    Sys.rename tmp file
+  end
+
+(* RI_OBS_FLUSH_SEC=N flushes the --metrics file every N seconds from a
+   helper domain, so a long sweep's metrics are scrapeable mid-run even
+   without --serve-obs.  Sleeping in short steps keeps shutdown prompt. *)
+let start_flusher metrics =
+  let period = Ri_util.Env.float ~min:0.01 "RI_OBS_FLUSH_SEC" 0. in
+  match metrics with
+  | Some file when file <> "-" && period > 0. ->
+      let stop = Atomic.make false in
+      let dom =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              let slept = ref 0. in
+              while (not (Atomic.get stop)) && !slept < period do
+                Unix.sleepf 0.05;
+                slept := !slept +. 0.05
+              done;
+              if not (Atomic.get stop) then
+                try write_metrics_file file with Sys_error _ -> ()
+            done)
+      in
+      Some (stop, dom)
+  | _ -> None
+
+let stop_flusher = function
+  | None -> ()
+  | Some (stop, dom) ->
+      Atomic.set stop true;
+      Domain.join dom
+
 (* Enable recording before the run, export files after.  Metrics go out
    with the cache/pool gauges refreshed so one file carries the whole
-   picture. *)
-let with_obs metrics trace fmt decisions f =
-  if metrics <> None then Ri_obs.Metrics.set_enabled true;
+   picture.  The HTTP server and the periodic flusher are torn down even
+   when the run raises. *)
+let with_obs ?(serve = None) ?(spans = None) ?(span_fmt = `Jsonl) metrics trace
+    fmt decisions f =
+  if metrics <> None || serve <> None then Ri_obs.Metrics.set_enabled true;
   if trace <> None then Ri_obs.Trace.start ();
   if decisions <> None then Ri_obs.Decision.start ();
-  let result = f () in
+  if spans <> None then Ri_obs.Span.start ();
+  let server =
+    Option.map
+      (fun port ->
+        let s = Ri_obs.Serve.start ~port ~metrics:Telemetry.render_metrics () in
+        Printf.printf "obs endpoint: http://127.0.0.1:%d (/metrics /progress /healthz)\n%!"
+          (Ri_obs.Serve.port s);
+        s)
+      serve
+  in
+  let flusher = start_flusher metrics in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        stop_flusher flusher;
+        Option.iter Ri_obs.Serve.stop server)
+      f
+  in
   (match trace with
   | None -> ()
   | Some file ->
@@ -199,19 +290,28 @@ let with_obs metrics trace fmt decisions f =
       Ri_obs.Decision.stop ();
       Ri_obs.Decision.export_jsonl file;
       Printf.printf "decisions written to %s\n" file);
+  (match spans with
+  | None -> ()
+  | Some file ->
+      Ri_obs.Span.stop ();
+      (match span_fmt with
+      | `Jsonl -> Ri_obs.Span.export_jsonl file
+      | `Chrome -> Ri_obs.Span.export_chrome file
+      | `Otlp -> Ri_obs.Span.export_otlp file);
+      Printf.printf "spans written to %s\n" file);
   (match metrics with
   | None -> ()
   | Some file ->
-      Telemetry.export_metrics ();
-      let text = Ri_obs.Metrics.render () in
-      if file = "-" then print_string text
-      else begin
-        let oc = open_out file in
-        output_string oc text;
-        close_out oc;
-        Printf.printf "metrics written to %s\n" file
-      end);
+      write_metrics_file file;
+      if file <> "-" then Printf.printf "metrics written to %s\n" file);
   result
+
+(* Printed next to the cache/pool summary lines; empty unless the run
+   recorded metrics. *)
+let print_gc_table () =
+  match Telemetry.gc_lines () with
+  | [] -> ()
+  | lines -> List.iter print_endline lines
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands.                                                        *)
@@ -262,6 +362,7 @@ let run_experiments ?csv_dir ids nodes seed trials rel_error =
         | None -> Some (id, "unknown experiment (try `risim list')")
         | Some e -> (
             try
+              Ri_obs.Serve.Progress.set_label id;
               let t0 = Unix.gettimeofday () in
               let report = e.Ri_experiments.Registry.run ~base ~spec in
               Ri_experiments.Report.print report;
@@ -288,6 +389,7 @@ let run_experiments ?csv_dir ids nodes seed trials rel_error =
   (* Surface the run's execution telemetry: what the setup cache saved
      and how wide the trial pool actually ran. *)
   Printf.printf "%s\n%s\n" (Telemetry.cache_line ()) (Telemetry.pool_line ());
+  print_gc_table ();
   match failures with
   | [] -> `Ok ()
   | failed ->
@@ -306,9 +408,9 @@ let run_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run ids nodes seed trials rel_error csv_dir jobs metrics trace fmt
-      decisions =
+      decisions spans span_fmt serve =
     apply_jobs jobs;
-    with_obs metrics trace fmt decisions (fun () ->
+    with_obs ~serve ~spans ~span_fmt metrics trace fmt decisions (fun () ->
         run_experiments ?csv_dir ids nodes seed trials rel_error)
   in
   Cmd.v
@@ -317,20 +419,20 @@ let run_cmd =
       ret
         (const run $ ids_t $ nodes_t $ seed_t $ trials_t $ rel_error_t
        $ csv_dir_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t
-       $ decisions_t))
+       $ decisions_t $ spans_t $ span_format_t $ serve_obs_t))
 
 let all_cmd =
   let with_extensions_t =
     Arg.(value & flag & info [ "extensions" ] ~doc:"Also run the ablations.")
   in
   let run nodes seed trials rel_error with_extensions jobs metrics trace fmt
-      decisions =
+      decisions spans span_fmt serve =
     apply_jobs jobs;
     let ids =
       Ri_experiments.Registry.ids
       @ if with_extensions then Ri_experiments.Registry.extension_ids else []
     in
-    with_obs metrics trace fmt decisions (fun () ->
+    with_obs ~serve ~spans ~span_fmt metrics trace fmt decisions (fun () ->
         run_experiments ids nodes seed trials rel_error)
   in
   Cmd.v
@@ -339,7 +441,7 @@ let all_cmd =
       ret
         (const run $ nodes_t $ seed_t $ trials_t $ rel_error_t
        $ with_extensions_t $ jobs_t $ metrics_t $ trace_t $ trace_format_t
-       $ decisions_t))
+       $ decisions_t $ spans_t $ span_format_t $ serve_obs_t))
 
 let print_query_metrics cfg ~nodes ~trial (m : Trial.query_metrics) =
   Printf.printf
@@ -354,7 +456,7 @@ let print_query_metrics cfg ~nodes ~trial (m : Trial.query_metrics) =
 
 let query_cmd =
   let run nodes seed topology search trial loss crash delay drift metrics
-      trace fmt decisions =
+      trace fmt decisions spans span_fmt serve =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
@@ -364,15 +466,16 @@ let query_cmd =
     | Error msg -> `Error (false, msg)
     | Ok () when not (Ri_p2p.Fault.active fault) ->
         let m =
-          with_obs metrics trace fmt decisions (fun () ->
-              Trial.run_query cfg ~trial)
+          with_obs ~serve ~spans ~span_fmt metrics trace fmt decisions
+            (fun () -> Trial.run_query cfg ~trial)
         in
         print_query_metrics cfg ~nodes ~trial m;
+        print_gc_table ();
         `Ok ()
     | Ok () ->
         let m =
-          with_obs metrics trace fmt decisions (fun () ->
-              Trial.run_query_faulty cfg ~trial)
+          with_obs ~serve ~spans ~span_fmt metrics trace fmt decisions
+            (fun () -> Trial.run_query_faulty cfg ~trial)
         in
         print_query_metrics cfg ~nodes ~trial m.Trial.f_query;
         let st = m.Trial.f_stats in
@@ -386,6 +489,7 @@ let query_cmd =
           st.Ri_p2p.Fault.update_delays st.Ri_p2p.Fault.timeouts
           st.Ri_p2p.Fault.retries_used st.Ri_p2p.Fault.fallbacks
           st.Ri_p2p.Fault.repairs;
+        print_gc_table ();
         `Ok ()
   in
   let trial_t =
@@ -397,7 +501,8 @@ let query_cmd =
       ret
         (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
        $ fault_loss_t $ fault_crash_t $ fault_delay_t $ fault_drift_t
-       $ metrics_t $ trace_t $ trace_format_t $ decisions_t))
+       $ metrics_t $ trace_t $ trace_format_t $ decisions_t $ spans_t
+       $ span_format_t $ serve_obs_t))
 
 let topology_cmd =
   let run nodes seed topology =
@@ -436,7 +541,8 @@ let topology_cmd =
     Term.(const run $ nodes_t $ seed_t $ topology_t)
 
 let update_cmd =
-  let run nodes seed topology search trial metrics trace fmt decisions =
+  let run nodes seed topology search trial metrics trace fmt decisions spans
+      span_fmt serve =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
@@ -444,8 +550,8 @@ let update_cmd =
     | Error msg -> `Error (false, msg)
     | Ok () ->
         let m =
-          with_obs metrics trace fmt decisions (fun () ->
-              Trial.run_update cfg ~trial)
+          with_obs ~serve ~spans ~span_fmt metrics trace fmt decisions
+            (fun () -> Trial.run_update cfg ~trial)
         in
         Printf.printf
           "search=%s topology=%s nodes=%d trial=%d\n\
@@ -454,6 +560,7 @@ let update_cmd =
           (Config.topology_name cfg.Config.topology)
           nodes trial m.Trial.update_messages m.Trial.update_bytes
           m.Trial.update_wire_bytes;
+        print_gc_table ();
         `Ok ()
   in
   let trial_t =
@@ -464,7 +571,8 @@ let update_cmd =
     Term.(
       ret
         (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
-       $ metrics_t $ trace_t $ trace_format_t $ decisions_t))
+       $ metrics_t $ trace_t $ trace_format_t $ decisions_t $ spans_t
+       $ span_format_t $ serve_obs_t))
 
 let scale_cmd =
   let sizes_t =
@@ -516,7 +624,7 @@ let scale_cmd =
     Arg.(value & flag & info [ "par-compare" ] ~doc)
   in
   let run nodes seed trials rel_error sizes json big compress snapshot
-      par_compare jobs metrics trace fmt decisions =
+      par_compare jobs metrics trace fmt decisions spans span_fmt serve =
     apply_jobs jobs;
     let base = base_config nodes seed in
     let spec = spec_of trials rel_error in
@@ -541,7 +649,7 @@ let scale_cmd =
       }
     in
     let swept =
-      with_obs metrics trace fmt decisions (fun () ->
+      with_obs ~serve ~spans ~span_fmt metrics trace fmt decisions (fun () ->
           try Ok (Ri_experiments.Fig_scale.sweep ?sizes ~opts ~base ~spec ())
           with Invalid_argument msg -> Error msg)
     in
@@ -555,6 +663,7 @@ let scale_cmd =
             (Ri_experiments.Fig_scale.compress_report_of points);
         Printf.printf "%s\n%s\n" (Telemetry.cache_line ())
           (Telemetry.pool_line ());
+        print_gc_table ();
         (match json with
         | None -> ()
         | Some file ->
@@ -584,7 +693,8 @@ let scale_cmd =
       ret
         (const run $ nodes_t $ seed_t $ trials_t $ rel_error_t $ sizes_t
        $ json_t $ big_t $ compress_t $ snapshot_t $ par_compare_t $ jobs_t
-       $ metrics_t $ trace_t $ trace_format_t $ decisions_t))
+       $ metrics_t $ trace_t $ trace_format_t $ decisions_t $ spans_t
+       $ span_format_t $ serve_obs_t))
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -730,6 +840,7 @@ let report_cmd =
                             in
                             match
                               Ri_experiments.Regress.compare_values ~threshold
+                                ~gate_p99:(Ri_util.Env.bool "RI_BENCH_P99" false)
                                 ~baseline:b ~results:j
                             with
                             | Error e -> errors := e :: !errors
@@ -776,6 +887,31 @@ let report_cmd =
         (const run $ bench_t $ baseline_t $ decisions_file_t $ metrics_file_t
        $ out_t $ html_t))
 
+let json_verify_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSON file to validate.")
+  in
+  let run file =
+    if not (Sys.file_exists file) then
+      `Error (false, file ^ ": no such file")
+    else
+      match Ri_util.Json.parse (read_file file) with
+      | Ok _ ->
+          Printf.printf "%s: valid JSON\n" file;
+          `Ok ()
+      | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+  in
+  Cmd.v
+    (Cmd.info "json-verify"
+       ~doc:
+         "Validate a file against the simulator's strict RFC 8259 JSON \
+          parser — what CI runs over the /progress endpoint's output and \
+          exported artifacts")
+    Term.(ret (const run $ file_t))
+
 let () =
   Printexc.record_backtrace true;
   let doc = "Routing Indices for Peer-to-Peer Systems - simulator" in
@@ -794,4 +930,5 @@ let () =
             scale_cmd;
             explain_cmd;
             report_cmd;
+            json_verify_cmd;
           ]))

@@ -308,23 +308,25 @@ let of_bench json =
 (* Regression gate -> table.                                            *)
 
 let of_regression (o : Regress.outcome) =
+  let row suffix (v : Regress.verdict) =
+    [
+      v.name ^ suffix;
+      cell_f "%.1f" v.baseline_ns;
+      cell_f "%.1f" v.current_ns;
+      cell_f "%+.1f%%" ((v.ratio -. 1.) *. 100.);
+      (if v.regressed then "REGRESSED" else "ok");
+    ]
+  in
   {
     title = "Regression gate";
     header = [ "micro"; "baseline ns"; "current ns"; "delta"; "verdict" ];
     rows =
-      List.map
-        (fun (v : Regress.verdict) ->
-          [
-            v.name;
-            cell_f "%.1f" v.baseline_ns;
-            cell_f "%.1f" v.current_ns;
-            cell_f "%+.1f%%" ((v.ratio -. 1.) *. 100.);
-            (if v.regressed then "REGRESSED" else "ok");
-          ])
-        o.verdicts
-      @ List.map (fun n -> [ n; "-"; "-"; "-"; "missing" ]) o.missing;
+      List.map (row "") o.verdicts
+      @ List.map (fun n -> [ n; "-"; "-"; "-"; "missing" ]) o.missing
+      @ List.map (row " (p99)") o.p99_verdicts;
     notes =
-      [ Printf.sprintf "Threshold: +%.0f%% per microbenchmark." o.threshold ];
+      Printf.sprintf "Threshold: +%.0f%% per microbenchmark." o.threshold
+      :: (match o.p99_note with Some n -> [ n ] | None -> []);
   }
 
 (* ------------------------------------------------------------------ *)

@@ -182,6 +182,11 @@ let measure ?(opts = default_opts) ~base ~spec n =
   | Error msg -> invalid_arg ("Fig_scale.measure: " ^ msg));
   let queries = max 1 spec.Runner.max_trials in
   let waves = max 1 spec.Runner.min_trials in
+  (* This sweep bypasses Runner, so it reports its own progress: one
+     "trial" per timed operation at this size. *)
+  Ri_obs.Serve.Progress.begin_run
+    ~label:(Printf.sprintf "scale n=%d" n)
+    ~total:(queries + waves) ();
   let t0 = now () in
   let setup_q = Trial.build cfg ~trial:0 in
   let setup_u = Trial.build ~purpose:Trial.For_update cfg ~trial:0 in
@@ -192,11 +197,14 @@ let measure ?(opts = default_opts) ~base ~spec n =
       opts.o_snapshot
   in
   let qps, q_words =
-    rate queries (fun _ -> ignore (Trial.run_query_on cfg setup_q))
+    rate queries (fun i ->
+        Ri_obs.Serve.Progress.set_trials i;
+        ignore (Trial.run_query_on cfg setup_q))
   in
   let wire = ref 0 in
   let wps, w_words =
-    rate waves (fun _ ->
+    rate waves (fun i ->
+        Ri_obs.Serve.Progress.set_trials (queries + i);
         let m = Trial.run_update_on cfg setup_u in
         wire := !wire + m.Trial.update_wire_bytes)
   in

@@ -20,6 +20,8 @@ type outcome = {
   verdicts : verdict list;  (* baseline name order (sorted) *)
   missing : string list;  (* in the baseline but absent from results *)
   threshold : float;  (* percent slowdown tolerated *)
+  p99_verdicts : verdict list;  (* tail gate rows; empty unless it ran *)
+  p99_note : string option;  (* why the tail gate was skipped *)
 }
 
 let default_threshold = 15.
@@ -37,58 +39,97 @@ let micro_map label json =
   | Some _ -> Error (label ^ ": micro_ns_per_run is not an object")
   | None -> Error (label ^ ": no micro_ns_per_run section (RI_MICRO=0 run?)")
 
-let compare_values ~threshold ~baseline ~results =
+(* The p99 section written by the bench's tail-latency pass: each micro
+   maps to an object carrying p50/p95/p99 in ns.  [None] when the file
+   predates the pass (old baselines) — the tail gate then skips with a
+   note rather than failing, so committed baselines age gracefully. *)
+let quantile_map json =
+  match Json.member "micro_quantiles_ns" json with
+  | Some (Json.Obj kvs) ->
+      Some
+        (List.sort compare
+           (List.filter_map
+              (fun (k, v) ->
+                match Option.bind (Json.member "p99" v) Json.to_float with
+                | Some f -> Some (k, f)
+                | None -> None)
+              kvs))
+  | _ -> None
+
+(* Names only in the results are new benchmarks with nothing to compare
+   against; they are simply not gated. *)
+let judge ~threshold base cur =
+  let verdicts, missing =
+    List.fold_left
+      (fun (vs, miss) (name, baseline_ns) ->
+        match List.assoc_opt name cur with
+        | None -> (vs, name :: miss)
+        | Some current_ns ->
+            let ratio =
+              if baseline_ns > 0. then current_ns /. baseline_ns else 1.
+            in
+            let regressed =
+              baseline_ns > 0.
+              && current_ns > baseline_ns *. (1. +. (threshold /. 100.))
+            in
+            ({ name; baseline_ns; current_ns; ratio; regressed } :: vs, miss))
+      ([], []) base
+  in
+  (List.rev verdicts, List.rev missing)
+
+let compare_values ~gate_p99 ~threshold ~baseline ~results =
   match (micro_map "baseline" baseline, micro_map "results" results) with
   | Error e, _ | _, Error e -> Error e
   | Ok base, Ok cur ->
-      let verdicts, missing =
-        List.fold_left
-          (fun (vs, miss) (name, baseline_ns) ->
-            match List.assoc_opt name cur with
-            | None -> (vs, name :: miss)
-            | Some current_ns ->
-                let ratio =
-                  if baseline_ns > 0. then current_ns /. baseline_ns else 1.
-                in
-                let regressed =
-                  baseline_ns > 0.
-                  && current_ns > baseline_ns *. (1. +. (threshold /. 100.))
-                in
-                ({ name; baseline_ns; current_ns; ratio; regressed } :: vs, miss))
-          ([], []) base
+      let verdicts, missing = judge ~threshold base cur in
+      let p99_verdicts, p99_note =
+        if not gate_p99 then ([], None)
+        else
+          match (quantile_map baseline, quantile_map results) with
+          | None, _ ->
+              ([], Some "p99 gate skipped: baseline has no micro_quantiles_ns")
+          | _, None ->
+              ([], Some "p99 gate skipped: results have no micro_quantiles_ns")
+          | Some b, Some c ->
+              let vs, _miss = judge ~threshold b c in
+              (vs, None)
       in
-      (* Names only in the results are new benchmarks with nothing to
-         compare against; they are simply not gated. *)
-      Ok
-        {
-          verdicts = List.rev verdicts;
-          missing = List.rev missing;
-          threshold;
-        }
+      Ok { verdicts; missing; threshold; p99_verdicts; p99_note }
 
-let compare ?(threshold = default_threshold) ~baseline ~results () =
+let compare ?(threshold = default_threshold) ?(gate_p99 = false) ~baseline
+    ~results () =
   match (Json.parse baseline, Json.parse results) with
   | Error e, _ -> Error ("baseline: " ^ e)
   | _, Error e -> Error ("results: " ^ e)
-  | Ok b, Ok r -> compare_values ~threshold ~baseline:b ~results:r
+  | Ok b, Ok r -> compare_values ~gate_p99 ~threshold ~baseline:b ~results:r
 
-let any_regressed o = List.exists (fun v -> v.regressed) o.verdicts
+let any_regressed o =
+  List.exists (fun v -> v.regressed) o.verdicts
+  || List.exists (fun v -> v.regressed) o.p99_verdicts
 
 let render o =
   let buf = Buffer.create 1024 in
   Printf.bprintf buf
     "bench regression gate: %d micros, threshold +%.0f%%\n"
     (List.length o.verdicts) o.threshold;
-  List.iter
-    (fun v ->
-      Printf.bprintf buf "  %-28s %10.1f ns -> %10.1f ns  %+6.1f%%%s\n" v.name
-        v.baseline_ns v.current_ns
-        ((v.ratio -. 1.) *. 100.)
-        (if v.regressed then "  REGRESSED" else ""))
-    o.verdicts;
+  let row v =
+    Printf.bprintf buf "  %-28s %10.1f ns -> %10.1f ns  %+6.1f%%%s\n" v.name
+      v.baseline_ns v.current_ns
+      ((v.ratio -. 1.) *. 100.)
+      (if v.regressed then "  REGRESSED" else "")
+  in
+  List.iter row o.verdicts;
   List.iter
     (fun name -> Printf.bprintf buf "  %-28s missing from results\n" name)
     o.missing;
+  (match o.p99_note with
+  | Some note -> Printf.bprintf buf "%s\n" note
+  | None -> ());
+  if o.p99_verdicts <> [] then begin
+    Printf.bprintf buf "p99 tail gate (RI_BENCH_P99): %d micros\n"
+      (List.length o.p99_verdicts);
+    List.iter row o.p99_verdicts
+  end;
   (if any_regressed o then
      Printf.bprintf buf "FAIL: regression over +%.0f%% detected\n" o.threshold
    else Printf.bprintf buf "OK: no micro regressed more than +%.0f%%\n"

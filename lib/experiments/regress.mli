@@ -20,6 +20,14 @@ type outcome = {
   verdicts : verdict list;  (** in sorted baseline name order *)
   missing : string list;  (** in the baseline, absent from the results *)
   threshold : float;  (** percent slowdown tolerated *)
+  p99_verdicts : verdict list;
+      (** tail-latency rows from [micro_quantiles_ns] p99 values; empty
+          unless the gate ran ([gate_p99] and both files carry the
+          section) *)
+  p99_note : string option;
+      (** set when [gate_p99] was requested but a side lacks
+          [micro_quantiles_ns] (e.g. a baseline predating the
+          tail-latency pass) — the gate skips instead of failing *)
 }
 
 val default_threshold : float
@@ -28,15 +36,21 @@ val default_threshold : float
 
 val compare :
   ?threshold:float ->
+  ?gate_p99:bool ->
   baseline:string ->
   results:string ->
   unit ->
   (outcome, string) result
 (** Parse two BENCH json documents (raw file contents) and compare their
     micro sections.  [Error] on malformed JSON or a document without a
-    [micro_ns_per_run] object (e.g. an [RI_MICRO=0] smoke run). *)
+    [micro_ns_per_run] object (e.g. an [RI_MICRO=0] smoke run).  With
+    [gate_p99] (bench/regress sets it from [RI_BENCH_P99=1]) the p99
+    values of [micro_quantiles_ns] are additionally gated at the same
+    threshold — a micro whose mean holds but whose tail blew up fails
+    the run. *)
 
 val compare_values :
+  gate_p99:bool ->
   threshold:float ->
   baseline:Ri_util.Json.t ->
   results:Ri_util.Json.t ->

@@ -1,0 +1,160 @@
+(* Per-phase GC and allocation profiling.
+
+   Phase.time wraps each phase body with a Gc.quick_stat delta; the
+   deltas accumulate here per phase name.  quick_stat reads the
+   counters of the calling domain only, so a phase that runs on a pool
+   worker charges that worker's allocation — the numbers answer "what
+   does one execution of this phase allocate and collect", not "what
+   did the whole process do meanwhile".  Accumulation takes a mutex:
+   phases fire a few times per trial, never per message, so the lock is
+   nowhere near any hot path, and capture only happens when metric
+   recording is on at all (Phase.time's gate). *)
+
+type acc = {
+  mutable samples : int;
+  mutable minor_words : float;
+  mutable promoted_words : float;
+  mutable major_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  mutable compactions : int;
+  mutable top_heap_words : int;  (* max observed after any sample *)
+}
+
+type stat = {
+  g_phase : string;
+  g_samples : int;
+  g_minor_words : float;
+  g_promoted_words : float;
+  g_major_words : float;
+  g_minor_collections : int;
+  g_major_collections : int;
+  g_compactions : int;
+  g_top_heap_words : int;
+}
+
+let lock = Mutex.create ()
+
+let table : (string, acc) Hashtbl.t = Hashtbl.create 16
+
+let record name ~minor (before : Gc.stat) (after : Gc.stat) =
+  Mutex.lock lock;
+  let a =
+    match Hashtbl.find_opt table name with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            samples = 0;
+            minor_words = 0.;
+            promoted_words = 0.;
+            major_words = 0.;
+            minor_collections = 0;
+            major_collections = 0;
+            compactions = 0;
+            top_heap_words = 0;
+          }
+        in
+        Hashtbl.add table name a;
+        a
+  in
+  a.samples <- a.samples + 1;
+  a.minor_words <- a.minor_words +. minor;
+  a.promoted_words <-
+    a.promoted_words +. (after.Gc.promoted_words -. before.Gc.promoted_words);
+  a.major_words <- a.major_words +. (after.Gc.major_words -. before.Gc.major_words);
+  a.minor_collections <-
+    a.minor_collections + (after.Gc.minor_collections - before.Gc.minor_collections);
+  a.major_collections <-
+    a.major_collections + (after.Gc.major_collections - before.Gc.major_collections);
+  a.compactions <- a.compactions + (after.Gc.compactions - before.Gc.compactions);
+  if after.Gc.top_heap_words > a.top_heap_words then
+    a.top_heap_words <- after.Gc.top_heap_words;
+  Mutex.unlock lock
+
+(* The capture run by Phase.time.  quick_stat is a handful of loads —
+   cheap enough for phase granularity, far too hot for per-message
+   sites.  Minor words come from [Gc.minor_words] instead: quick_stat's
+   field only advances at collection boundaries, which would read 0 for
+   any phase that fits inside one minor heap. *)
+let wrap name f =
+  let mw0 = Gc.minor_words () in
+  let before = Gc.quick_stat () in
+  let finally () =
+    record name ~minor:(Gc.minor_words () -. mw0) before (Gc.quick_stat ())
+  in
+  Fun.protect ~finally f
+
+let stats () =
+  Mutex.lock lock;
+  let xs =
+    Hashtbl.fold
+      (fun name a acc ->
+        {
+          g_phase = name;
+          g_samples = a.samples;
+          g_minor_words = a.minor_words;
+          g_promoted_words = a.promoted_words;
+          g_major_words = a.major_words;
+          g_minor_collections = a.minor_collections;
+          g_major_collections = a.major_collections;
+          g_compactions = a.compactions;
+          g_top_heap_words = a.top_heap_words;
+        }
+        :: acc)
+      table []
+  in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare a.g_phase b.g_phase) xs
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock
+
+(* Gauges carry cumulative words/collections per phase; registration is
+   idempotent so export can create them lazily at snapshot time. *)
+let export_metrics () =
+  List.iter
+    (fun s ->
+      let g what help =
+        Metrics.gauge ~help ~labels:[ ("phase", s.g_phase) ] ("ri_gc_" ^ what)
+      in
+      let setf what help v = Metrics.set (g what help) v in
+      setf "minor_words" "Minor words allocated inside this phase." s.g_minor_words;
+      setf "promoted_words" "Words promoted to the major heap inside this phase."
+        s.g_promoted_words;
+      setf "major_words" "Major-heap words allocated inside this phase."
+        s.g_major_words;
+      setf "minor_collections" "Minor collections triggered inside this phase."
+        (float_of_int s.g_minor_collections);
+      setf "major_collections" "Major collection slices inside this phase."
+        (float_of_int s.g_major_collections);
+      setf "compactions" "Heap compactions inside this phase."
+        (float_of_int s.g_compactions);
+      setf "top_heap_words" "Peak heap words observed at this phase's boundary."
+        (float_of_int s.g_top_heap_words))
+    (stats ())
+
+let mb words = words *. 8. /. 1e6
+
+(* Per-run summary table, printed by the CLI next to the cache/pool
+   lines when metrics were on. *)
+let table_lines () =
+  match stats () with
+  | [] -> []
+  | xs ->
+      let header =
+        Printf.sprintf "%-12s %8s %12s %12s %10s %8s %8s %10s" "gc/phase"
+          "samples" "minor MB" "major MB" "promoted" "min gc" "maj gc"
+          "peak MB"
+      in
+      header
+      :: List.map
+           (fun s ->
+             Printf.sprintf "%-12s %8d %12.1f %12.1f %9.1fM %8d %8d %10.1f"
+               s.g_phase s.g_samples (mb s.g_minor_words) (mb s.g_major_words)
+               (s.g_promoted_words /. 1e6)
+               s.g_minor_collections s.g_major_collections
+               (mb (float_of_int s.g_top_heap_words)))
+           xs

@@ -1,0 +1,41 @@
+(** Per-phase GC and allocation profiling.
+
+    {!Phase.time} captures a [Gc.quick_stat] delta around every phase
+    body (only when metric recording is on); the deltas accumulate here
+    per phase name.  [quick_stat] reads the calling domain's counters,
+    so a phase executed on a pool worker charges that worker's
+    allocation — per-phase cost, not whole-process activity.
+
+    Exported as [ri_gc_*{phase=...}] gauges (minor/promoted/major
+    words, minor/major collections, compactions, peak heap) and a
+    per-run summary table. *)
+
+type stat = {
+  g_phase : string;
+  g_samples : int;
+  g_minor_words : float;
+  g_promoted_words : float;
+  g_major_words : float;
+  g_minor_collections : int;
+  g_major_collections : int;
+  g_compactions : int;
+  g_top_heap_words : int;  (** max observed at any sample boundary *)
+}
+
+val wrap : string -> (unit -> 'a) -> 'a
+(** [wrap phase f] runs [f] between two [Gc.quick_stat] reads and
+    accumulates the delta under [phase].  Called by {!Phase.time};
+    robust to [f] raising. *)
+
+val stats : unit -> stat list
+(** Accumulated per-phase deltas, sorted by phase name. *)
+
+val reset : unit -> unit
+
+val export_metrics : unit -> unit
+(** Snapshot {!stats} into [ri_gc_*{phase=...}] gauges.  Call before
+    {!Metrics.render}. *)
+
+val table_lines : unit -> string list
+(** Human-readable per-run summary table (header + one line per
+    phase); empty when nothing was recorded. *)

@@ -8,7 +8,15 @@
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time phase f] runs [f], observing its duration under [phase] when
-    metrics are enabled; exactly [f ()] otherwise. *)
+    metrics are enabled — into the fixed-bucket histogram, the
+    [ri_phase_wall_seconds{phase=...}] quantile sketch ({!Sketch}), and
+    the per-phase GC delta accumulator ({!Gcprof}); exactly [f ()]
+    otherwise. *)
+
+val current : unit -> string
+(** The most recently entered (still running) phase, [""] outside any —
+    what the [/progress] endpoint reports.  Nested phases restore the
+    enclosing name on exit. *)
 
 val totals : unit -> (string * int * float) list
 (** [(phase, samples, total_seconds)] for every phase seen so far,

@@ -1,0 +1,230 @@
+(* Causal span tracing.
+
+   Trace records flat events; spans add the causal structure the
+   latency work needs: a query span parents its hop, retry and fallback
+   child spans, an update-wave span parents its per-round spans.  The
+   buffering, (unit, trial) merge rule and byte-identity contract are
+   Keyed_log's, shared with Trace and Decision.
+
+   Determinism: span ids are the per-trial creation index (seq), and
+   start/finish timestamps are logical ticks drawn from a per-trial
+   counter — both functions of (unit, trial, seq) only, never of wall
+   clock or pool scheduling, so every export below is byte-identical at
+   any --jobs width. *)
+
+type arg = Trace.arg = Int of int | Float of float | Str of string | Bool of bool
+
+type record = {
+  sid : int;  (* per-trial creation index *)
+  parent : int;  (* parent sid, -1 for a root *)
+  name : string;
+  cat : string;
+  t0 : int;  (* logical tick at enter *)
+  mutable t1 : int;  (* logical tick at finish *)
+  mutable args : (string * arg) list;
+}
+
+module Log = Keyed_log.Make (struct
+  type t = record
+end)
+
+(* The wrapper adds the per-trial id and tick counters; records are
+   pushed at enter (creation order = sid order) and mutated in place at
+   finish — rendering happens only after the run, so it always sees the
+   final state. *)
+type sink = { log : Log.sink; mutable next_sid : int; mutable tick : int }
+
+type span = record
+
+let dummy =
+  { sid = -1; parent = -1; name = ""; cat = ""; t0 = 0; t1 = 0; args = [] }
+
+let null = { log = Log.null; next_sid = 0; tick = 0 }
+
+let is_live s = Log.is_live s.log
+
+let recording = Log.recording
+
+let start = Log.start
+
+let stop = Log.stop
+
+let clear = Log.clear
+
+let next_unit = Log.next_unit
+
+let with_trial ~trial f =
+  Log.with_trial ~trial (fun log -> f { log; next_sid = 0; tick = 0 })
+
+let enter s ?parent ?(cat = "sim") name args =
+  if not (Log.is_live s.log) then dummy
+  else begin
+    let sid = s.next_sid in
+    s.next_sid <- sid + 1;
+    let t0 = s.tick in
+    s.tick <- t0 + 1;
+    let r =
+      {
+        sid;
+        parent = (match parent with Some p -> p.sid | None -> -1);
+        name;
+        cat;
+        t0;
+        t1 = t0;
+        args;
+      }
+    in
+    Log.push s.log r;
+    r
+  end
+
+let finish s span ?(args = []) () =
+  if Log.is_live s.log && span != dummy then begin
+    span.t1 <- s.tick;
+    s.tick <- s.tick + 1;
+    if args <> [] then span.args <- span.args @ args
+  end
+
+(* [enter] then [finish] with no ticks in between: a point-like child
+   (one hop, one retry) that still carries causal order. *)
+let instant s ?parent ?cat name args =
+  let sp = enter s ?parent ?cat name args in
+  finish s sp ();
+  sp
+
+let spans = Log.events
+
+(* ------------------------------------------------------------------ *)
+(* Export.                                                             *)
+
+let escape = Ri_util.Json.escape
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.9g" f
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Bool b -> string_of_bool b
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (arg_json v)) args)
+  ^ "}"
+
+let render_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ((u, trial), rs) ->
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"unit\":%d,\"trial\":%d,\"span\":%d,\"parent\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"t0\":%d,\"t1\":%d,\"args\":%s}\n"
+               u trial r.sid r.parent (escape r.cat) (escape r.name) r.t0 r.t1
+               (args_json r.args)))
+        rs)
+    (spans ());
+  Buffer.contents buf
+
+(* Chrome trace_event export: one complete ("X") event per span plus a
+   flow start/finish pair ("s"/"f") from parent to child, so Perfetto
+   draws the causal arrows.  pid = unit, tid = trial, ts = logical
+   tick; flow ids are "unit:trial:sid" strings, unique by
+   construction. *)
+let render_chrome () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_char buf ',';
+        Buffer.add_string buf "\n";
+        Buffer.add_string buf s)
+      fmt
+  in
+  List.iter
+    (fun ((u, trial), rs) ->
+      let by_sid = Hashtbl.create (2 * List.length rs) in
+      List.iter (fun r -> Hashtbl.replace by_sid r.sid r) rs;
+      List.iter
+        (fun r ->
+          emit
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"args\":%s}"
+            (escape r.name) (escape r.cat) u trial r.t0
+            (max 1 (r.t1 - r.t0))
+            (args_json r.args);
+          if r.parent >= 0 && Hashtbl.mem by_sid r.parent then begin
+            let p = Hashtbl.find by_sid r.parent in
+            let id = Printf.sprintf "%d:%d:%d" u trial r.sid in
+            emit
+              "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"s\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"id\":\"%s\"}"
+              (escape p.name) u trial p.t0 id;
+            emit
+              "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"id\":\"%s\"}"
+              (escape r.name) u trial r.t0 id
+          end)
+        rs)
+    (spans ());
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* OTLP-style JSON (the shape of an OTLP/HTTP trace export, logical
+   ticks standing in for the nano timestamps).  Ids derive from
+   (unit, trial, seq) alone: traceId is the 32-hex (unit, trial) pair,
+   spanId the 16-hex (unit, trial, sid) triple. *)
+let trace_id u t = Printf.sprintf "%016x%016x" u t
+
+let span_id u t sid =
+  Printf.sprintf "%04x%04x%08x" (u land 0xffff) (t land 0xffff)
+    (sid land 0xffffffff)
+
+let otlp_value = function
+  | Int i -> Printf.sprintf "{\"intValue\":\"%d\"}" i
+  | Float f -> Printf.sprintf "{\"doubleValue\":%.9g}" f
+  | Str s -> Printf.sprintf "{\"stringValue\":\"%s\"}" (escape s)
+  | Bool b -> Printf.sprintf "{\"boolValue\":%b}" b
+
+let otlp_attributes args =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "{\"key\":\"%s\",\"value\":%s}" (escape k)
+             (otlp_value v))
+         args)
+  ^ "]"
+
+let render_otlp () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\"resourceSpans\":[{\"resource\":{\"attributes\":[{\"key\":\"service.name\",\"value\":{\"stringValue\":\"risim\"}}]},\"scopeSpans\":[{\"scope\":{\"name\":\"ri_obs.span\"},\"spans\":[";
+  let first = ref true in
+  List.iter
+    (fun ((u, trial), rs) ->
+      List.iter
+        (fun r ->
+          if !first then first := false else Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n{\"traceId\":\"%s\",\"spanId\":\"%s\",\"parentSpanId\":\"%s\",\"name\":\"%s\",\"kind\":1,\"startTimeUnixNano\":\"%d\",\"endTimeUnixNano\":\"%d\",\"attributes\":%s}"
+               (trace_id u trial) (span_id u trial r.sid)
+               (if r.parent >= 0 then span_id u trial r.parent else "")
+               (escape r.name) r.t0 r.t1
+               (otlp_attributes
+                  (("cat", Str r.cat) :: ("trial", Int trial) :: r.args))))
+        rs)
+    (spans ());
+  Buffer.add_string buf "\n]}]}]}\n";
+  Buffer.contents buf
+
+let export path render =
+  let oc = open_out path in
+  output_string oc (render ());
+  close_out oc
+
+let export_jsonl path = export path render_jsonl
+
+let export_chrome path = export path render_chrome
+
+let export_otlp path = export path render_otlp

@@ -1,0 +1,97 @@
+(** Causal span tracing.
+
+    Where {!Trace} records flat events, spans carry causal structure: a
+    query span parents its per-hop, retry and fallback children; an
+    update-wave span parents its per-round children.  Buffering and
+    merging follow the {!Keyed_log} rule — per-trial sinks, merged by
+    [(unit, trial)] — so every export is byte-identical at any [--jobs]
+    width, including faulty trials.
+
+    Span identity is fully deterministic: the span id is the per-trial
+    creation index and timestamps are per-trial logical ticks, both
+    functions of [(unit, trial, seq)] only.  Exported ids derive from
+    that triple ([trace_id]/[span_id] for the OTLP form,
+    ["unit:trial:sid"] for Chrome flow events). *)
+
+type arg = Trace.arg = Int of int | Float of float | Str of string | Bool of bool
+
+type record = {
+  sid : int;  (** per-trial creation index *)
+  parent : int;  (** parent sid, [-1] for a root *)
+  name : string;
+  cat : string;
+  t0 : int;  (** logical tick at enter *)
+  mutable t1 : int;  (** logical tick at finish *)
+  mutable args : (string * arg) list;
+}
+
+type sink
+(** Per-trial recording handle: a {!Keyed_log} sink plus the trial's
+    span-id and tick counters.  Not domain-safe — confined to the
+    domain running the trial, like [Trace.sink]. *)
+
+type span
+(** Handle to an open (or finished) span, used to parent children. *)
+
+val null : sink
+(** Inert sink: [enter] returns a dummy, [finish] is a no-op. *)
+
+val is_live : sink -> bool
+
+val recording : unit -> bool
+
+val start : unit -> unit
+(** Enable recording and clear previously collected spans. *)
+
+val stop : unit -> unit
+
+val clear : unit -> unit
+
+val next_unit : unit -> unit
+(** Advance the unit-of-work id (one per data point); trials recorded
+    afterwards key under the new unit. *)
+
+val with_trial : trial:int -> (sink -> 'a) -> 'a
+(** Run one trial's body with a live sink (inert when recording is
+    off); publishes the trial's spans into the shared store on exit,
+    even on exception. *)
+
+val enter : sink -> ?parent:span -> ?cat:string -> string -> (string * arg) list -> span
+(** Open a span.  [cat] defaults to ["sim"]. *)
+
+val finish : sink -> span -> ?args:(string * arg) list -> unit -> unit
+(** Close a span, stamping its end tick and appending [args]. *)
+
+val instant :
+  sink -> ?parent:span -> ?cat:string -> string -> (string * arg) list -> span
+(** [enter] immediately followed by [finish]: a point-like child (one
+    hop, one retry) that still carries causal order. *)
+
+val spans : unit -> ((int * int) * record list) list
+(** Collected spans grouped by [(unit, trial)], sorted by key;
+    within a trial, in creation (= sid) order. *)
+
+val trace_id : int -> int -> string
+(** [trace_id unit trial]: 32-hex OTLP trace id for one data point. *)
+
+val span_id : int -> int -> int -> string
+(** [span_id unit trial sid]: 16-hex OTLP span id. *)
+
+val render_jsonl : unit -> string
+(** One JSON object per span per line, in deterministic
+    [(unit, trial, sid)] order. *)
+
+val render_chrome : unit -> string
+(** [chrome://tracing] / Perfetto JSON: a complete ("X") event per span
+    (pid = unit, tid = trial, ts/dur = logical ticks) plus "s"/"f" flow
+    events drawing each parent→child edge. *)
+
+val render_otlp : unit -> string
+(** OTLP/HTTP-shaped JSON ([resourceSpans]/[scopeSpans]/[spans]), with
+    logical ticks in the time fields. *)
+
+val export_jsonl : string -> unit
+
+val export_chrome : string -> unit
+
+val export_otlp : string -> unit

@@ -50,13 +50,26 @@ let m_satisfied =
   Ri_obs.Metrics.counter ~help:"Queries that met their stop condition."
     "ri_query_satisfied_total"
 
+(* Distribution of per-query cost: the counters feed the totals above
+   and, once per query, these sketches — which is where p95/p99 of
+   messages and hops come from. *)
+let s_messages =
+  Ri_obs.Sketch.series ~help:"Messages per query (quantile sketch)."
+    "ri_query_messages"
+
+let s_hops =
+  Ri_obs.Sketch.series ~help:"Forward hops per query (quantile sketch)."
+    "ri_query_hops"
+
 let record_outcome kind o =
   if Ri_obs.Metrics.enabled () then begin
     Ri_obs.Metrics.incr kind;
     Ri_obs.Metrics.add m_forwards o.counters.Message.query_forwards;
     Ri_obs.Metrics.add m_returns o.counters.Message.query_returns;
     Ri_obs.Metrics.add m_results o.counters.Message.result_messages;
-    if o.satisfied then Ri_obs.Metrics.incr m_satisfied
+    if o.satisfied then Ri_obs.Metrics.incr m_satisfied;
+    Ri_obs.Sketch.observe s_messages (float_of_int (messages o));
+    Ri_obs.Sketch.observe s_hops (float_of_int o.counters.Message.query_forwards)
   end;
   o
 
@@ -503,7 +516,10 @@ let run_parallel ?(on_event = fun (_ : event) -> ()) net ~origin ~query ~branch 
     Ri_obs.Metrics.incr m_parallel;
     Ri_obs.Metrics.add m_forwards counters.Message.query_forwards;
     Ri_obs.Metrics.add m_results counters.Message.result_messages;
-    if satisfied () then Ri_obs.Metrics.incr m_satisfied
+    if satisfied () then Ri_obs.Metrics.incr m_satisfied;
+    Ri_obs.Sketch.observe s_messages
+      (float_of_int (Message.query_messages counters));
+    Ri_obs.Sketch.observe s_hops (float_of_int counters.Message.query_forwards)
   end;
   {
     p_found = !found;

@@ -18,6 +18,9 @@ type event =
     }
   | Dropped of { sender : int; receiver : int; dead : bool }
   | Delayed of { sender : int; receiver : int; rounds : int }
+  | Round of { index : int; pending : int }
+      (** A message generation begins with [pending] messages queued.
+          Emitted before any delivery of the round, including round 0. *)
 
 let m_waves =
   Ri_obs.Metrics.counter ~help:"Update waves propagated." "ri_update_waves_total"
@@ -163,6 +166,8 @@ let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
     List.iter (fun s -> Queue.add (Fresh s) current) seeds;
     let delayed = ref [] in
     let round = ref 0 in
+    if not (Queue.is_empty current) then
+      emit (Round { index = 0; pending = Queue.length current });
     let detect = Network.cycle_policy net = Network.Detect_recover in
     let sent = ref 0 in
     let wire = ref 0 in
@@ -319,7 +324,9 @@ let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
         Queue.transfer next current;
         let due, later = List.partition (fun (r, _) -> r <= !round) !delayed in
         delayed := later;
-        List.iter (fun (_, s) -> Queue.add (Due s) current) due
+        List.iter (fun (_, s) -> Queue.add (Due s) current) due;
+        if not (Queue.is_empty current) then
+          emit (Round { index = !round; pending = Queue.length current })
       end
       else
         match par_pool with

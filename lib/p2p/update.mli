@@ -71,6 +71,10 @@ type event =
   | Delayed of { sender : int; receiver : int; rounds : int }
       (** fault injection: held in transit, applied [rounds] message
           generations later *)
+  | Round of { index : int; pending : int }
+      (** a message generation begins with [pending] messages queued;
+          emitted before any delivery of the round, including round 0 —
+          the span tracer hangs its per-round children off these *)
 
 val local_change :
   ?on_event:(event -> unit) ->

@@ -39,7 +39,9 @@ let run ?pool spec f =
      own counter: provenance can be on without tracing and vice versa. *)
   Trace.next_unit ();
   Decision.next_unit ();
+  Span.next_unit ();
   Metrics.incr m_units;
+  Serve.Progress.begin_run ~total:spec.max_trials ();
   let acc = Stats.Acc.create () in
   let next = ref 0 in
   let converged = ref false in
@@ -54,6 +56,7 @@ let run ?pool spec f =
     Metrics.incr m_waves;
     Metrics.add m_trials wave;
     next := base + wave;
+    Serve.Progress.set_trials !next;
     if
       Stats.Acc.count acc >= spec.min_trials
       && Stats.converged ~target:spec.target_rel_error ~min_obs:spec.min_trials

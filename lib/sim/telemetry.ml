@@ -89,7 +89,18 @@ let export_metrics () =
   Metrics.set g_pool_busy
     (if p.Pool.waves = 0 then 0.
      else float_of_int p.Pool.busy_domains /. float_of_int p.Pool.waves);
-  Metrics.set g_pool_wait p.Pool.submit_wait_s
+  Metrics.set g_pool_wait p.Pool.submit_wait_s;
+  Gcprof.export_metrics ()
+
+(* Everything a scrape or a --metrics dump should carry: the registry
+   (counters/gauges/histograms, with the bridge gauges refreshed) plus
+   the sketch summaries.  This is also what --serve-obs hands to
+   /metrics. *)
+let render_metrics () =
+  export_metrics ();
+  Metrics.render () ^ Sketch.render ()
+
+let gc_lines = Gcprof.table_lines
 
 let pct hits misses =
   let total = hits + misses in

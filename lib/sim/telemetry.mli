@@ -8,8 +8,19 @@ val export_metrics : unit -> unit
     gauges ([ri_setup_cache_*], [ri_pool_*]), including one
     [ri_pool_shard_*{phase=...}] family per labeled sharding site
     (update_wave, placement, ri_build): busy/idle domain averages,
-    steal and inline-wave counters, straggler wait.  Call just before
-    {!Ri_obs.Metrics.render}. *)
+    steal and inline-wave counters, straggler wait — and the per-phase
+    GC deltas as [ri_gc_*{phase=...}] gauges ({!Ri_obs.Gcprof}).  Call
+    just before {!Ri_obs.Metrics.render}. *)
+
+val render_metrics : unit -> string
+(** [export_metrics] then the full Prometheus text exposition:
+    registry metrics followed by the quantile-sketch summaries
+    ({!Ri_obs.Sketch.render}).  What [--metrics] writes and
+    [--serve-obs] serves at [/metrics]. *)
+
+val gc_lines : unit -> string list
+(** Per-phase GC summary table ({!Ri_obs.Gcprof.table_lines}); empty
+    when no phase ran with metrics on. *)
 
 val cache_line : unit -> string
 (** e.g. ["setup-cache: graphs 40 hits / 8 misses (83%), content ..."],

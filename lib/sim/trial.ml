@@ -165,17 +165,37 @@ type query_metrics = {
   bytes : float;
 }
 
+(* Per-unit-of-work cost distributions: message and hop sketches live
+   next to their counters in Query; the byte-cost ones are observed
+   here, where the cost model is applied. *)
+let s_query_bytes =
+  Sketch.series ~help:"Simulated wire bytes per query (quantile sketch)."
+    "ri_query_wire_bytes"
+
+let s_update_wave_messages =
+  Sketch.series ~help:"Messages per update wave (quantile sketch)."
+    "ri_update_wave_messages"
+
+let s_update_wave_bytes =
+  Sketch.series
+    ~help:"Simulated wire bytes per update wave (quantile sketch)."
+    "ri_update_wave_wire_bytes"
+
 let metrics_of_outcome (cfg : Config.t) (o : Query.outcome) =
-  {
-    messages = Query.messages o;
-    forwards = o.counters.Message.query_forwards;
-    returns = o.counters.Message.query_returns;
-    results = o.counters.Message.result_messages;
-    found = o.found;
-    satisfied = o.satisfied;
-    nodes_visited = o.nodes_visited;
-    bytes = Message.bytes_of cfg.bytes o.counters;
-  }
+  let m =
+    {
+      messages = Query.messages o;
+      forwards = o.counters.Message.query_forwards;
+      returns = o.counters.Message.query_returns;
+      results = o.counters.Message.result_messages;
+      found = o.found;
+      satisfied = o.satisfied;
+      nodes_visited = o.nodes_visited;
+      bytes = Message.bytes_of cfg.bytes o.counters;
+    }
+  in
+  Sketch.observe s_query_bytes m.bytes;
+  m
 
 let query_outcome ?on_event ?decide ?plan (cfg : Config.t) setup =
   match cfg.search with
@@ -250,7 +270,102 @@ let update_hook sink =
               ("sender", Trace.Int sender);
               ("receiver", Trace.Int receiver);
               ("rounds", Trace.Int rounds);
-            ])
+            ]
+      | Update.Round { index; pending } ->
+          Trace.emit sink ~cat:"update" "round"
+            [ ("index", Trace.Int index); ("pending", Trace.Int pending) ])
+
+(* Span hooks: the causal layer over the same p2p events.  A query root
+   parents point-like hop / backtrack / retry / fallback children; an
+   update root parents one span per message generation, each of which
+   parents its deliveries.  Like the trace hooks they are only built
+   over a live sink, and their mere presence keeps the update wave on
+   the sequential path (the sharded rounds require no observer), so
+   span order is deterministic at any pool width. *)
+let span_query_hook ssink root =
+  if not (Span.is_live ssink) then None
+  else
+    Some
+      (fun e ->
+        ignore
+          (match e with
+          | Query.Forwarded { sender; receiver } ->
+              Span.instant ssink ~parent:root ~cat:"query" "hop"
+                [ ("sender", Span.Int sender); ("receiver", Span.Int receiver) ]
+          | Query.Returned { sender; receiver } ->
+              Span.instant ssink ~parent:root ~cat:"query" "backtrack"
+                [ ("sender", Span.Int sender); ("receiver", Span.Int receiver) ]
+          | Query.Results { at; count } ->
+              Span.instant ssink ~parent:root ~cat:"query" "results"
+                [ ("at", Span.Int at); ("count", Span.Int count) ]
+          | Query.Timed_out { sender; receiver; attempt } ->
+              Span.instant ssink ~parent:root ~cat:"fault" "retry"
+                [
+                  ("sender", Span.Int sender);
+                  ("receiver", Span.Int receiver);
+                  ("attempt", Span.Int attempt);
+                ]
+          | Query.Gave_up { sender; receiver } ->
+              Span.instant ssink ~parent:root ~cat:"fault" "gave_up"
+                [ ("sender", Span.Int sender); ("receiver", Span.Int receiver) ]
+          | Query.Reconciled { a; b } ->
+              Span.instant ssink ~parent:root ~cat:"fault" "reconcile"
+                [ ("a", Span.Int a); ("b", Span.Int b) ]))
+
+(* Returns the handler plus a closer for the trailing round span (the
+   wave just stops; no event marks the end of the last generation). *)
+let span_update_hook ssink root =
+  if not (Span.is_live ssink) then (None, fun () -> ())
+  else begin
+    let round = ref None in
+    let close_round () =
+      match !round with
+      | Some sp ->
+          Span.finish ssink sp ();
+          round := None
+      | None -> ()
+    in
+    let handler e =
+      ignore
+        (match e with
+        | Update.Round { index; pending } ->
+            close_round ();
+            let sp =
+              Span.enter ssink ~parent:root ~cat:"update" "round"
+                [ ("index", Span.Int index); ("pending", Span.Int pending) ]
+            in
+            round := Some sp;
+            sp
+        | Update.Delivered { sender; receiver; significant; forwarded } ->
+            Span.instant ssink ?parent:!round ~cat:"update" "deliver"
+              [
+                ("sender", Span.Int sender);
+                ("receiver", Span.Int receiver);
+                ("significant", Span.Bool significant);
+                ("forwarded", Span.Bool forwarded);
+              ]
+        | Update.Dropped { sender; receiver; dead } ->
+            Span.instant ssink ?parent:!round ~cat:"fault" "drop"
+              [
+                ("sender", Span.Int sender);
+                ("receiver", Span.Int receiver);
+                ("dead", Span.Bool dead);
+              ]
+        | Update.Delayed { sender; receiver; rounds } ->
+            Span.instant ssink ?parent:!round ~cat:"fault" "delay"
+              [
+                ("sender", Span.Int sender);
+                ("receiver", Span.Int receiver);
+                ("rounds", Span.Int rounds);
+              ])
+    in
+    (Some handler, close_round)
+  end
+
+let compose_hooks f g =
+  match (f, g) with
+  | None, h | h, None -> h
+  | Some f, Some g -> Some (fun e -> f e; g e)
 
 let emit_stop sink (m : query_metrics) =
   if Trace.is_live sink then
@@ -270,12 +385,29 @@ let emit_stop sink (m : query_metrics) =
 let traced_query (cfg : Config.t) ~trial setup =
   Trace.with_trial ~trial (fun sink ->
       Decision.with_trial ~trial (fun decide ->
-          let m =
-            Phase.time "query" (fun () ->
-                run_query_on ?on_event:(query_hook sink) ~decide cfg setup)
-          in
-          emit_stop sink m;
-          m))
+          Span.with_trial ~trial (fun ssink ->
+              let root =
+                Span.enter ssink ~cat:"query" "query"
+                  [ ("origin", Span.Int setup.origin) ]
+              in
+              let m =
+                Phase.time "query" (fun () ->
+                    run_query_on
+                      ?on_event:
+                        (compose_hooks (query_hook sink)
+                           (span_query_hook ssink root))
+                      ~decide cfg setup)
+              in
+              emit_stop sink m;
+              Span.finish ssink root
+                ~args:
+                  [
+                    ("messages", Span.Int m.messages);
+                    ("found", Span.Int m.found);
+                    ("satisfied", Span.Bool m.satisfied);
+                  ]
+                ();
+              m)))
 
 let run_query cfg ~trial =
   traced_query cfg ~trial (build ~purpose:For_query cfg ~trial)
@@ -406,6 +538,7 @@ let run_query_faulty (cfg : Config.t) ~trial =
   in
   Trace.with_trial ~trial (fun sink ->
       Decision.with_trial ~trial (fun decide ->
+      Span.with_trial ~trial (fun ssink ->
       let setup =
         build ~purpose:For_update ~mutable_placement:(spec.Fault.drift > 0.)
           cfg ~trial
@@ -416,14 +549,36 @@ let run_query_faulty (cfg : Config.t) ~trial =
       in
       let drift_counters = Message.create () in
       Phase.time "drift" (fun () ->
+          let droot = Span.enter ssink ~cat:"update" "drift" [] in
+          let shook, close_round = span_update_hook ssink droot in
           drift_content plan setup ~counters:drift_counters
-            ?on_event:(update_hook sink) ());
+            ?on_event:(compose_hooks (update_hook sink) shook) ();
+          close_round ();
+          Span.finish ssink droot
+            ~args:
+              [ ("messages", Span.Int drift_counters.Message.update_messages) ]
+            ());
+      let qroot =
+        Span.enter ssink ~cat:"query" "query"
+          [ ("origin", Span.Int setup.origin) ]
+      in
       let outcome =
         Phase.time "query" (fun () ->
-            query_outcome ?on_event:(query_hook sink) ~decide ~plan cfg setup)
+            query_outcome
+              ?on_event:
+                (compose_hooks (query_hook sink) (span_query_hook ssink qroot))
+              ~decide ~plan cfg setup)
       in
       let m = metrics_of_outcome cfg outcome in
       emit_stop sink m;
+      Span.finish ssink qroot
+        ~args:
+          [
+            ("messages", Span.Int m.messages);
+            ("found", Span.Int m.found);
+            ("satisfied", Span.Bool m.satisfied);
+          ]
+        ();
       let repair_messages = outcome.Query.counters.Message.update_messages in
       {
         f_query = m;
@@ -437,7 +592,7 @@ let run_query_faulty (cfg : Config.t) ~trial =
           float_of_int (m.messages + repair_messages)
           /. float_of_int (max 1 m.found);
         f_stats = Fault.stats plan;
-      }))
+      })))
 
 type parallel_metrics = {
   par_messages : int;
@@ -453,18 +608,36 @@ let run_query_parallel (cfg : Config.t) ~branch ~trial =
       invalid_arg "Trial.run_query_parallel: needs an RI search mechanism");
   let setup = build ~purpose:For_query cfg ~trial in
   Trace.with_trial ~trial (fun sink ->
-      let o =
-        Phase.time "query" (fun () ->
-            Query.run_parallel
-              ?on_event:(query_hook sink)
-              setup.network ~origin:setup.origin ~query:setup.query ~branch)
-      in
-      {
-        par_messages = Message.query_messages o.Query.p_counters;
-        par_rounds = o.Query.p_rounds;
-        par_found = o.Query.p_found;
-        par_satisfied = o.Query.p_satisfied;
-      })
+      Span.with_trial ~trial (fun ssink ->
+          let root =
+            Span.enter ssink ~cat:"query" "query_parallel"
+              [ ("origin", Span.Int setup.origin); ("branch", Span.Int branch) ]
+          in
+          let o =
+            Phase.time "query" (fun () ->
+                Query.run_parallel
+                  ?on_event:
+                    (compose_hooks (query_hook sink)
+                       (span_query_hook ssink root))
+                  setup.network ~origin:setup.origin ~query:setup.query ~branch)
+          in
+          let m =
+            {
+              par_messages = Message.query_messages o.Query.p_counters;
+              par_rounds = o.Query.p_rounds;
+              par_found = o.Query.p_found;
+              par_satisfied = o.Query.p_satisfied;
+            }
+          in
+          Span.finish ssink root
+            ~args:
+              [
+                ("messages", Span.Int m.par_messages);
+                ("rounds", Span.Int m.par_rounds);
+                ("found", Span.Int m.par_found);
+              ]
+            ();
+          m))
 
 type update_metrics = {
   update_messages : int;
@@ -501,6 +674,10 @@ let run_update_on ?on_event ?plan (cfg : Config.t) setup =
      Update.local_change ?on_event ?plan setup.network ~origin:setup.origin
        ~summary ~counters
    end);
+  Sketch.observe s_update_wave_messages
+    (float_of_int counters.Message.update_messages);
+  Sketch.observe s_update_wave_bytes
+    (float_of_int counters.Message.update_wire_bytes);
   {
     update_messages = counters.Message.update_messages;
     update_bytes =
@@ -521,5 +698,24 @@ let run_update (cfg : Config.t) ~trial =
     else None
   in
   Trace.with_trial ~trial (fun sink ->
-      Phase.time "update" (fun () ->
-          run_update_on ?on_event:(update_hook sink) ?plan cfg setup))
+      Span.with_trial ~trial (fun ssink ->
+          Phase.time "update" (fun () ->
+              let root =
+                Span.enter ssink ~cat:"update" "update_wave"
+                  [ ("origin", Span.Int setup.origin) ]
+              in
+              let shook, close_round = span_update_hook ssink root in
+              let m =
+                run_update_on
+                  ?on_event:(compose_hooks (update_hook sink) shook)
+                  ?plan cfg setup
+              in
+              close_round ();
+              Span.finish ssink root
+                ~args:
+                  [
+                    ("messages", Span.Int m.update_messages);
+                    ("wire_bytes", Span.Int m.update_wire_bytes);
+                  ]
+                ();
+              m)))

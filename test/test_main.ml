@@ -31,6 +31,7 @@ let () =
       Test_pool.suite;
       Test_json.suite;
       Test_obs.suite;
+      Test_sketch.suite;
       Test_provenance.suite;
       Test_sim.suite;
       Test_experiments.suite;

@@ -298,6 +298,230 @@ let test_phase_bucket_presets () =
            text))
 
 (* ------------------------------------------------------------------ *)
+(* Causal spans: byte-identical at any pool width, causally shaped.    *)
+
+let span_run ?(faulty = false) jobs =
+  Span.clear ();
+  Span.start ();
+  Fun.protect ~finally:Span.stop (fun () ->
+      let spec =
+        { Runner.min_trials = 3; max_trials = 6; target_rel_error = 0.05 }
+      in
+      Pool.with_pool ~jobs (fun pool ->
+          let cfg = Config.with_search small (Config.Ri (Config.eri small)) in
+          let cfg =
+            if not faulty then cfg
+            else
+              {
+                cfg with
+                Config.fault =
+                  {
+                    Ri_p2p.Fault.none with
+                    Ri_p2p.Fault.update_loss = 0.3;
+                    update_delay = 0.15;
+                    delay_waves = 2;
+                    crash = 0.1;
+                    drift = 0.75;
+                    stale_after = Some 1;
+                    retries = 2;
+                    backoff = 1;
+                  };
+              }
+          in
+          (if faulty then
+             ignore
+               (Runner.run ~pool spec (fun ~trial ->
+                    (Trial.run_query_faulty cfg ~trial)
+                      .Trial.f_messages_per_result))
+           else
+             ignore
+               (Runner.run ~pool spec (fun ~trial ->
+                    float_of_int (Trial.run_query cfg ~trial).Trial.messages)));
+          ignore
+            (Runner.run ~pool spec (fun ~trial ->
+                 float_of_int
+                   (Trial.run_update cfg ~trial).Trial.update_messages))));
+  let jsonl = Span.render_jsonl () in
+  let chrome = Span.render_chrome () in
+  let otlp = Span.render_otlp () in
+  Span.clear ();
+  (jsonl, chrome, otlp)
+
+let test_span_bit_identical () =
+  let jsonl1, chrome1, otlp1 = span_run 1 in
+  let jsonl4, chrome4, otlp4 = span_run 4 in
+  Alcotest.(check bool) "spans recorded" true (String.length jsonl1 > 0);
+  Alcotest.(check bool) "query roots present" true
+    (Astring.String.is_infix ~affix:"\"name\":\"query\"" jsonl1);
+  Alcotest.(check bool) "hop children present" true
+    (Astring.String.is_infix ~affix:"\"name\":\"hop\"" jsonl1);
+  Alcotest.(check bool) "update rounds present" true
+    (Astring.String.is_infix ~affix:"\"name\":\"round\"" jsonl1);
+  Alcotest.(check string) "span jsonl byte-identical" jsonl1 jsonl4;
+  Alcotest.(check string) "span chrome byte-identical" chrome1 chrome4;
+  Alcotest.(check string) "span otlp byte-identical" otlp1 otlp4
+
+let test_span_faulty_bit_identical () =
+  let jsonl1, _, _ = span_run ~faulty:true 1 in
+  let jsonl4, _, _ = span_run ~faulty:true 4 in
+  Alcotest.(check bool) "fault spans recorded" true
+    (Astring.String.is_infix ~affix:"\"cat\":\"fault\"" jsonl1);
+  Alcotest.(check string) "faulty span jsonl byte-identical" jsonl1 jsonl4
+
+(* Every child must reference an earlier sid of its own trial, and end
+   no earlier than it starts — the causal structure the renderers draw
+   edges from.  Both structured exports must satisfy the strict JSON
+   parser. *)
+let test_span_causality () =
+  Span.clear ();
+  Span.start ();
+  Fun.protect ~finally:Span.stop (fun () ->
+      let cfg = Config.with_search small (Config.Ri (Config.eri small)) in
+      ignore (Trial.run_query cfg ~trial:0);
+      ignore (Trial.run_update cfg ~trial:0));
+  let groups = Span.spans () in
+  Alcotest.(check bool) "spans collected" true (groups <> []);
+  List.iter
+    (fun (_, records) ->
+      List.iter
+        (fun (r : Span.record) ->
+          if r.Span.parent >= 0 then
+            Alcotest.(check bool) "parent created before child" true
+              (r.Span.parent < r.Span.sid);
+          Alcotest.(check bool) "t1 after t0" true (r.Span.t1 >= r.Span.t0))
+        records)
+    groups;
+  let chrome = Span.render_chrome () in
+  let otlp = Span.render_otlp () in
+  Span.clear ();
+  (match Json.parse chrome with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "chrome spans rejected: %s" e);
+  match Json.parse otlp with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "otlp spans rejected: %s" e
+
+let test_span_off_collects_nothing () =
+  Alcotest.(check bool) "not recording" false (Span.recording ());
+  let cfg = Config.with_search small (Config.Ri (Config.eri small)) in
+  ignore (Trial.run_query cfg ~trial:0);
+  Alcotest.(check string) "no spans" "" (Span.render_jsonl ())
+
+(* ------------------------------------------------------------------ *)
+(* Registry domain-safety: concurrent registration and recording from  *)
+(* several domains must land every observation exactly once.           *)
+
+let test_racing_registration () =
+  with_metrics (fun () ->
+      let domains =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                (* same names from every domain: registration must be
+                   race-free and idempotent *)
+                let c = Metrics.counter "ri_test_race_total" in
+                let s = Sketch.series "ri_test_race_sketch" in
+                for i = 1 to 1000 do
+                  Metrics.incr c;
+                  Sketch.observe s (float_of_int i)
+                done))
+      in
+      Array.iter Domain.join domains;
+      let text = Metrics.render () in
+      Alcotest.(check bool) "all increments counted" true
+        (Astring.String.is_infix ~affix:"ri_test_race_total 4000" text);
+      Alcotest.(check int) "all observations sketched" 4000
+        (Sketch.count (Sketch.snapshot (Sketch.series "ri_test_race_sketch")));
+      Sketch.reset ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase GC profiling.                                             *)
+
+let test_gcprof_wrap () =
+  Gcprof.reset ();
+  let v =
+    Gcprof.wrap "gcprof_test" (fun () ->
+        Array.length (Array.init 100_000 (fun i -> float_of_int i)))
+  in
+  Alcotest.(check int) "body result" 100_000 v;
+  match List.filter (fun s -> s.Gcprof.g_phase = "gcprof_test") (Gcprof.stats ()) with
+  | [ s ] ->
+      Alcotest.(check int) "one sample" 1 s.Gcprof.g_samples;
+      Alcotest.(check bool) "minor words counted" true
+        (s.Gcprof.g_minor_words > 100_000.);
+      Alcotest.(check bool) "table rendered" true
+        (List.exists
+           (fun l -> Astring.String.is_infix ~affix:"gcprof_test" l)
+           (Gcprof.table_lines ()));
+      Gcprof.reset ();
+      Alcotest.(check int) "reset empties" 0 (List.length (Gcprof.stats ()))
+  | other ->
+      Alcotest.failf "expected one gcprof_test entry, got %d"
+        (List.length other)
+
+(* ------------------------------------------------------------------ *)
+(* Live HTTP endpoint.                                                 *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 512 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      (try drain () with Unix.Unix_error _ -> ());
+      Buffer.contents buf)
+
+let test_serve_endpoints () =
+  let srv = Serve.start ~port:0 ~metrics:(fun () -> "ri_test_metric 1\n") () in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop srv)
+    (fun () ->
+      let port = Serve.port srv in
+      Alcotest.(check bool) "ephemeral port assigned" true (port > 0);
+      let health = http_get port "/healthz" in
+      Alcotest.(check bool) "healthz 200" true
+        (Astring.String.is_prefix ~affix:"HTTP/1.1 200 OK" health);
+      Alcotest.(check bool) "healthz body" true
+        (Astring.String.is_suffix ~affix:"ok\n" health);
+      let metrics = http_get port "/metrics" in
+      Alcotest.(check bool) "metrics body served" true
+        (Astring.String.is_infix ~affix:"ri_test_metric 1" metrics);
+      Serve.Progress.begin_run ~label:"serve-test" ~total:10 ();
+      Serve.Progress.set_trials 4;
+      let progress = http_get port "/progress" in
+      (match Astring.String.cut ~sep:"\r\n\r\n" progress with
+      | Some (_, body) -> (
+          match Json.parse body with
+          | Error e -> Alcotest.failf "/progress not strict JSON: %s" e
+          | Ok j ->
+              Alcotest.(check bool) "label carried" true
+                (Json.member "label" j = Some (Json.Str "serve-test"));
+              Alcotest.(check bool) "trials carried" true
+                (match Json.member "trials_done" j with
+                | Some v -> Json.to_float v = Some 4.
+                | None -> false))
+      | None -> Alcotest.fail "/progress: no header/body split");
+      let missing = http_get port "/nope" in
+      Alcotest.(check bool) "404 for unknown path" true
+        (Astring.String.is_prefix ~affix:"HTTP/1.1 404" missing));
+  (* after stop, the port must refuse connections *)
+  Alcotest.(check bool) "stopped server refuses" true
+    (try
+       ignore (http_get (Serve.port srv) "/healthz");
+       false
+     with Unix.Unix_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry surfacing.                                                *)
 
 let test_telemetry_lines () =
@@ -335,4 +559,16 @@ let suite =
         test_trace_off_collects_nothing;
       Alcotest.test_case "telemetry lines and gauges" `Quick
         test_telemetry_lines;
+      Alcotest.test_case "spans byte-identical across jobs" `Quick
+        test_span_bit_identical;
+      Alcotest.test_case "faulty spans byte-identical across jobs" `Quick
+        test_span_faulty_bit_identical;
+      Alcotest.test_case "span causality and strict JSON" `Quick
+        test_span_causality;
+      Alcotest.test_case "no spans without start" `Quick
+        test_span_off_collects_nothing;
+      Alcotest.test_case "racing registration across domains" `Quick
+        test_racing_registration;
+      Alcotest.test_case "gcprof wrap accumulates" `Quick test_gcprof_wrap;
+      Alcotest.test_case "live HTTP endpoint" `Quick test_serve_endpoints;
     ] )
