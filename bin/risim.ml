@@ -74,41 +74,82 @@ let spec_of trials rel_error =
 (* ------------------------------------------------------------------ *)
 (* Fault environment (query subcommand).                               *)
 
-let fault_loss_t =
-  let doc =
-    "Probability that an update message is lost in transit.  Loss only \
-     bites when updates actually flow, so pair it with $(b,--fault-drift)."
+(* Fault rates are validated at parse time — [--fault-loss 1.5] is
+   refused with a message and a nonzero exit before any simulation
+   starts, instead of surfacing later as a config-validation failure
+   halfway into a batch.  The range check is [Ri_util.Env.check_float],
+   the same policy the environment knobs apply. *)
+let prob_conv ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s must be a number, got %S" what s))
+    | Some v -> (
+        match Ri_util.Env.check_float ~min:0. ~max:1. ~what v with
+        | Ok v -> Ok v
+        | Error msg -> Error (`Msg msg))
   in
-  Arg.(value & opt float 0. & info [ "fault-loss" ] ~docv:"P" ~doc)
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
+let prob_arg name ~docv ~doc =
+  Arg.(value & opt (prob_conv ~what:("--" ^ name)) 0. & info [ name ] ~docv ~doc)
+
+let fault_loss_t =
+  prob_arg "fault-loss" ~docv:"P"
+    ~doc:
+      "Probability that an update message is lost in transit.  Loss only \
+       bites when updates actually flow, so pair it with $(b,--fault-drift)."
 
 let fault_crash_t =
-  let doc =
-    "Fraction of nodes crash-stopped before the trial (no goodbye \
-     message; neighbors discover the death when a forward times out)."
-  in
-  Arg.(value & opt float 0. & info [ "fault-crash" ] ~docv:"F" ~doc)
+  prob_arg "fault-crash" ~docv:"F"
+    ~doc:
+      "Fraction of nodes crash-stopped before the trial (no goodbye \
+       message; neighbors discover the death when a forward times out)."
 
 let fault_delay_t =
-  let doc =
-    "Probability that an update message is delayed (applied whole \
-     update waves late) instead of arriving in order."
-  in
-  Arg.(value & opt float 0. & info [ "fault-delay" ] ~docv:"P" ~doc)
+  prob_arg "fault-delay" ~docv:"P"
+    ~doc:
+      "Probability that an update message is delayed (applied whole \
+       update waves late) instead of arriving in order."
 
 let fault_drift_t =
+  prob_arg "fault-drift" ~docv:"F"
+    ~doc:
+      "Fraction of the query's results relocated before it runs, each \
+       move announced by a corrective update wave subject to the other \
+       fault rates — the staleness source."
+
+let fault_partition_t =
+  prob_arg "fault-partition" ~docv:"F"
+    ~doc:
+      "Sever a connected cut of roughly $(docv) of the nodes from the \
+       rest: update waves and queries cannot cross until the cut heals \
+       ($(b,--fault-heal-waves), or the trial's recovery phase)."
+
+let fault_heal_waves_t =
   let doc =
-    "Fraction of the query's results relocated before it runs, each \
-     move announced by a corrective update wave subject to the other \
-     fault rates — the staleness source."
+    "Heal the partition automatically after $(docv) update waves have \
+     run against it (default: never — the recovery experiments heal \
+     explicitly)."
   in
-  Arg.(value & opt float 0. & info [ "fault-drift" ] ~docv:"F" ~doc)
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-heal-waves" ] ~docv:"W" ~doc)
+
+let fault_seed_t =
+  let doc =
+    "Derive the fault plan's PRNG from $(docv) instead of the master \
+     $(b,--seed): the same kills, losses and partition shape replay \
+     against differently seeded networks."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
 
 (* Any active rate turns on the full robustness machinery with the
    fig_faults defaults: two retries with exponential backoff, and rows
    that miss more than one update demoted to random ranking. *)
-let fault_spec_of ~loss ~crash ~delay ~drift =
-  if loss = 0. && crash = 0. && delay = 0. && drift = 0. then
-    Ri_p2p.Fault.none
+let fault_spec_of ?(partition = 0.) ?heal_after ~loss ~crash ~delay ~drift () =
+  if loss = 0. && crash = 0. && delay = 0. && drift = 0. && partition = 0.
+  then Ri_p2p.Fault.none
   else
     {
       Ri_p2p.Fault.none with
@@ -117,6 +158,8 @@ let fault_spec_of ~loss ~crash ~delay ~drift =
       delay_waves = 2;
       crash;
       drift;
+      partition;
+      heal_after;
       stale_after = Some 1;
       retries = 2;
       backoff = 1;
@@ -455,13 +498,13 @@ let print_query_metrics cfg ~nodes ~trial (m : Trial.query_metrics) =
     m.Trial.bytes
 
 let query_cmd =
-  let run nodes seed topology search trial loss crash delay drift metrics
-      trace fmt decisions spans span_fmt serve =
+  let run nodes seed topology search trial loss crash delay drift partition
+      heal_after fault_seed metrics trace fmt decisions spans span_fmt serve =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
-    let fault = fault_spec_of ~loss ~crash ~delay ~drift in
-    let cfg = { cfg with Config.fault } in
+    let fault = fault_spec_of ~partition ?heal_after ~loss ~crash ~delay ~drift () in
+    let cfg = { cfg with Config.fault; fault_seed } in
     match Config.validate cfg with
     | Error msg -> `Error (false, msg)
     | Ok () when not (Ri_p2p.Fault.active fault) ->
@@ -482,13 +525,15 @@ let query_cmd =
         Printf.printf
           "recall=%.2f (clean_found=%d) drift_messages=%d repair_messages=%d\n\
            faults: crashes=%d drops=%d dead_drops=%d delays=%d timeouts=%d \
-           retries=%d fallbacks=%d repairs=%d\n"
+           retries=%d fallbacks=%d repairs=%d partition_drops=%d \
+           recoveries=%d\n"
           m.Trial.f_recall m.Trial.f_clean_found m.Trial.f_drift_messages
           m.Trial.f_repair_messages st.Ri_p2p.Fault.crashes
           st.Ri_p2p.Fault.update_drops st.Ri_p2p.Fault.update_dead
           st.Ri_p2p.Fault.update_delays st.Ri_p2p.Fault.timeouts
           st.Ri_p2p.Fault.retries_used st.Ri_p2p.Fault.fallbacks
-          st.Ri_p2p.Fault.repairs;
+          st.Ri_p2p.Fault.repairs st.Ri_p2p.Fault.partition_drops
+          st.Ri_p2p.Fault.recoveries;
         print_gc_table ();
         `Ok ()
   in
@@ -501,6 +546,7 @@ let query_cmd =
       ret
         (const run $ nodes_t $ seed_t $ topology_t $ search_t $ trial_t
        $ fault_loss_t $ fault_crash_t $ fault_delay_t $ fault_drift_t
+       $ fault_partition_t $ fault_heal_waves_t $ fault_seed_t
        $ metrics_t $ trace_t $ trace_format_t $ decisions_t $ spans_t
        $ span_format_t $ serve_obs_t))
 
@@ -723,7 +769,7 @@ let explain_cmd =
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
     let cfg = Config.with_search cfg (search_of cfg search) in
-    let fault = fault_spec_of ~loss ~crash ~delay ~drift in
+    let fault = fault_spec_of ~loss ~crash ~delay ~drift () in
     let cfg = { cfg with Config.fault } in
     match Config.validate cfg with
     | Error msg -> `Error (false, msg)
@@ -887,6 +933,88 @@ let report_cmd =
         (const run $ bench_t $ baseline_t $ decisions_file_t $ metrics_file_t
        $ out_t $ html_t))
 
+let chaos_cmd =
+  let nodes_t =
+    let doc = "Network size per schedule (kept small: every schedule builds \
+               two networks — the chaotic one and its fault-free twin)." in
+    Arg.(value & opt int 200 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let schedules_t =
+    let doc = "Number of seeded fault schedules to replay." in
+    Arg.(value & opt int 50 & info [ "schedules" ] ~docv:"S" ~doc)
+  in
+  let steps_t =
+    let doc = "Fault-injection steps per schedule." in
+    Arg.(value & opt int 8 & info [ "steps" ] ~docv:"K" ~doc)
+  in
+  let schedule_t =
+    let doc =
+      "Replay a single schedule id (from a reported violation) instead of \
+       the whole range."
+    in
+    Arg.(value & opt (some int) None & info [ "schedule" ] ~docv:"ID" ~doc)
+  in
+  let json_t =
+    let doc = "Write the outcome (violations with replay coordinates) to \
+               $(docv) as JSON." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let sabotage_t =
+    let doc =
+      "Self-test: deliberately corrupt one reconciled row after the \
+       repairs finish, proving the fixpoint invariant catches a broken \
+       reconciler (the run then $(i,must) report violations)."
+    in
+    Arg.(value & flag & info [ "sabotage" ] ~doc)
+  in
+  let run nodes seed schedules steps schedule json sabotage =
+    let module C = Ri_experiments.Chaos in
+    match
+      try
+        Ok (C.run ~sabotage ?only:schedule ~nodes ~schedules ~steps ~seed ())
+      with Invalid_argument msg -> Error msg
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok o ->
+        (match json with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (C.to_json o);
+            output_char oc '\n';
+            close_out oc
+        | None -> ());
+        Printf.printf "chaos: %d schedules, %d steps, %d queries, %d violations\n"
+          o.C.c_schedules o.C.c_steps o.C.c_queries
+          (List.length o.C.c_violations);
+        List.iter
+          (fun v ->
+            Printf.printf
+              "VIOLATION invariant=%s seed=%d schedule=%d step=%d: %s\n"
+              v.C.v_invariant v.C.v_seed v.C.v_schedule v.C.v_step v.C.v_detail)
+          o.C.c_violations;
+        if o.C.c_violations = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf
+                "%d invariant violation(s); replay one with --schedule ID \
+                 --seed %d"
+                (List.length o.C.c_violations) seed )
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay deterministic fault schedules (crashes, recoveries, \
+          partitions, content moves) against small tree networks and check \
+          the recovery plane's invariants: exact reconvergence to the \
+          fault-free fixpoint, no routing across an active cut, no \
+          resurrection of dead nodes' rows, no post-recovery recall loss.  \
+          Violations are replayable from their (seed, schedule) pair")
+    Term.(
+      ret
+        (const run $ nodes_t $ seed_t $ schedules_t $ steps_t $ schedule_t
+       $ json_t $ sabotage_t))
+
 let json_verify_cmd =
   let file_t =
     Arg.(
@@ -930,5 +1058,6 @@ let () =
             scale_cmd;
             explain_cmd;
             report_cmd;
+            chaos_cmd;
             json_verify_cmd;
           ]))

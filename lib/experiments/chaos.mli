@@ -1,0 +1,48 @@
+(** Deterministic chaos checker for the partition & recovery plane.
+
+    Replays bounded, seeded fault schedules — crash-stops, recoveries,
+    partition heals, content moves, probe queries — against a small
+    tree network, forces quiescence (heal + recover + anti-entropy to a
+    repair-free round), and checks the recovery plane's invariants:
+    exact reconvergence to the fault-free twin's fixpoint, no query
+    forward across an active cut, no resurrection of a certified-dead
+    peer's row, and no post-quiescence recall loss.  Every violation is
+    replayable from its [(seed, schedule)] pair alone. *)
+
+type violation = {
+  v_seed : int;
+  v_schedule : int;
+  v_step : int;  (** step index, or [-1] for the final quiescence checks *)
+  v_invariant : string;
+      (** ["fixpoint"], ["no-cross-cut"], ["no-resurrection"] or
+          ["recall"] *)
+  v_detail : string;
+}
+
+type outcome = {
+  c_schedules : int;
+  c_steps : int;  (** steps executed across all schedules *)
+  c_queries : int;  (** probe + final queries run *)
+  c_violations : violation list;
+}
+
+val run :
+  ?sabotage:bool ->
+  ?only:int ->
+  nodes:int ->
+  schedules:int ->
+  steps:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** Run schedules [0 .. schedules-1] ([only] replays a single schedule
+    id instead, e.g. from a reported violation).  [sabotage] (default
+    [false]) deliberately deletes one reconciled row after the repairs
+    finish, proving the fixpoint invariant would catch a broken
+    reconciler.  Deterministic: the whole scenario — partition shape,
+    victims, moves, probe origins — re-derives from [(seed, schedule)].
+    @raise Invalid_argument on non-positive sizes. *)
+
+val to_json : outcome -> string
+(** One-line JSON object (schedules, steps, queries, violations with
+    their replay coordinates) for the CI artifact. *)

@@ -41,6 +41,8 @@ let spec_at ~fallback ~budget level =
     crash = level /. 4.;
     link_flap = level /. 20.;
     drift = 0.75;
+    partition = 0.;
+    heal_after = None;
     (* Threshold 1: a single missed update is forgiven — the stored
        value is usually still serviceable and the next clean delivery
        heals the gap — but a row whose peer stayed silent twice is

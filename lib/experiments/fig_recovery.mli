@@ -1,0 +1,19 @@
+(** Recovery-plane sweep (beyond the paper): recall dip under a
+    network partition plus crash-stop churn, and recall restoration
+    after heal + crash-recovery + anti-entropy, for CRI / HRI / ERI at
+    partition fractions 10 / 30 / 50%.
+
+    See the implementation's header comment for the cycle's
+    construction. *)
+
+val id : string
+(** Registry handle ("recovery"). *)
+
+val title : string
+
+val paper_claim : string
+(** The beyond-paper robustness finding this experiment checks. *)
+
+val run : base:Ri_sim.Config.t -> spec:Ri_sim.Runner.spec -> Report.t
+(** Execute the sweep against the given base configuration, each data
+    point run to the spec's confidence target. *)

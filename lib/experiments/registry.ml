@@ -39,6 +39,11 @@ let extensions =
     { id = Abl_batch.id; title = Abl_batch.title; run = Abl_batch.run };
     { id = Abl_storage.id; title = Abl_storage.title; run = Abl_storage.run };
     { id = Fig_faults.id; title = Fig_faults.title; run = Fig_faults.run };
+    {
+      id = Fig_recovery.id;
+      title = Fig_recovery.title;
+      run = Fig_recovery.run;
+    };
   ]
 
 let scale =

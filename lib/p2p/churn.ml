@@ -98,6 +98,105 @@ let disconnect_node net v ~counters =
   end;
   former
 
+(* Crash-recovery row persistence: a compact binary image of one node's
+   RI rows, in the style of [Ri_sim.Snapshot]'s row sections (this
+   library cannot depend on [ri_sim], so the codec lives here).  Floats
+   are stored as their IEEE bit patterns, little-endian, and rows in the
+   store's live iteration order, so persist -> restore round-trips
+   bit-identically — the determinism contract extends to rejoin. *)
+
+type rejoin = Amnesiac | Stale_state of Bytes.t
+
+let rows_magic = "RIROWS01"
+
+let add_f64 buf x = Buffer.add_int64_le buf (Int64.bits_of_float x)
+
+let add_i32 buf x = Buffer.add_int32_le buf (Int32.of_int x)
+
+let add_summary buf (s : Ri_content.Summary.t) =
+  add_f64 buf s.Ri_content.Summary.total;
+  add_i32 buf (Array.length s.Ri_content.Summary.by_topic);
+  Array.iter (add_f64 buf) s.Ri_content.Summary.by_topic
+
+let add_payload buf = function
+  | Scheme.Vector s ->
+      add_i32 buf 0;
+      add_summary buf s
+  | Scheme.Hop_vector hops ->
+      add_i32 buf 1;
+      add_i32 buf (Array.length hops);
+      Array.iter (add_summary buf) hops
+
+let persist_rows net v =
+  if v < 0 || v >= Network.size net then
+    invalid_arg "Churn.persist_rows: node out of range";
+  if not (Network.has_ri net) then
+    invalid_arg "Churn.persist_rows: network has no routing indices";
+  let ri = Network.ri net v in
+  let peers = Scheme.peers ri in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf rows_magic;
+  add_i32 buf (List.length peers);
+  List.iter
+    (fun peer ->
+      match Scheme.row ri ~peer with
+      | Some payload ->
+          add_i32 buf peer;
+          add_payload buf payload
+      | None -> assert false)
+    peers;
+  Buffer.to_bytes buf
+
+let corrupt what = invalid_arg ("Churn.recover: corrupt stale state: " ^ what)
+
+let read_i32 bytes pos =
+  if !pos + 4 > Bytes.length bytes then corrupt "truncated int";
+  let x = Int32.to_int (Bytes.get_int32_le bytes !pos) in
+  pos := !pos + 4;
+  x
+
+let read_f64 bytes pos =
+  if !pos + 8 > Bytes.length bytes then corrupt "truncated float";
+  let x = Int64.float_of_bits (Bytes.get_int64_le bytes !pos) in
+  pos := !pos + 8;
+  x
+
+let read_summary bytes pos =
+  let total = read_f64 bytes pos in
+  let topics = read_i32 bytes pos in
+  if topics < 0 || topics > 1 lsl 20 then corrupt "bad topic width";
+  let by_topic = Array.init topics (fun _ -> read_f64 bytes pos) in
+  Ri_content.Summary.make ~total ~by_topic
+
+let read_payload bytes pos =
+  match read_i32 bytes pos with
+  | 0 -> Scheme.Vector (read_summary bytes pos)
+  | 1 ->
+      let hops = read_i32 bytes pos in
+      if hops < 0 || hops > 1 lsl 10 then corrupt "bad hop count";
+      Scheme.Hop_vector (Array.init hops (fun _ -> read_summary bytes pos))
+  | _ -> corrupt "unknown payload tag"
+
+let restore_rows net v bytes =
+  let magic_len = String.length rows_magic in
+  if
+    Bytes.length bytes < magic_len
+    || not (String.equal (Bytes.sub_string bytes 0 magic_len) rows_magic)
+  then corrupt "bad magic";
+  let pos = ref magic_len in
+  let count = read_i32 bytes pos in
+  if count < 0 then corrupt "negative row count";
+  let ri = Network.ri net v in
+  for _ = 1 to count do
+    let peer = read_i32 bytes pos in
+    let payload = read_payload bytes pos in
+    (* A peer the node is no longer linked to gets no row: rows drive
+       the exports, and a stale row toward a vanished link would
+       re-advertise an unreachable subtree. *)
+    if peer >= 0 && peer < Network.size net && Network.has_link net v peer
+    then Scheme.set_row ri ~peer payload
+  done
+
 let crash_stop net v ~plan =
   if v < 0 || v >= Network.size net then
     invalid_arg "Churn.crash_stop: node out of range";
@@ -112,6 +211,10 @@ let detect_crash net u ~dead ~plan =
            Scheme.remove_row ri ~peer:dead;
            Fault.note_repair plan
        | None -> ());
+    (* The row is gone; a gap recorded toward the corpse would taint
+       [u]'s exports forever (nothing can ever heal it), poisoning
+       every downstream trust judgement. *)
+    Fault.clear_missed plan ~at:u ~peer:dead;
     Fault.set_dirty plan u;
     true
   end
@@ -133,6 +236,7 @@ let reconcile net u v ~plan ~counters =
                  Scheme.remove_row ri ~peer:corpse;
                  Fault.note_repair plan
              | None -> ());
+          Fault.clear_missed plan ~at:dst ~peer:corpse;
           Fault.set_dirty plan dst
         end)
       (Fault.known_dead_of plan src)
@@ -160,3 +264,38 @@ let reconcile net u v ~plan ~counters =
     if u_trustworthy then Fault.clear_missed plan ~at:v ~peer:u;
     Fault.note_repair plan
   end
+
+let recover ?on_event net v ~rejoin ~plan ~counters =
+  if v < 0 || v >= Network.size net then
+    invalid_arg "Churn.recover: node out of range";
+  if not (Fault.is_dead plan v) then
+    invalid_arg "Churn.recover: node is not crash-stopped";
+  (* Revival first: it revokes every death certificate naming [v], so
+     the re-announcement below cannot be undone by certificate gossip. *)
+  Fault.revive plan v;
+  (if Network.has_ri net then
+     let ri = Network.ri net v in
+     match rejoin with
+     | Amnesiac ->
+         (* The crash lost the RI.  The node starts from its local index
+            only, and knows it: every live link opens a recorded gap, so
+            ranking demotes the missing knowledge and anti-entropy (or
+            the next clean wave) refills the rows. *)
+         List.iter (fun peer -> Scheme.remove_row ri ~peer) (Scheme.peers ri);
+         Array.iter
+           (fun u ->
+             if not (Fault.is_dead plan u) then
+               Fault.note_missed plan ~at:v ~peer:u)
+           (Network.neighbors net v)
+     | Stale_state bytes ->
+         (* Replay the persisted image.  The rows are whatever was true
+            at persist time — possibly badly stale; the dirty mark and
+            the re-announcement below start the repair. *)
+         List.iter (fun peer -> Scheme.remove_row ri ~peer) (Scheme.peers ri);
+         restore_rows net v bytes);
+  Fault.set_dirty plan v;
+  (* Re-announce: "a newly connected node sends a summary of its local
+     index" (Section 5.1) — here a full propagation from the rejoined
+     node, subject to the plan's faults like any other wave.  Dead or
+     cross-cut neighbors miss it and stay for anti-entropy. *)
+  Update.propagate ?on_event ~plan net ~origin:v ~counters

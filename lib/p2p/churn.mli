@@ -74,3 +74,44 @@ val reconcile :
     presumed-dead lists — each side drops rows for newly learned
     corpses and becomes dirty in turn, so death certificates percolate
     along future query paths instead of by broadcast. *)
+
+(** {2 Crash-recovery}
+
+    A recovered node rejoins in one of two states: {e amnesiac} (the
+    crash lost the RI; only the local index survives) or {e stale}
+    (it replays a persisted row image from before the crash).  Either
+    way it re-announces itself to its neighbors like the fresh join of
+    Section 5.1 and relies on anti-entropy ({!Update.anti_entropy}) or
+    ordinary waves to finish converging. *)
+
+type rejoin =
+  | Amnesiac  (** rejoin with an empty RI; every live link opens a gap *)
+  | Stale_state of Bytes.t
+      (** rejoin replaying a {!persist_rows} image taken before the
+          crash *)
+
+val persist_rows : Network.t -> int -> Bytes.t
+(** Serialize one node's RI rows — [Ri_sim.Snapshot]-style row
+    sections: IEEE float bits, little-endian, rows in the store's live
+    iteration order — so persist → restore round-trips bit-identically.
+    @raise Invalid_argument on an out-of-range node or an RI-less
+    network. *)
+
+val recover :
+  ?on_event:(Update.event -> unit) ->
+  Network.t ->
+  int ->
+  rejoin:rejoin ->
+  plan:Fault.t ->
+  counters:Message.counters ->
+  unit
+(** Bring a crash-stopped node back.  Revokes every death certificate
+    naming it ({!Fault.revive}) {e before} anything is announced, so
+    certificate gossip cannot re-delete the fresh rows; installs the
+    rejoin state (amnesiac: no rows + a recorded gap per live link;
+    stale: the persisted image, rows toward since-vanished links
+    dropped); marks the node dirty; and re-announces with a full
+    {!Update.propagate} — subject to the plan's faults like any other
+    wave.
+    @raise Invalid_argument if the node is out of range, not currently
+    crash-stopped, or the stale image is corrupt. *)

@@ -48,6 +48,12 @@ let wire_full_bytes ~entries = 8 + (8 * entries)
 
 let wire_delta_bytes ~changed = 8 + (12 * changed)
 
+(* An anti-entropy digest names the newest per-row wave stamp and the
+   link's last-seen sequence number — three 8-byte words.  Row content
+   never rides in a digest; a mismatch triggers a full exchange billed
+   at [wire_full_bytes]. *)
+let wire_digest_bytes = 24
+
 let bytes_of b c =
   float_of_int
     (((c.query_forwards + c.query_returns) * b.query_bytes)

@@ -198,7 +198,7 @@ let run ?rng ?(on_event = fun (_ : event) -> ())
      to claim) and crash-stopped nodes impassable. *)
   let truth_of u v =
     match plan with
-    | Some p when Fault.is_dead p v -> 0
+    | Some p when Fault.is_dead p v || not (Fault.same_side p u v) -> 0
     | _ ->
         let seen = Bytes.make n '\000' in
         Bytes.set seen u '\001';
@@ -214,7 +214,9 @@ let run ?rng ?(on_event = fun (_ : event) -> ())
               if Bytes.get seen y = '\000' then begin
                 Bytes.set seen y '\001';
                 match plan with
-                | Some p when Fault.is_dead p y -> ()
+                | Some p when Fault.is_dead p y || not (Fault.same_side p x y)
+                  ->
+                    ()
                 | _ -> Queue.add y q
               end)
             (Network.neighbors net x)
@@ -373,7 +375,11 @@ let run ?rng ?(on_event = fun (_ : event) -> ())
                     counters.query_forwards <- counters.query_forwards + 1;
                     on_event (Forwarded { sender = top.node; receiver = v });
                     let lost =
-                      if Fault.is_dead p v then true else Fault.flap p
+                      (* A cross-cut forward can never land; like a dead
+                         receiver it consumes no flap draw. *)
+                      if Fault.is_dead p v || not (Fault.same_side p top.node v)
+                      then true
+                      else Fault.flap p
                     in
                     if not lost then delivered := true
                     else begin
@@ -415,6 +421,15 @@ let run ?rng ?(on_event = fun (_ : event) -> ())
                       Ri_obs.Decision.emit decide
                         (Follow { node = top.node; target = v; rank });
                     descend top v
+                  end
+                  else if not (Fault.same_side p top.node v) then begin
+                    (* Unreachable across an active cut: the peer is
+                       suspected, not buried.  No death certificate —
+                       post-heal anti-entropy must find both nodes alive
+                       — but the row gets a gap mark so ranking demotes
+                       it until the link is reconciled. *)
+                    Fault.note_missed p ~at:top.node ~peer:v;
+                    on_event (Gave_up { sender = top.node; receiver = v })
                   end
                   else if not (Fault.knows_dead p ~at:top.node ~dead:v) then begin
                     (* Presumed dead (possibly a false positive from
@@ -580,7 +595,7 @@ let flood ?(on_event = fun (_ : event) -> ()) ?plan net ~origin ~query ?ttl () =
        and never retries. *)
     if not processed.(v) then
       match plan with
-      | Some p when Fault.is_dead p v -> ()
+      | Some p when Fault.is_dead p v || not (Fault.same_side p from v) -> ()
       | _ -> process v ~depth ~from
   done;
   record_outcome m_flood

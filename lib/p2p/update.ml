@@ -21,6 +21,9 @@ type event =
   | Round of { index : int; pending : int }
       (** A message generation begins with [pending] messages queued.
           Emitted before any delivery of the round, including round 0. *)
+  | Repaired of { u : int; v : int }
+      (** An anti-entropy digest exchange found the [(u, v)] link stale
+          and both endpoints swapped full aggregates. *)
 
 let m_waves =
   Ri_obs.Metrics.counter ~help:"Update waves propagated." "ri_update_waves_total"
@@ -43,6 +46,15 @@ let m_wire_bytes =
   Ri_obs.Metrics.counter
     ~help:"Simulated bytes shipped by update messages (delta encoding)."
     "ri_update_wire_bytes_total"
+
+let m_ae_rounds =
+  Ri_obs.Metrics.counter ~help:"Anti-entropy digest rounds run."
+    "ri_update_ae_rounds_total"
+
+let m_ae_repairs =
+  Ri_obs.Metrics.counter
+    ~help:"Links repaired by anti-entropy full exchanges."
+    "ri_update_ae_repairs_total"
 
 let significant net ~baseline ~payload =
   match baseline with
@@ -166,8 +178,13 @@ let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
     List.iter (fun s -> Queue.add (Fresh s) current) seeds;
     let delayed = ref [] in
     let round = ref 0 in
-    if not (Queue.is_empty current) then
+    if not (Queue.is_empty current) then begin
       emit (Round { index = 0; pending = Queue.length current });
+      (* Scheduled heal: the cut counts the waves it has severed and
+         drops once [heal_after] is exceeded.  Only waves that actually
+         send count — empty-seed calls are invisible. *)
+      Option.iter Fault.note_wave_start plan
+    end;
     let detect = Network.cycle_policy net = Network.Detect_recover in
     let sent = ref 0 in
     let wire = ref 0 in
@@ -241,6 +258,17 @@ let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
       end
     in
     let forward_next s = Queue.add (Fresh s) next in
+    (* An active partition severs the link outright.  Unlike a loss
+       draw this consumes no randomness (healing the cut must not shift
+       any stream), and unlike a crash both endpoints are live: each
+       records a detectable gap toward the other, so post-heal
+       anti-entropy knows exactly which rows to reconcile. *)
+    let severed p { sender; receiver; _ } =
+      Fault.note_partition_drop p;
+      Fault.note_missed p ~at:sender ~peer:receiver;
+      Fault.note_missed p ~at:receiver ~peer:sender;
+      emit (Dropped { sender; receiver; dead = false })
+    in
     (* Sharded rounds.  A round's messages are fixed when it starts
        (onward exports land in [next], never in [current]), and a
        delivery only touches its receiver's state: the receiver's RI,
@@ -333,7 +361,14 @@ let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
         | Some p when Queue.length current >= shard_min -> sharded_round p
         | _ -> (
             match Queue.pop current with
-            | Due seed -> deliver ~forward:forward_next seed
+            | Due seed -> (
+                match plan with
+                | Some p when not (Fault.same_side p seed.sender seed.receiver)
+                  ->
+                    (* The message was in flight when the cut activated
+                       (or was delayed across it): it never lands. *)
+                    severed p seed
+                | _ -> deliver ~forward:forward_next seed)
             | Fresh seed
               when not (Network.has_link net seed.sender seed.receiver) ->
                 (* A row can outlive its link mid-churn: rows drive the
@@ -352,6 +387,9 @@ let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
                 counters.Message.update_wire_bytes <-
                   counters.Message.update_wire_bytes + bytes;
                 match plan with
+                | Some p when not (Fault.same_side p seed.sender seed.receiver)
+                  ->
+                    severed p seed
                 | Some p when Fault.is_dead p seed.receiver ->
                     Fault.note_drop p ~dead:true;
                     (* No acknowledgement will ever come back from a
@@ -430,6 +468,127 @@ let local_change ?on_event ?plan ?pool net ~origin ~summary ~counters =
         Network.set_local_summary net origin summary)
   in
   wave ?on_event ?plan ?pool net ~seeds ~already_reached:[ origin ] ~counters
+
+(* One periodic anti-entropy round: every live, connected link exchanges
+   digests (per-row wave stamps + link sequence state), and links with
+   recorded gaps or a dirty endpoint escalate to a full two-way
+   aggregate exchange followed by an onward wave.  Repair is triggered
+   by the gap ledger, never by comparing row content against the
+   neighbor's current aggregate: on a cyclic overlay the resting state
+   is not a strict fixed point (see [deliver]'s baseline-alignment
+   comment), so content-chasing would re-inject historical drift and
+   count to infinity.  Gap-free divergence downstream of a repaired link
+   heals through the onward waves' ordinary significance test. *)
+let anti_entropy ?on_event ~plan net ~counters =
+  if not (Network.has_ri net) then 0
+  else begin
+    let emit =
+      match on_event with Some f -> f | None -> fun (_ : event) -> ()
+    in
+    let n = Network.size net in
+    let repairs = ref 0 in
+    Ri_obs.Metrics.incr m_ae_rounds;
+    (* Dirt raised mid-round (corpse detection below) must survive to
+       the next round: links ordered before the discovery were digested
+       against the old state.  Only dirt present at round start is spent
+       by this round. *)
+    let dirty_at_start = Array.init n (fun v -> Fault.dirty plan v) in
+    for u = 0 to n - 1 do
+      if not (Fault.is_dead plan u) then
+        Array.iter
+          (fun v ->
+            if v > u then
+              if Fault.is_dead plan v then begin
+                (* The digest probe gets no reply: the periodic exchange
+                   doubles as a failure detector, without waiting for a
+                   query to stumble over the corpse. *)
+                counters.Message.update_messages <-
+                  counters.Message.update_messages + 1;
+                counters.Message.update_wire_bytes <-
+                  counters.Message.update_wire_bytes + Message.wire_digest_bytes;
+                if Fault.learn_dead plan ~at:u ~dead:v then begin
+                  (match Scheme.row (Network.ri net u) ~peer:v with
+                  | Some _ ->
+                      Scheme.remove_row (Network.ri net u) ~peer:v;
+                      Fault.note_repair plan
+                  | None -> ());
+                  Fault.set_dirty plan u;
+                  (* Count the detection as a repair: u's exports just
+                     changed, so the caller must run at least one more
+                     round to spend the dirt on u's other links. *)
+                  incr repairs
+                end;
+                (* The row is gone; a standing gap toward the corpse
+                   would taint u's exports forever. *)
+                Fault.clear_missed plan ~at:u ~peer:v
+              end
+              else if Fault.same_side plan u v then begin
+                counters.Message.update_messages <-
+                  counters.Message.update_messages + 2;
+                counters.Message.update_wire_bytes <-
+                  counters.Message.update_wire_bytes
+                  + (2 * Message.wire_digest_bytes);
+                let needs_repair =
+                  Fault.missed plan ~at:u ~peer:v > 0
+                  || Fault.missed plan ~at:v ~peer:u > 0
+                  || Fault.dirty plan u || Fault.dirty plan v
+                in
+                if needs_repair then begin
+                  (* Trustworthiness is judged on the pre-exchange gap
+                     state: an aggregate computed from gapped inputs
+                     cannot certify the peer's row even though it is
+                     about to be stored. *)
+                  let u_trust = not (Fault.tainted plan ~at:u ~toward:v) in
+                  let v_trust = not (Fault.tainted plan ~at:v ~toward:u) in
+                  let to_v = Network.export_to net u ~peer:v in
+                  let to_u = Network.export_to net v ~peer:u in
+                  counters.Message.update_messages <-
+                    counters.Message.update_messages + 2;
+                  counters.Message.update_wire_bytes <-
+                    counters.Message.update_wire_bytes
+                    + Message.wire_full_bytes
+                        ~entries:(Scheme.payload_entries to_v)
+                    + Message.wire_full_bytes
+                        ~entries:(Scheme.payload_entries to_u);
+                  let wave_id = Network.fresh_wave net in
+                  let seeds_v =
+                    seeds_for_change ~plan net ~at:v ~except:[ u ]
+                      ~mutate:(fun () ->
+                        Scheme.set_row (Network.ri net v) ~peer:u to_v)
+                  in
+                  Scheme.stamp_row (Network.ri net v) ~peer:u wave_id;
+                  let seeds_u =
+                    seeds_for_change ~plan net ~at:u ~except:[ v ]
+                      ~mutate:(fun () ->
+                        Scheme.set_row (Network.ri net u) ~peer:v to_u)
+                  in
+                  Scheme.stamp_row (Network.ri net u) ~peer:v wave_id;
+                  if v_trust then Fault.clear_missed plan ~at:u ~peer:v;
+                  if u_trust then Fault.clear_missed plan ~at:v ~peer:u;
+                  Fault.note_repair plan;
+                  Ri_obs.Metrics.incr m_ae_repairs;
+                  incr repairs;
+                  emit (Repaired { u; v });
+                  (* Push the corrected aggregates onward so downstream
+                     rows with no recorded gap converge through the
+                     normal significance-damped wave. *)
+                  wave ?on_event ~plan net
+                    ~seeds:(seeds_u @ seeds_v)
+                    ~already_reached:[ u; v ] ~counters
+                end
+              end)
+          (Network.neighbors net u)
+    done;
+    (* Every live link has been digested against round-start dirt, so
+       that dirt is spent; dirt raised mid-round keeps its flag (unless
+       a later link exchange of this round already consumed it — the
+       ledger still covers the rest). *)
+    for v = 0 to n - 1 do
+      if dirty_at_start.(v) && not (Fault.is_dead plan v) then
+        Fault.clear_dirty plan v
+    done;
+    !repairs
+  end
 
 module Batcher = struct
   type nonrec t = {

@@ -75,6 +75,9 @@ type event =
       (** a message generation begins with [pending] messages queued;
           emitted before any delivery of the round, including round 0 —
           the span tracer hangs its per-round children off these *)
+  | Repaired of { u : int; v : int }
+      (** anti-entropy: the [(u, v)] digest exchange found the link
+          stale and both endpoints swapped full aggregates *)
 
 val local_change :
   ?on_event:(event -> unit) ->
@@ -117,6 +120,41 @@ val seeds_for_change :
     from before and after the mutation, addressed to every current
     neighbor not in [except].  Feed them to {!wave}.  With [plan], the
     seeds carry the staleness bit when [at] has an open gap. *)
+
+val anti_entropy :
+  ?on_event:(event -> unit) ->
+  plan:Fault.t ->
+  Network.t ->
+  counters:Message.counters ->
+  int
+(** One periodic anti-entropy round, the proactive counterpart to
+    {!Churn.reconcile}'s lazy first-contact repair.  Every live,
+    same-side link [(u, v)] exchanges digests (newest per-row wave
+    stamp + link sequence state, {!Message.wire_digest_bytes} each
+    way); links where either endpoint has a recorded gap
+    ({!Fault.missed}) or un-reconciled fault knowledge ({!Fault.dirty})
+    escalate to a two-way dense full exchange, stamp both rows with a
+    fresh wave id, clear the gaps whose counterpart was trustworthy
+    ({!Fault.tainted} judged pre-exchange), and push the corrected
+    aggregates onward as an ordinary significance-damped wave.  A
+    digest probing a crash-stopped neighbor gets no reply and doubles
+    as a failure detector (certificate + row removal, as
+    {!Churn.detect_crash}).
+
+    Repair triggers on the {e gap ledger}, never on comparing row
+    content against the neighbor's current aggregate: on a cyclic
+    overlay the resting state is not a strict fixed point, so
+    content-chasing would re-inject historical drift and count to
+    infinity.  Divergence downstream of a repaired link heals through
+    the onward waves.
+
+    Returns the number of repairs performed (full exchanges plus corpse
+    detections) — [0] means the round found nothing to fix.  Callers
+    loop until quiescence with a bounded round cap: on {e cyclic}
+    overlays a cycle of mutually tainted gaps can in principle refuse
+    to drain (every exchange distrusted by both sides); on forests the
+    taint frontier strictly shrinks every round, so the loop terminates
+    in at most the gap-graph depth. *)
 
 (** Deferred update batching — "For efficiency, we may delay exporting
     an update for a short time so we can batch several updates, thus
@@ -175,6 +213,12 @@ val wave :
     refreshes the row with best-effort data but leaves the gap
     recorded.  Omitting [plan] leaves the wave bit-for-bit identical to
     the fault-free simulator.
+
+    An active partition severs every cross-cut message — fresh or
+    delayed-in-flight — without consuming randomness; both endpoints
+    record the gap, so post-heal anti-entropy knows which rows to
+    reconcile.  Each wave that actually sends also ticks the plan's
+    scheduled-heal counter ({!Fault.note_wave_start}).
 
     [max_messages] (default [20 * (nodes + Σ degree)]) bounds the wave:
     on an overlay whose mean degree exceeds the RI's assumed fanout, a

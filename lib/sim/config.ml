@@ -24,11 +24,13 @@ type t = {
   compression_ratio : float;
   compression_mode : Compression.error_kind;
   min_update : float;
+  update_distance_floor : float;
   cycle_policy : Network.cycle_policy;
   search : search;
   bytes : Message.byte_costs;
   update_fraction : float;
   fault : Fault.spec;
+  fault_seed : int option;
   quant_bits : int option;
   seed : int;
 }
@@ -54,11 +56,13 @@ let base =
     compression_ratio = 0.;
     compression_mode = Compression.Overcount;
     min_update = 0.01;
+    update_distance_floor = 1.0;
     cycle_policy = Network.Detect_recover;
     search = Ri (Scheme.Eri_kind { fanout = 4. });
     bytes = Message.paper_base_bytes;
     update_fraction = 0.05;
     fault = Fault.none;
+    fault_seed = None;
     quant_bits = None;
     seed = 42;
   }
@@ -125,6 +129,8 @@ let validate t =
   else if t.compression_ratio < 0. || t.compression_ratio >= 1. then
     err "compression_ratio must be in [0, 1)"
   else if t.min_update < 0. then err "min_update must be non-negative"
+  else if t.update_distance_floor < 0. then
+    err "update_distance_floor must be non-negative"
   else if
     match t.quant_bits with Some b -> b < 1 || b > 16 | None -> false
   then err "quant_bits must be in [1, 16]"
@@ -164,5 +170,10 @@ let pp ppf t =
     | Network.Detect_recover -> "detect")
     (search_name t.search)
     (fun ppf ->
+      if t.update_distance_floor <> base.update_distance_floor then
+        Format.fprintf ppf " floor=%g" t.update_distance_floor;
       if Fault.active t.fault then
-        Format.fprintf ppf " faults=[%a]" Fault.pp t.fault)
+        Format.fprintf ppf " faults=[%a]" Fault.pp t.fault;
+      match t.fault_seed with
+      | Some fs -> Format.fprintf ppf " faultSeed=%d" fs
+      | None -> ())

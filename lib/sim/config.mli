@@ -47,6 +47,12 @@ type t = {
   compression_ratio : float;  (** c, fraction of index entries saved *)
   compression_mode : Ri_content.Compression.error_kind;
   min_update : float;  (** minUpdate, as a fraction *)
+  update_distance_floor : float;
+      (** absolute Euclidean floor of the update-significance test
+          ({!Ri_p2p.Network.create}'s [update_distance_floor]; the base
+          value, [1.0], matches its default).  The recovery experiments
+          set it to [0.] together with [min_update = 0.] so the
+          post-heal fixpoint is exact. *)
   cycle_policy : Ri_p2p.Network.cycle_policy;
   search : search;
   bytes : Ri_p2p.Message.byte_costs;
@@ -60,6 +66,12 @@ type t = {
       (** fault environment for {!Trial.run_query_faulty} and faulty
           updates; {!Ri_p2p.Fault.none} (the base value) leaves every
           code path bit-for-bit identical to the fault-free simulator *)
+  fault_seed : int option;
+      (** decouple the fault plan's PRNG from the topology [seed]
+          ([--fault-seed]): the same fault schedule — kills, losses,
+          partition shape draws — replays against different networks.
+          [None] (the base value) derives the plan from [seed] as
+          before. *)
   quant_bits : int option;
       (** store RI rows log-quantized to this many bits per cell
           ({!Ri_core.Rowstore.default_quant} vmax); [None] — the base

@@ -59,6 +59,7 @@ type network_key = {
   n_error_kind : Compression.error_kind;
   n_policy : Ri_p2p.Network.cycle_policy;
   n_min_update : float;
+  n_floor : float;  (* update_distance_floor *)
   n_origin : int option;  (* [Rooted] origin; [None] is converged *)
   n_quant : int option;  (* quantization bits; [None] is exact floats *)
   n_source : source;

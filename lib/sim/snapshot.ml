@@ -546,6 +546,7 @@ let load path (cfg : Config.t) ~trial =
             n_error_kind = cfg.compression_mode;
             n_policy = cfg.cycle_policy;
             n_min_update = cfg.min_update;
+            n_floor = cfg.update_distance_floor;
             n_origin = (if rooted then Some origin else None);
             n_quant = cfg.quant_bits;
             n_source = Setup_cache.Snapshot path;

@@ -121,7 +121,8 @@ let build ?(purpose = For_query) ?perturb ?(mutable_placement = false)
           Network.create ~graph ~content
             ?scheme:(Config.scheme_kind cfg)
             ~compression:(Config.compression cfg)
-            ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update ?perturb
+            ~cycle_policy:cfg.cycle_policy ~min_update:cfg.min_update
+            ~update_distance_floor:cfg.update_distance_floor ?perturb
             ~rng:net_rng ~mode
             ?quant:(Config.quant cfg)
             ()
@@ -143,6 +144,7 @@ let build ?(purpose = For_query) ?perturb ?(mutable_placement = false)
               n_error_kind = cfg.compression_mode;
               n_policy = cfg.cycle_policy;
               n_min_update = cfg.min_update;
+              n_floor = cfg.update_distance_floor;
               n_origin =
                 (match mode with
                 | Network.Rooted o -> Some o
@@ -273,7 +275,10 @@ let update_hook sink =
             ]
       | Update.Round { index; pending } ->
           Trace.emit sink ~cat:"update" "round"
-            [ ("index", Trace.Int index); ("pending", Trace.Int pending) ])
+            [ ("index", Trace.Int index); ("pending", Trace.Int pending) ]
+      | Update.Repaired { u; v } ->
+          Trace.emit sink ~cat:"fault" "ae_repair"
+            [ ("u", Trace.Int u); ("v", Trace.Int v) ])
 
 (* Span hooks: the causal layer over the same p2p events.  A query root
    parents point-like hop / backtrack / retry / fallback children; an
@@ -357,7 +362,10 @@ let span_update_hook ssink root =
                 ("sender", Span.Int sender);
                 ("receiver", Span.Int receiver);
                 ("rounds", Span.Int rounds);
-              ])
+              ]
+        | Update.Repaired { u; v } ->
+            Span.instant ssink ?parent:!round ~cat:"fault" "ae_repair"
+              [ ("u", Span.Int u); ("v", Span.Int v) ])
     in
     (Some handler, close_round)
   end
@@ -503,39 +511,42 @@ let drift_content plan setup ~counters ?on_event () =
     done
   end
 
+(* The paired clean baseline — recall's denominator — replays the same
+   build, the same content drift and the same query budget as a faulty
+   trial with every fault rate at zero: its corrective waves all
+   deliver, nothing crashes, no cut severs anything, and its indices
+   converge on the drifted world.  Recall against it then measures
+   fault damage alone (exactly 1 when every rate is zero), not the
+   drift's rearrangement of the content. *)
+let clean_found_baseline (cfg : Config.t) ~trial ~spec =
+  let clean_spec =
+    {
+      Fault.none with
+      Fault.drift = spec.Fault.drift;
+      query_budget = spec.Fault.query_budget;
+    }
+  in
+  let setup =
+    build ~purpose:For_update
+      ~mutable_placement:(clean_spec.Fault.drift > 0.)
+      cfg ~trial
+  in
+  let plan =
+    Fault.make clean_spec ?fault_seed:cfg.fault_seed
+      ~neighbors:(Network.neighbors setup.network)
+      ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes ~protect:[ setup.origin ]
+  in
+  drift_content plan setup ~counters:(Message.create ()) ();
+  (query_outcome ~plan cfg setup).Query.found
+
 let run_query_faulty (cfg : Config.t) ~trial =
   let spec = cfg.fault in
   if not (Fault.active spec) then
     invalid_arg "Trial.run_query_faulty: inert fault spec (use run_query)";
   (* Faulty trials always run on the converged construction: corrective
      waves must be able to reach the rows that guide routing from the
-     origin, which the rooted (downstream-only) build cannot express.
-     The paired clean baseline — recall's denominator — replays the same
-     build, the same content drift and the same query budget with every
-     fault rate at zero: its corrective waves all deliver, nothing
-     crashes, and its indices converge on the drifted world.  Recall
-     then measures fault damage alone (exactly 1 when every rate is
-     zero), not the drift's rearrangement of the content. *)
-  let clean_found =
-    let clean_spec =
-      {
-        Fault.none with
-        Fault.drift = spec.Fault.drift;
-        query_budget = spec.Fault.query_budget;
-      }
-    in
-    let setup =
-      build ~purpose:For_update
-        ~mutable_placement:(clean_spec.Fault.drift > 0.)
-        cfg ~trial
-    in
-    let plan =
-      Fault.make clean_spec ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes
-        ~protect:[ setup.origin ]
-    in
-    drift_content plan setup ~counters:(Message.create ()) ();
-    (query_outcome ~plan cfg setup).Query.found
-  in
+     origin, which the rooted (downstream-only) build cannot express. *)
+  let clean_found = clean_found_baseline cfg ~trial ~spec in
   Trace.with_trial ~trial (fun sink ->
       Decision.with_trial ~trial (fun decide ->
       Span.with_trial ~trial (fun ssink ->
@@ -544,8 +555,9 @@ let run_query_faulty (cfg : Config.t) ~trial =
           cfg ~trial
       in
       let plan =
-        Fault.make spec ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes
-          ~protect:[ setup.origin ]
+        Fault.make spec ?fault_seed:cfg.fault_seed
+          ~neighbors:(Network.neighbors setup.network)
+          ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes ~protect:[ setup.origin ]
       in
       let drift_counters = Message.create () in
       Phase.time "drift" (fun () ->
@@ -693,7 +705,9 @@ let run_update (cfg : Config.t) ~trial =
   let plan =
     if Fault.active cfg.fault then
       Some
-        (Fault.make cfg.fault ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes
+        (Fault.make cfg.fault ?fault_seed:cfg.fault_seed
+           ~neighbors:(Network.neighbors setup.network)
+           ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes
            ~protect:[ setup.origin ])
     else None
   in
@@ -719,3 +733,132 @@ let run_update (cfg : Config.t) ~trial =
                   ]
                 ();
               m)))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery trials: damage, dip, heal, reconverge.                     *)
+
+type recovery_metrics = {
+  r_dip : query_metrics;
+  r_restored : query_metrics;
+  r_clean_found : int;
+  r_dip_recall : float;
+  r_restored_recall : float;
+  r_cut_size : int;
+  r_recovered : int;
+  r_ae_rounds : int;
+  r_ae_repairs : int;
+  r_recovery_messages : int;
+  r_stats : Fault.stats;
+}
+
+(* Safety valve only: on trees the taint frontier shrinks every round,
+   but a mutual-taint gap cycle on a cyclic overlay could ping-pong
+   forever (see [Update.anti_entropy]'s doc). *)
+let ae_round_cap = 64
+
+let run_recovery (cfg : Config.t) ~trial =
+  let spec = cfg.fault in
+  if not (Fault.active spec) then
+    invalid_arg "Trial.run_recovery: inert fault spec (use run_query)";
+  (match cfg.search with
+  | Config.Ri _ -> ()
+  | Config.No_ri | Config.Flooding _ ->
+      invalid_arg "Trial.run_recovery: needs an RI search mechanism");
+  let clean_found = clean_found_baseline cfg ~trial ~spec in
+  Trace.with_trial ~trial (fun sink ->
+      Decision.with_trial ~trial (fun decide ->
+      Span.with_trial ~trial (fun ssink ->
+      let setup =
+        build ~purpose:For_update ~mutable_placement:(spec.Fault.drift > 0.)
+          cfg ~trial
+      in
+      let n = Network.size setup.network in
+      let plan =
+        Fault.make spec ?fault_seed:cfg.fault_seed
+          ~neighbors:(Network.neighbors setup.network)
+          ~seed:cfg.seed ~trial ~nodes:cfg.num_nodes ~protect:[ setup.origin ]
+      in
+      let cut = Fault.cut_size plan in
+      (* Persist every odd-numbered victim's rows now — before the drift
+         — so its later [Stale_state] rejoin replays a genuinely stale
+         image; even-numbered victims rejoin amnesiac. *)
+      let images = Hashtbl.create 8 in
+      for v = 0 to n - 1 do
+        if Fault.is_dead plan v && v land 1 = 1 then
+          Hashtbl.replace images v (Churn.persist_rows setup.network v)
+      done;
+      let drift_counters = Message.create () in
+      Phase.time "drift" (fun () ->
+          drift_content plan setup ~counters:drift_counters
+            ?on_event:(update_hook sink) ());
+      (* The dip: query the damaged network — victims silent, the cut
+         severing forwards, stale rows misrouting. *)
+      let dip =
+        Phase.time "query" (fun () ->
+            run_query_on ?on_event:(query_hook sink) ~decide ~plan cfg setup)
+      in
+      let recovery_counters = Message.create () in
+      let recovered = ref 0 in
+      let rounds = ref 0 in
+      let repairs = ref 0 in
+      Phase.time "recovery" (fun () ->
+          let root = Span.enter ssink ~cat:"fault" "recovery" [] in
+          let shook, close_round = span_update_hook ssink root in
+          let on_event = compose_hooks (update_hook sink) shook in
+          (* Heal the cut and stop the weather first: reconvergence is
+             then a property of the repair machinery alone, not of how
+             lucky the re-announcement waves get. *)
+          Fault.heal_partition plan;
+          Fault.quiesce plan;
+          for v = 0 to n - 1 do
+            if Fault.is_dead plan v then begin
+              let rejoin =
+                match Hashtbl.find_opt images v with
+                | Some bytes -> Churn.Stale_state bytes
+                | None -> Churn.Amnesiac
+              in
+              Churn.recover ?on_event setup.network v ~rejoin ~plan
+                ~counters:recovery_counters;
+              incr recovered
+            end
+          done;
+          let continue = ref true in
+          while !continue && !rounds < ae_round_cap do
+            let r =
+              Update.anti_entropy ?on_event ~plan setup.network
+                ~counters:recovery_counters
+            in
+            incr rounds;
+            repairs := !repairs + r;
+            if r = 0 then continue := false
+          done;
+          close_round ();
+          Span.finish ssink root
+            ~args:
+              [
+                ("recovered", Span.Int !recovered);
+                ("ae_rounds", Span.Int !rounds);
+                ("ae_repairs", Span.Int !repairs);
+              ]
+            ());
+      let restored =
+        Phase.time "query" (fun () ->
+            run_query_on ?on_event:(query_hook sink) ~decide ~plan cfg setup)
+      in
+      let recall found =
+        if clean_found = 0 then 1.
+        else float_of_int found /. float_of_int clean_found
+      in
+      {
+        r_dip = dip;
+        r_restored = restored;
+        r_clean_found = clean_found;
+        r_dip_recall = recall dip.found;
+        r_restored_recall = recall restored.found;
+        r_cut_size = cut;
+        r_recovered = !recovered;
+        r_ae_rounds = !rounds;
+        r_ae_repairs = !repairs;
+        r_recovery_messages = recovery_counters.Message.update_messages;
+        r_stats = Fault.stats plan;
+      })))

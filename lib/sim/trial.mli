@@ -151,3 +151,35 @@ val run_update_on :
   Config.t ->
   setup ->
   update_metrics
+
+type recovery_metrics = {
+  r_dip : query_metrics;  (** the query run against the damaged network *)
+  r_restored : query_metrics;  (** the same query after heal + recovery *)
+  r_clean_found : int;  (** the paired fault-free baseline's result count *)
+  r_dip_recall : float;  (** [r_dip.found / r_clean_found] *)
+  r_restored_recall : float;
+      (** [r_restored.found / r_clean_found] — the acceptance target is
+          a return to [1.0] once anti-entropy quiesces *)
+  r_cut_size : int;  (** minority side of the partition (0 without one) *)
+  r_recovered : int;  (** crash victims brought back *)
+  r_ae_rounds : int;  (** anti-entropy rounds until a repair-free round *)
+  r_ae_repairs : int;  (** total link repairs across those rounds *)
+  r_recovery_messages : int;
+      (** update messages spent on rejoin announcements + anti-entropy *)
+  r_stats : Ri_p2p.Fault.stats;
+}
+
+val run_recovery : Config.t -> trial:int -> recovery_metrics
+(** One damage → dip → heal → reconverge cycle.  Builds the converged
+    network under [cfg.fault] (partition and/or crashes), persists each
+    odd-numbered victim's pre-drift rows, drifts content through the
+    faulty waves, and measures the {e dip} query.  Then heals the
+    partition, enters quiesced mode (loss/delay/flap off, so
+    reconvergence measures the repair machinery alone), recovers every
+    victim ({!Ri_p2p.Churn.recover} — odd victims replay their stale
+    image, even ones rejoin amnesiac), runs
+    {!Ri_p2p.Update.anti_entropy} to a repair-free round (capped at 64),
+    and measures the {e restored} query.  Recall for both queries is
+    against the same clean baseline as {!run_query_faulty}.
+    @raise Invalid_argument when [cfg.fault] is inert or the config does
+    not search with an RI. *)

@@ -35,15 +35,27 @@ let int ?(min = 1) ?(max = max_int) name default =
           warn name "not an integer; using default %d" default;
           default)
 
+(* The one range check behind both policies: the env parser warns and
+   falls back on [Error]; strict consumers (CLI flag validation) refuse
+   outright.  NaN is rejected explicitly — it fails every comparison,
+   so [v >= min] alone would silently admit it nowhere and the message
+   would blame the range. *)
+let check_float ?(min = 0.) ?(max = infinity) ~what v =
+  if Float.is_nan v then Error (Printf.sprintf "%s must be a number, got nan" what)
+  else if v >= min && v <= max then Ok v
+  else Error (Printf.sprintf "%s must be in [%g, %g], got %g" what min max v)
+
 let float ?(min = 0.) ?(max = infinity) name default =
   match lookup name with
   | None -> default
   | Some s -> (
       match float_of_string_opt s with
-      | Some v when v >= min && v <= max -> v
-      | Some _ ->
-          warn name "outside [%g, %g]; using default %g" min max default;
-          default
+      | Some v -> (
+          match check_float ~min ~max ~what:name v with
+          | Ok v -> v
+          | Error _ ->
+              warn name "outside [%g, %g]; using default %g" min max default;
+              default)
       | None ->
           warn name "not a number; using default %g" default;
           default)

@@ -18,6 +18,14 @@ val float : ?min:float -> ?max:float -> string -> float -> float
 (** [float name default], same policy; the range defaults to
     [[0., infinity]]. *)
 
+val check_float :
+  ?min:float -> ?max:float -> what:string -> float -> (float, string) result
+(** The range check behind {!float}, exposed for strict consumers: [Ok]
+    the value when it lies in [[min, max]] (same defaults), [Error] a
+    human-readable message naming [what] otherwise.  NaN is always an
+    error.  Unlike the env-variable readers this never warns or falls
+    back — the CLI uses it to refuse out-of-range flag values outright. *)
+
 val bool : string -> bool -> bool
 (** [bool name default] accepts [1/true/yes/on] and [0/false/no/off]
     (case-insensitive); anything else warns once and falls back. *)

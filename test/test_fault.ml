@@ -29,9 +29,17 @@ let test_spec_validation () =
     (Fault.validate { Fault.none with Fault.update_loss = 1.5 } <> Ok ());
   Alcotest.(check bool) "all nodes crashed rejected" true
     (Fault.validate { Fault.none with Fault.crash = 1.0 } <> Ok ());
+  Alcotest.(check bool) "partition > 1 rejected" true
+    (Fault.validate { Fault.none with Fault.partition = 1.5 } <> Ok ());
+  Alcotest.(check bool) "full partition rejected" true
+    (Fault.validate { Fault.none with Fault.partition = 1.0 } <> Ok ());
+  Alcotest.(check bool) "negative heal_after rejected" true
+    (Fault.validate { Fault.none with Fault.heal_after = Some (-1) } <> Ok ());
   Alcotest.(check bool) "none is inactive" false (Fault.active Fault.none);
   Alcotest.(check bool) "budget alone stays inactive" false
     (Fault.active { Fault.none with Fault.query_budget = Some 10 });
+  Alcotest.(check bool) "partition alone is active" true
+    (Fault.active { Fault.none with Fault.partition = 0.3 });
   Alcotest.(check bool) "heavy is active" true (Fault.active heavy)
 
 let test_plan_determinism () =
@@ -84,10 +92,32 @@ let test_staleness_ledger () =
   Alcotest.(check bool) "no taint after healing" false
     (Fault.tainted plan ~at:1 ~toward:3)
 
-let test_backoff_exponential () =
-  let plan = Fault.make heavy ~seed:1 ~trial:0 ~nodes:10 ~protect:[ 0 ] in
-  Alcotest.(check (list int)) "backoff * 2^attempt" [ 1; 2; 4; 8 ]
-    (List.init 4 (fun k -> Fault.backoff_ticks plan ~attempt:k))
+let test_backoff_full_jitter () =
+  (* Ticks are uniform in [0, backoff * 2^attempt]: bounded above by the
+     doubling envelope, deterministic for identical plans (dedicated
+     retry stream), and free when the base backoff is zero. *)
+  let mk () = Fault.make heavy ~seed:1 ~trial:0 ~nodes:10 ~protect:[ 0 ] in
+  let a = mk () and b = mk () in
+  let draw plan = List.init 32 (fun k -> Fault.backoff_ticks plan ~attempt:(k mod 8)) in
+  let ticks = draw a in
+  Alcotest.(check (list int)) "identical plans draw identical jitter" ticks (draw b);
+  List.iteri
+    (fun k t ->
+      let bound = heavy.Fault.backoff * (1 lsl (k mod 8)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "tick %d within [0, %d]" k bound)
+        true
+        (t >= 0 && t <= bound))
+    ticks;
+  Alcotest.(check bool) "jitter actually varies" true
+    (List.exists (fun t -> t <> List.hd ticks) ticks);
+  let zero =
+    Fault.make { heavy with Fault.backoff = 0 } ~seed:1 ~trial:0 ~nodes:10
+      ~protect:[ 0 ]
+  in
+  Alcotest.(check (list int)) "zero base backoff means zero ticks"
+    [ 0; 0; 0; 0 ]
+    (List.init 4 (fun k -> Fault.backoff_ticks zero ~attempt:k))
 
 (* A 7-node path: 0-1-2-...-6, one topic, one document per node. *)
 let line_net n =
@@ -213,7 +243,7 @@ let suite =
       Alcotest.test_case "protected nodes survive" `Quick
         test_protected_nodes_survive;
       Alcotest.test_case "staleness ledger" `Quick test_staleness_ledger;
-      Alcotest.test_case "exponential backoff" `Quick test_backoff_exponential;
+      Alcotest.test_case "full-jitter backoff" `Quick test_backoff_full_jitter;
       Alcotest.test_case "total loss freezes rows" `Quick
         test_total_loss_freezes_rows;
       Alcotest.test_case "delay-only reaches same state" `Quick

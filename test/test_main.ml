@@ -27,6 +27,7 @@ let () =
       Test_update.suite;
       Test_churn.suite;
       Test_fault.suite;
+      Test_recovery.suite;
       Test_paper_examples.suite;
       Test_pool.suite;
       Test_json.suite;
