@@ -220,6 +220,27 @@ let core_micros () =
         Vecf.scale_slice flat ~pos:0 ~len:(width + 1) 1. );
     ( "update-delta-wave",
       fun () -> ignore (Trial.run_update_on micro_base upd_setup) );
+    (* One open-loop traffic trial on the discrete-event engine: ~40
+       Poisson arrivals interleaved through mailboxes with service and
+       link latency — the per-event scheduler cost under load. *)
+    ( "traffic-engine-trial",
+      let traffic_cfg =
+        Config.with_search micro_base (Config.Ri (Config.eri micro_base))
+      in
+      let opts =
+        {
+          Ri_experiments.Traffic.default_opts with
+          Ri_experiments.Traffic.o_qps = [ 2000. ];
+          o_duration = 0.02;
+          o_service_rate = 20_000.;
+          o_link_latency = 0.05;
+          o_trials = 1;
+        }
+      in
+      fun () ->
+        ignore
+          (Ri_experiments.Traffic.simulate traffic_cfg ~opts ~qps:2000.
+             ~trial:3) );
     ("core-export-all-100-peers", fun () -> ignore (Scheme.export_all big_ri));
     ( "core-rank-100-peers",
       fun () -> ignore (Scheme.rank big_ri ~query:[ 3 ] ~exclude:[]) );

@@ -7,7 +7,8 @@
      all                reproduce every figure
      query              run a single query trial and print its metrics
      update             run a single update trial and print its cost
-     scale              sweep network sizes, report throughput + memory *)
+     scale              sweep network sizes, report throughput + memory
+     traffic            open-loop QPS sweep on the discrete-event engine *)
 
 open Cmdliner
 open Ri_sim
@@ -92,6 +93,20 @@ let prob_conv ~what =
 
 let prob_arg name ~docv ~doc =
   Arg.(value & opt (prob_conv ~what:("--" ^ name)) 0. & info [ name ] ~docv ~doc)
+
+(* Same policy for general float flags with a custom range (the traffic
+   plane's rates and latencies): refused at parse time with a message
+   naming the flag, before any network is built. *)
+let float_conv ?min ?max ~what () =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s must be a number, got %S" what s))
+    | Some v -> (
+        match Ri_util.Env.check_float ?min ?max ~what v with
+        | Ok v -> Ok v
+        | Error msg -> Error (`Msg msg))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
 
 let fault_loss_t =
   prob_arg "fault-loss" ~docv:"P"
@@ -742,6 +757,152 @@ let scale_cmd =
        $ metrics_t $ trace_t $ trace_format_t $ decisions_t $ spans_t
        $ span_format_t $ serve_obs_t))
 
+let traffic_cmd =
+  let module T = Ri_experiments.Traffic in
+  let d = T.default_opts in
+  let qps_t =
+    let doc =
+      "Comma-separated offered arrival rates (queries/sec) to sweep, \
+       each > 0.  The report marks the first rate whose drain overruns \
+       the arrival window — the saturation knee."
+    in
+    Arg.(
+      value
+      & opt (list (float_conv ~min:1e-9 ~what:"--qps" ())) d.T.o_qps
+      & info [ "qps" ] ~docv:"Q,Q,.." ~doc)
+  in
+  let duration_t =
+    let doc = "Open-loop arrival window in seconds (> 0)." in
+    Arg.(
+      value
+      & opt (float_conv ~min:1e-9 ~what:"--duration" ()) d.T.o_duration
+      & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let service_rate_t =
+    let doc = "Per-node service capacity in messages/sec (> 0)." in
+    Arg.(
+      value
+      & opt (float_conv ~min:1e-9 ~what:"--service-rate" ()) d.T.o_service_rate
+      & info [ "service-rate" ] ~docv:"R" ~doc)
+  in
+  let link_latency_t =
+    let doc = "Per-hop propagation delay in milliseconds (>= 0)." in
+    Arg.(
+      value
+      & opt (float_conv ~min:0. ~what:"--link-latency" ()) d.T.o_link_latency
+      & info [ "link-latency" ] ~docv:"MS" ~doc)
+  in
+  let update_rate_t =
+    let doc =
+      "Interleave update waves at this Poisson rate (waves/sec, >= 0); \
+       they ride the same mailboxes as the queries."
+    in
+    Arg.(
+      value
+      & opt (float_conv ~min:0. ~what:"--update-rate" ()) d.T.o_update_rate
+      & info [ "update-rate" ] ~docv:"W" ~doc)
+  in
+  let zipf_t =
+    let doc = "Topic-popularity skew exponent (0 = uniform)." in
+    Arg.(
+      value
+      & opt (float_conv ~min:0. ~what:"--zipf" ()) d.T.o_zipf
+      & info [ "zipf" ] ~docv:"S" ~doc)
+  in
+  let shift_every_t =
+    let doc =
+      "Rotate the Zipf hot set by one topic every $(docv) draws \
+       (0 = popularity never shifts)."
+    in
+    Arg.(value & opt int d.T.o_shift_every & info [ "shift-every" ] ~docv:"N" ~doc)
+  in
+  let trials_t =
+    let doc = "Trials per QPS point (independent networks, merged sketches)." in
+    Arg.(value & opt int d.T.o_trials & info [ "trials" ] ~docv:"T" ~doc)
+  in
+  let snapshot_t =
+    let doc =
+      "Load the converged network from this $(b,.risnap) file (saved by \
+       $(b,risim scale --snapshot) at trial 0) instead of building it; \
+       requires $(b,--trials) 1 and a matching configuration."
+    in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let json_t =
+    let doc = "Also write the sweep's points and knee as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run nodes seed topology search qps duration service_rate link_latency
+      update_rate zipf shift_every trials snapshot json jobs metrics trace fmt
+      decisions spans span_fmt serve =
+    apply_jobs jobs;
+    let cfg = base_config nodes seed in
+    let cfg = Config.with_topology cfg topology in
+    let cfg = Config.with_search cfg (search_of cfg search) in
+    match Config.validate cfg with
+    | Error msg -> `Error (false, msg)
+    | Ok () -> (
+        let opts =
+          {
+            T.o_qps = qps;
+            o_duration = duration;
+            o_service_rate = service_rate;
+            o_link_latency = link_latency;
+            o_update_rate = update_rate;
+            o_zipf = zipf;
+            o_shift_every = shift_every;
+            o_trials = trials;
+            o_snapshot = snapshot;
+          }
+        in
+        let swept =
+          with_obs ~serve ~spans ~span_fmt metrics trace fmt decisions
+            (fun () ->
+              try Ok (T.sweep ~opts cfg ())
+              with Invalid_argument msg | Sys_error msg -> Error msg)
+        in
+        match swept with
+        | Error msg -> `Error (false, msg)
+        | Ok points ->
+            Ri_experiments.Report.print (T.report_of points);
+            (match T.knee_of points with
+            | Some q -> Printf.printf "saturation knee: ~%g QPS offered\n" q
+            | None ->
+                Printf.printf
+                  "saturation knee: not reached within the sweep\n");
+            Printf.printf "%s\n%s\n" (Telemetry.cache_line ())
+              (Telemetry.pool_line ());
+            print_gc_table ();
+            (match json with
+            | None -> ()
+            | Some file ->
+                let oc = open_out file in
+                Printf.fprintf oc "%s\n" (T.json_of ~opts points);
+                close_out oc;
+                Printf.printf "json written to %s\n" file);
+            (* Zero completions at any offered rate means the engine
+               never drained a query — a harness bug, not a slow
+               network; fail CI's traffic-smoke step loudly. *)
+            if List.exists (fun p -> p.T.q_completed = 0) points then
+              `Error (false, "traffic sweep completed zero queries")
+            else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Open-loop traffic sweep on the discrete-event engine: Poisson \
+          arrivals over Zipf topics, thousands of in-flight queries \
+          through per-node mailboxes and link latency; reports \
+          p50/p95/p99 latency, goodput, queue depths and the saturation \
+          knee")
+    Term.(
+      ret
+        (const run $ nodes_t $ seed_t $ topology_t $ search_t $ qps_t
+       $ duration_t $ service_rate_t $ link_latency_t $ update_rate_t $ zipf_t
+       $ shift_every_t $ trials_t $ snapshot_t $ json_t $ jobs_t $ metrics_t
+       $ trace_t $ trace_format_t $ decisions_t $ spans_t $ span_format_t
+       $ serve_obs_t))
+
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
 let write_or_print ~what out text =
@@ -1056,6 +1217,7 @@ let () =
             update_cmd;
             topology_cmd;
             scale_cmd;
+            traffic_cmd;
             explain_cmd;
             report_cmd;
             chaos_cmd;

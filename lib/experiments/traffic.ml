@@ -1,0 +1,499 @@
+(** Open-loop traffic sweep — latency quantiles vs offered QPS.
+
+    Not a figure of the paper, which evaluates one synchronous query at
+    a time: this is the ROADMAP's heavy-traffic plane.  Queries arrive
+    at Poisson times over Zipf-popular topics against a converged
+    network and execute {e in flight} on the discrete-event engine —
+    per-node mailboxes, service rates, link latency — optionally
+    interleaved with update waves.  Each swept QPS point reports
+    p50/p95/p99 latency, goodput, queue depths and makespan; the first
+    point whose median latency exceeds twice the no-load walk time
+    marks the saturation knee. *)
+
+open Ri_util
+open Ri_content
+open Ri_p2p
+open Ri_obs
+open Ri_sim
+
+let id = "traffic"
+
+let title = "Open-loop traffic: latency quantiles vs offered QPS"
+
+let paper_claim =
+  "Not in the paper (single synchronous queries only).  Below the \
+   saturation knee, latency should sit near the no-load walk time; \
+   past it, mailbox queues grow and the drain outruns the arrival \
+   window, so goodput plateaus while p99 explodes."
+
+type opts = {
+  o_qps : float list;  (** offered arrival rates to sweep, each > 0 *)
+  o_duration : float;  (** open-loop arrival window, seconds *)
+  o_service_rate : float;  (** per-node service capacity, messages/sec *)
+  o_link_latency : float;  (** per-hop propagation delay, milliseconds *)
+  o_update_rate : float;  (** interleaved update waves per second, >= 0 *)
+  o_zipf : float;  (** topic-popularity skew exponent *)
+  o_shift_every : int;  (** rotate the hot set every N draws; 0 = never *)
+  o_trials : int;
+  o_snapshot : string option;
+      (** load the converged network from this snapshot (trial 0 only)
+          instead of building it *)
+}
+
+let default_opts =
+  {
+    o_qps = [ 50.; 200.; 1000.; 5000. ];
+    o_duration = 2.;
+    o_service_rate = 20_000.;
+    o_link_latency = 0.2;
+    o_update_rate = 0.;
+    o_zipf = 1.;
+    o_shift_every = 0;
+    o_trials = 3;
+    o_snapshot = None;
+  }
+
+(* Per-(qps, trial) simulation result; sketches merge across trials in
+   trial order (byte-identical whatever the pool width — merging is
+   order-independent). *)
+type trial_result = {
+  r_arrivals : int;
+  r_completed : int;
+  r_satisfied : int;
+  r_found : int;
+  r_messages : int;  (** query messages (forwards + returns + results) *)
+  r_update_messages : int;
+  r_update_wire_bytes : int;
+  r_queue_peak : int;
+  r_queue_mean : float;
+  r_makespan_s : float;  (** arrival window plus any drain overhang *)
+  r_sketch : Sketch.t;  (** per-query latency, milliseconds *)
+}
+
+type point = {
+  q_qps : float;
+  q_offered : float;  (** measured arrival rate, queries/sec *)
+  q_arrivals : int;
+  q_completed : int;
+  q_satisfied : int;
+  q_goodput : float;  (** satisfied queries per second of makespan *)
+  q_p50_ms : float;
+  q_p95_ms : float;
+  q_p99_ms : float;
+  q_mean_ms : float;
+  q_messages_per_query : float;
+  q_update_messages : int;
+  q_queue_peak : int;
+  q_queue_mean : float;
+  q_makespan_s : float;
+  q_saturated : bool;
+      (** median latency exceeded twice the no-load walk time — mailbox
+          queueing dominates the walk itself *)
+}
+
+(* Observability wiring: the latency distribution and injection totals
+   land in the global registries next to the per-query cost sketches. *)
+let s_latency =
+  Sketch.series ~help:"Open-loop query latency (milliseconds, quantile sketch)."
+    "ri_traffic_latency_ms"
+
+let m_arrivals =
+  Metrics.counter ~help:"Open-loop queries injected." "ri_traffic_arrivals_total"
+
+let m_traffic_waves =
+  Metrics.counter ~help:"Open-loop update waves injected."
+    "ri_traffic_waves_total"
+
+let forwarding_of (cfg : Config.t) =
+  match cfg.Config.search with
+  | Config.Ri _ -> Query.Ri_guided
+  | Config.No_ri -> Query.Random_walk
+  | Config.Flooding _ ->
+      invalid_arg "Traffic: flooding has no sequential walk to schedule"
+
+let validate_opts opts =
+  let check what ?min ?max v =
+    match Env.check_float ?min ?max ~what v with
+    | Ok v -> v
+    | Error msg -> invalid_arg ("Traffic: " ^ msg)
+  in
+  if opts.o_qps = [] then invalid_arg "Traffic: empty QPS list";
+  List.iter (fun q -> ignore (check "qps" ~min:1e-9 q)) opts.o_qps;
+  ignore (check "duration" ~min:1e-9 opts.o_duration);
+  ignore (check "service-rate" ~min:1e-9 opts.o_service_rate);
+  ignore (check "link-latency" ~min:0. opts.o_link_latency);
+  ignore (check "update-rate" ~min:0. opts.o_update_rate);
+  ignore (check "zipf" ~min:0. opts.o_zipf);
+  if opts.o_trials < 1 then invalid_arg "Traffic: trials must be >= 1";
+  if opts.o_snapshot <> None && opts.o_trials <> 1 then
+    invalid_arg "Traffic: --snapshot fixes the setup, use --trials 1"
+
+let query_hook sink =
+  if not (Trace.is_live sink) then None
+  else
+    Some
+      (function
+      | Query.Forwarded { sender; receiver } ->
+          Trace.emit sink ~cat:"traffic" "forward"
+            [ ("sender", Trace.Int sender); ("receiver", Trace.Int receiver) ]
+      | Query.Returned { sender; receiver } ->
+          Trace.emit sink ~cat:"traffic" "backtrack"
+            [ ("sender", Trace.Int sender); ("receiver", Trace.Int receiver) ]
+      | Query.Results { at; count } ->
+          Trace.emit sink ~cat:"traffic" "results"
+            [ ("at", Trace.Int at); ("count", Trace.Int count) ]
+      | Query.Timed_out _ | Query.Gave_up _ | Query.Reconciled _ ->
+          (* Fault-free machines never emit these. *)
+          ())
+
+let update_hook sink =
+  if not (Trace.is_live sink) then None
+  else
+    Some
+      (function
+      | Update.Delivered { sender; receiver; significant; forwarded } ->
+          Trace.emit sink ~cat:"traffic" "update_hop"
+            [
+              ("sender", Trace.Int sender);
+              ("receiver", Trace.Int receiver);
+              ("significant", Trace.Bool significant);
+              ("forwarded", Trace.Bool forwarded);
+            ]
+      | Update.Dropped _ | Update.Delayed _ | Update.Round _
+      | Update.Repaired _ ->
+          ())
+
+(* One (qps, trial) simulation: build (or load) the converged setup,
+   pre-draw the Poisson arrival schedule from trial-keyed substreams,
+   run every query as a Step machine whose messages ride the engine's
+   mailboxes, and optionally inject update waves as in-flight message
+   streams sharing the same mailboxes.  Single-threaded on one engine:
+   the event order is fully determined by (seed, trial, seq). *)
+let simulate (cfg : Config.t) ~opts ~qps ~trial =
+  Trace.with_trial ~trial (fun sink ->
+      let setup =
+        match opts.o_snapshot with
+        | Some path -> Snapshot.load path cfg ~trial
+        | None -> Trial.build ~purpose:Trial.For_update cfg ~trial
+      in
+      let net = setup.Trial.network in
+      let n = Network.size net in
+      let forwarding = forwarding_of cfg in
+      let service_ns = Engine.of_seconds (1. /. opts.o_service_rate) in
+      let link_ns = Engine.of_seconds (opts.o_link_latency /. 1000.) in
+      let eng = Engine.create ~service_ns ~link_ns ~nodes:n () in
+      (* Independent substreams per concern, split in a fixed order, so
+         e.g. adding update traffic never shifts the query stream. *)
+      let arrival_rng = Prng.split setup.Trial.rng in
+      let topic_rng = Prng.split setup.Trial.rng in
+      let origin_rng = Prng.split setup.Trial.rng in
+      let per_query = Prng.split setup.Trial.rng in
+      let update_rng = Prng.split setup.Trial.rng in
+      let zipf =
+        Workload.Zipf.create ~exponent:opts.o_zipf
+          ~shift_every:opts.o_shift_every setup.Trial.universe
+      in
+      let qhook = query_hook sink in
+      let uhook = update_hook sink in
+      let horizon_ns = Engine.of_seconds opts.o_duration in
+      let sketch = Sketch.create () in
+      let arrivals = ref 0 in
+      let completed = ref 0 in
+      let satisfied = ref 0 in
+      let found = ref 0 in
+      let messages = ref 0 in
+      let last_done = ref 0 in
+      (* Open loop: the arrival schedule is drawn up front and never
+         reacts to completions — overload shows up as queue growth and
+         drain overhang, not as a slackening arrival rate. *)
+      let t = ref 0. in
+      let more = ref true in
+      while !more do
+        t := !t +. Workload.poisson_next arrival_rng ~rate:qps;
+        let at = Engine.of_seconds !t in
+        if at >= horizon_ns then more := false
+        else begin
+          incr arrivals;
+          let origin = Prng.int origin_rng n in
+          let query =
+            Workload.Zipf.query zipf topic_rng ~stop:cfg.Config.stop_condition
+          in
+          let qrng = Prng.split per_query in
+          Engine.inject eng ~at ~dst:origin (fun () ->
+              let st, first =
+                Query.Step.start ~rng:qrng ?on_event:qhook net ~origin ~query
+                  ~forwarding
+              in
+              let rec dispatch = function
+                | None ->
+                    let o = Query.Step.finish st in
+                    incr completed;
+                    if o.Query.satisfied then incr satisfied;
+                    found := !found + o.Query.found;
+                    messages := !messages + Query.messages o;
+                    if Engine.now eng > !last_done then
+                      last_done := Engine.now eng;
+                    let ms = 1000. *. Engine.to_seconds (Engine.now eng - at) in
+                    Sketch.add sketch ms;
+                    Sketch.observe s_latency ms;
+                    if Trace.is_live sink then
+                      Trace.emit sink ~cat:"traffic" "complete"
+                        [
+                          ("origin", Trace.Int origin);
+                          ("found", Trace.Int o.Query.found);
+                          ("latency_ns", Trace.Int (Engine.now eng - at));
+                        ]
+                | Some (s : Query.Step.send) ->
+                    Engine.send eng ~dst:s.Query.Step.dst (fun () ->
+                        dispatch (Query.Step.deliver st s))
+              in
+              dispatch first)
+        end
+      done;
+      (* Interleaved update waves: Poisson wave starts at Zipf-popular
+         topics, delivered through the same mailboxes via the wave's
+         own delivery logic ({!Ri_p2p.Update.deliver_one}); transport —
+         link check, budget, message and wire-byte accounting — is
+         charged here at send time, as the synchronous wave does. *)
+      let ucounters = Message.create () in
+      let waves = ref 0 in
+      if opts.o_update_rate > 0. && Network.has_ri net then begin
+        let budget =
+          let degrees = ref 0 in
+          for v = 0 to n - 1 do
+            degrees := !degrees + Network.degree net v
+          done;
+          20 * (n + !degrees)
+        in
+        let topic_totals = Array.make cfg.Config.topics 0. in
+        for v = 0 to n - 1 do
+          let s = Network.raw_local_summary net v in
+          for tp = 0 to cfg.Config.topics - 1 do
+            topic_totals.(tp) <- topic_totals.(tp) +. Summary.get s tp
+          done
+        done;
+        let uzipf =
+          Workload.Zipf.create ~exponent:opts.o_zipf
+            ~shift_every:opts.o_shift_every setup.Trial.universe
+        in
+        let start_wave origin topic =
+          let batch =
+            Float.max 1.
+              (Float.round (cfg.Config.update_fraction *. topic_totals.(topic)))
+          in
+          let base = Network.raw_local_summary net origin in
+          let by_topic = Array.copy base.Summary.by_topic in
+          by_topic.(topic) <- by_topic.(topic) +. batch;
+          let summary =
+            Summary.make ~total:(base.Summary.total +. batch) ~by_topic
+          in
+          let reached = Bytes.make n '\000' in
+          Bytes.set reached origin '\001';
+          let wave_id = Network.fresh_wave net in
+          let sent = ref 0 in
+          let rec send_seed (seed : Update.wave_seed) =
+            if
+              Network.has_link net seed.Update.sender seed.Update.receiver
+              && !sent < budget
+            then begin
+              incr sent;
+              ucounters.Message.update_messages <-
+                ucounters.Message.update_messages + 1;
+              let bytes = Update.wire_cost seed in
+              ucounters.Message.update_wire_bytes <-
+                ucounters.Message.update_wire_bytes + bytes;
+              Engine.send eng ~dst:seed.Update.receiver (fun () ->
+                  Update.deliver_one ?on_event:uhook net ~reached ~wave_id
+                    ~forward:send_seed seed)
+            end
+          in
+          List.iter send_seed
+            (Update.seeds_for_change net ~at:origin ~except:[]
+               ~mutate:(fun () -> Network.set_local_summary net origin summary))
+        in
+        let t = ref 0. in
+        let more = ref true in
+        while !more do
+          t := !t +. Workload.poisson_next update_rng ~rate:opts.o_update_rate;
+          let at = Engine.of_seconds !t in
+          if at >= horizon_ns then more := false
+          else begin
+            incr waves;
+            let origin = Prng.int update_rng n in
+            let topic = Workload.Zipf.draw uzipf update_rng in
+            Engine.inject eng ~at ~dst:origin (fun () ->
+                start_wave origin topic)
+          end
+        done
+      end;
+      Engine.run eng;
+      if Metrics.enabled () then begin
+        Metrics.add m_arrivals !arrivals;
+        Metrics.add m_traffic_waves !waves
+      end;
+      {
+        r_arrivals = !arrivals;
+        r_completed = !completed;
+        r_satisfied = !satisfied;
+        r_found = !found;
+        r_messages = !messages;
+        r_update_messages = ucounters.Message.update_messages;
+        r_update_wire_bytes = ucounters.Message.update_wire_bytes;
+        r_queue_peak = Engine.queue_peak eng;
+        r_queue_mean = Engine.queue_mean eng;
+        r_makespan_s =
+          Float.max opts.o_duration (Engine.to_seconds !last_done);
+        r_sketch = sketch;
+      })
+
+let aggregate ~opts ~qps (rs : trial_result array) =
+  let sk = Sketch.create () in
+  Array.iter (fun r -> Sketch.merge_into ~dst:sk r.r_sketch) rs;
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 rs in
+  let sumf f = Array.fold_left (fun acc r -> acc +. f r) 0. rs in
+  let trials = float_of_int (Array.length rs) in
+  let arrivals = sum (fun r -> r.r_arrivals) in
+  let completed = sum (fun r -> r.r_completed) in
+  let satisfied = sum (fun r -> r.r_satisfied) in
+  let makespan = sumf (fun r -> r.r_makespan_s) /. trials in
+  let messages_per_query =
+    float_of_int (sum (fun r -> r.r_messages)) /. float_of_int (max 1 completed)
+  in
+  (* No-load reference: a walk of this length with empty mailboxes pays
+     one service slot plus one link delay per message.  (Result-pointer
+     messages never transit the engine, so this slightly overestimates;
+     the factor-2 threshold below absorbs that.)  Saturation = queueing
+     delay dominating the walk itself — a criterion independent of the
+     arrival-window length, unlike drain overhang, which any short
+     window shows even at trivial load. *)
+  let no_load_ms =
+    messages_per_query
+    *. ((1000. /. opts.o_service_rate) +. opts.o_link_latency)
+  in
+  let p50 = Sketch.quantile sk 0.5 in
+  {
+    q_qps = qps;
+    q_offered = float_of_int arrivals /. (trials *. opts.o_duration);
+    q_arrivals = arrivals;
+    q_completed = completed;
+    q_satisfied = satisfied;
+    q_goodput =
+      sumf
+        (fun r -> float_of_int r.r_satisfied /. Float.max 1e-9 r.r_makespan_s)
+      /. trials;
+    q_p50_ms = p50;
+    q_p95_ms = Sketch.quantile sk 0.95;
+    q_p99_ms = Sketch.quantile sk 0.99;
+    q_mean_ms =
+      (if Sketch.count sk = 0 then 0.
+       else Sketch.sum sk /. float_of_int (Sketch.count sk));
+    q_messages_per_query = messages_per_query;
+    q_update_messages = sum (fun r -> r.r_update_messages);
+    q_queue_peak = Array.fold_left (fun m r -> max m r.r_queue_peak) 0 rs;
+    q_queue_mean = sumf (fun r -> r.r_queue_mean) /. trials;
+    q_makespan_s = makespan;
+    q_saturated = no_load_ms > 0. && p50 > 2. *. no_load_ms;
+  }
+
+let measure ?(opts = default_opts) (cfg : Config.t) ~qps =
+  validate_opts opts;
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Traffic.measure: " ^ msg));
+  (* One observability unit per data point, bumped on the submitting
+     domain (the Runner's rule), so trial keys never depend on the pool
+     width and traces stay byte-identical at any --jobs. *)
+  Trace.next_unit ();
+  Decision.next_unit ();
+  Span.next_unit ();
+  Serve.Progress.begin_run
+    ~label:(Printf.sprintf "traffic qps=%g" qps)
+    ~total:opts.o_trials ();
+  let rs =
+    Pool.map_chunked ~chunk:1 (Pool.global ()) ~n:opts.o_trials (fun i ->
+        simulate cfg ~opts ~qps ~trial:i)
+  in
+  Serve.Progress.set_trials opts.o_trials;
+  aggregate ~opts ~qps rs
+
+let sweep ?(opts = default_opts) cfg () =
+  List.map (fun qps -> measure ~opts cfg ~qps) opts.o_qps
+
+let knee_of points =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Some _ -> acc
+      | None -> if p.q_saturated then Some p.q_qps else None)
+    None points
+
+let report_of points =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Report.cell_number ~decimals:0 p.q_qps;
+          Report.cell_number ~decimals:1 p.q_offered;
+          Report.cell_number ~decimals:0 (float_of_int p.q_completed);
+          Report.cell_number ~decimals:1 p.q_goodput;
+          Report.cell_number ~decimals:3 p.q_p50_ms;
+          Report.cell_number ~decimals:3 p.q_p95_ms;
+          Report.cell_number ~decimals:3 p.q_p99_ms;
+          Report.cell_number ~decimals:1 p.q_messages_per_query;
+          Report.cell_number ~decimals:0 (float_of_int p.q_queue_peak);
+          Report.cell_number ~decimals:2 p.q_queue_mean;
+          Report.cell_number ~decimals:2 p.q_makespan_s;
+          Report.cell_text (if p.q_saturated then "yes" else "no");
+        ])
+      points
+  in
+  Report.make ~id ~title ~paper_claim
+    ~header:
+      [
+        "QPS";
+        "Offered/s";
+        "Done";
+        "Goodput/s";
+        "p50 ms";
+        "p95 ms";
+        "p99 ms";
+        "Msgs/query";
+        "Q peak";
+        "Q mean";
+        "Makespan s";
+        "Saturated";
+      ]
+    ~rows
+
+let json_of ~opts points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"config\": ";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"duration_s\": %g, \"service_rate\": %g, \"link_latency_ms\": %g, \
+        \"update_rate\": %g, \"zipf\": %g, \"trials\": %d}"
+       opts.o_duration opts.o_service_rate opts.o_link_latency
+       opts.o_update_rate opts.o_zipf opts.o_trials);
+  Buffer.add_string buf ",\n  \"points\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"qps\": %g, \"offered_per_s\": %.2f, \"arrivals\": %d, \
+            \"completed\": %d, \"satisfied\": %d, \"goodput_per_s\": %.2f, \
+            \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, \
+            \"mean_ms\": %.4f, \"messages_per_query\": %.2f, \
+            \"update_messages\": %d, \"queue_peak\": %d, \"queue_mean\": \
+            %.3f, \"makespan_s\": %.3f, \"saturated\": %b}"
+           p.q_qps p.q_offered p.q_arrivals p.q_completed p.q_satisfied
+           p.q_goodput p.q_p50_ms p.q_p95_ms p.q_p99_ms p.q_mean_ms
+           p.q_messages_per_query p.q_update_messages p.q_queue_peak
+           p.q_queue_mean p.q_makespan_s p.q_saturated))
+    points;
+  Buffer.add_string buf "\n  ],\n  \"knee_qps\": ";
+  (match knee_of points with
+  | None -> Buffer.add_string buf "null"
+  | Some q -> Buffer.add_string buf (Printf.sprintf "%g" q));
+  Buffer.add_string buf "\n}";
+  Buffer.contents buf

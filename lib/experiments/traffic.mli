@@ -1,0 +1,96 @@
+(** Open-loop traffic sweep — latency quantiles vs offered QPS.
+
+    Queries arrive at Poisson times over Zipf-popular topics against a
+    converged network and execute {e in flight} on the discrete-event
+    engine ({!Ri_sim.Engine}): per-node mailboxes with a configurable
+    service rate, a constant per-hop link latency, thousands of query
+    state machines ({!Ri_p2p.Query.Step}) interleaved — optionally with
+    update waves riding the same mailboxes.  Each swept QPS point
+    reports p50/p95/p99 latency, goodput, queue depths and makespan;
+    the first point whose median latency exceeds twice the no-load walk
+    time (one service slot plus one link delay per message) marks the
+    saturation knee.
+
+    Deterministic at any pool width: each (qps, trial) pair runs a
+    single-threaded engine seeded from trial-keyed substreams, trials
+    are dealt [~chunk:1] in trial order, and sketch merging is
+    order-independent. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+type opts = {
+  o_qps : float list;  (** offered arrival rates to sweep, each > 0 *)
+  o_duration : float;  (** open-loop arrival window, seconds *)
+  o_service_rate : float;  (** per-node service capacity, messages/sec *)
+  o_link_latency : float;  (** per-hop propagation delay, milliseconds *)
+  o_update_rate : float;  (** interleaved update waves per second, >= 0 *)
+  o_zipf : float;  (** topic-popularity skew exponent *)
+  o_shift_every : int;  (** rotate the hot set every N draws; 0 = never *)
+  o_trials : int;
+  o_snapshot : string option;
+      (** load the converged network from this snapshot (trial 0 only)
+          instead of building it *)
+}
+
+val default_opts : opts
+
+(** One swept QPS point, aggregated across trials. *)
+type point = {
+  q_qps : float;
+  q_offered : float;  (** measured arrival rate, queries/sec *)
+  q_arrivals : int;
+  q_completed : int;
+  q_satisfied : int;
+  q_goodput : float;  (** satisfied queries per second of makespan *)
+  q_p50_ms : float;
+  q_p95_ms : float;
+  q_p99_ms : float;
+  q_mean_ms : float;
+  q_messages_per_query : float;
+  q_update_messages : int;
+  q_queue_peak : int;
+  q_queue_mean : float;
+  q_makespan_s : float;
+  q_saturated : bool;
+      (** median latency exceeded twice the no-load walk time — mailbox
+          queueing dominates the walk itself *)
+}
+
+(** Per-(qps, trial) raw result, exposed for the determinism tests. *)
+type trial_result = {
+  r_arrivals : int;
+  r_completed : int;
+  r_satisfied : int;
+  r_found : int;
+  r_messages : int;
+  r_update_messages : int;
+  r_update_wire_bytes : int;
+  r_queue_peak : int;
+  r_queue_mean : float;
+  r_makespan_s : float;
+  r_sketch : Ri_obs.Sketch.t;  (** per-query latency, milliseconds *)
+}
+
+val simulate :
+  Ri_sim.Config.t -> opts:opts -> qps:float -> trial:int -> trial_result
+(** One (qps, trial) simulation on a fresh engine.  Bit-identical for a
+    given (config, opts, qps, trial) whatever else runs concurrently.
+    @raise Invalid_argument on a flooding config (a flood has no
+    sequential walk to schedule). *)
+
+val measure : ?opts:opts -> Ri_sim.Config.t -> qps:float -> point
+(** Run [opts.o_trials] trials of one QPS point across the global pool
+    and aggregate.  Bumps the observability unit once, on the
+    submitting domain, so traces stay byte-identical at any [--jobs].
+    @raise Invalid_argument on invalid [opts] or config. *)
+
+val sweep : ?opts:opts -> Ri_sim.Config.t -> unit -> point list
+(** [measure] for every rate in [opts.o_qps], in order. *)
+
+val knee_of : point list -> float option
+(** Offered rate of the first saturated point, if any. *)
+
+val report_of : point list -> Report.t
+val json_of : opts:opts -> point list -> string

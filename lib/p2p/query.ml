@@ -75,8 +75,322 @@ let record_outcome kind o =
 
 type frame = { node : int; from : int; mutable pending : int list }
 
-let run ?rng ?(on_event = fun (_ : event) -> ())
-    ?(decide = Ri_obs.Decision.null) ?plan net ~origin ~query ~forwarding =
+(* The fault-free depth-first walk, reformulated as a message-driven
+   state machine: exactly one message is in flight per query — the
+   forward the walk just sent, or the return bouncing it back — so
+   delivering that message yields at most one successor.  [run] drains
+   the machine inline (the zero-latency schedule, reproducing the
+   synchronous walk bit-for-bit: one token means delivery order cannot
+   differ); the event engine instead routes each [send] through mailbox
+   queueing and link latency, interleaving thousands of walks.  Faulty
+   queries keep the synchronous loop in [run_planned] — retries and
+   anti-entropy make their hops multi-message affairs. *)
+module Step = struct
+  type kind = Forward | Return
+
+  type send = { src : int; dst : int; kind : kind }
+
+  type t = {
+    net : Network.t;
+    query : Ri_content.Workload.query;
+    forwarding : forwarding;
+    rng : Prng.t;
+    on_event : event -> unit;
+    decide : Ri_obs.Decision.sink;
+    live : bool;
+    scheme_name : string;
+    projected : int list;
+    topics : Ri_content.Topic.id list;
+    counters : Message.counters;
+    visited : bool array;
+    sent : (int * int, int) Hashtbl.t;
+    max_sends : int;
+    ranks : (int, int) Hashtbl.t;
+    mutable stack : frame list;
+    mutable remaining : int;
+    mutable found : int;
+    mutable nodes_visited : int;
+  }
+
+  let sends t u v = Option.value ~default:0 (Hashtbl.find_opt t.sent (u, v))
+
+  let process_visit t u =
+    if not t.visited.(u) then begin
+      t.visited.(u) <- true;
+      t.nodes_visited <- t.nodes_visited + 1;
+      let local = Network.count_matching t.net u t.topics in
+      if local > 0 then begin
+        t.counters.Message.result_messages <-
+          t.counters.Message.result_messages + 1;
+        t.on_event (Results { at = u; count = local });
+        t.found <- t.found + local;
+        t.remaining <- t.remaining - local
+      end
+    end
+
+  let order_neighbors t u ~from =
+    let is_candidate v = v <> from && sends t u v < t.max_sends in
+    match t.forwarding with
+    | Random_walk ->
+        let nbrs = Network.neighbors t.net u in
+        let count = ref 0 in
+        Array.iter (fun v -> if is_candidate v then incr count) nbrs;
+        let cands = Array.make !count 0 in
+        let i = ref 0 in
+        Array.iter
+          (fun v ->
+            if is_candidate v then begin
+              cands.(!i) <- v;
+              incr i
+            end)
+          nbrs;
+        Prng.shuffle_in_place t.rng cands;
+        Array.to_list cands
+    | Ri_guided ->
+        Scheme.rank_peers (Network.ri t.net u) ~query:t.projected
+          ~keep:is_candidate
+
+  (* Fault-free oracle: matching documents reachable through candidate
+     [v] with the deciding node [u] removed. *)
+  let truth_of t u v =
+    let n = Network.size t.net in
+    let seen = Bytes.make n '\000' in
+    Bytes.set seen u '\001';
+    Bytes.set seen v '\001';
+    let q = Queue.create () in
+    Queue.add v q;
+    let total = ref 0 in
+    while not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      total := !total + Network.count_matching t.net x t.topics;
+      Array.iter
+        (fun y ->
+          if Bytes.get seen y = '\000' then begin
+            Bytes.set seen y '\001';
+            Queue.add y q
+          end)
+        (Network.neighbors t.net x)
+    done;
+    !total
+
+  let emit_decide t u ~from order =
+    let ri_goodness v =
+      match t.forwarding with
+      | Ri_guided ->
+          Scheme.goodness (Network.ri t.net u) ~peer:v ~query:t.projected
+      | Random_walk -> 0.
+    in
+    let wave_of v =
+      if Network.has_ri t.net then
+        Scheme.row_stamp (Network.ri t.net u) ~peer:v
+      else 0
+    in
+    let cands =
+      List.map
+        (fun v ->
+          {
+            Ri_obs.Decision.peer = v;
+            goodness = ri_goodness v;
+            truth = truth_of t u v;
+            stale = false;
+            wave = wave_of v;
+          })
+        order
+    in
+    let oracle_best, oracle_rank, regret =
+      match cands with
+      | [] -> (-1, 0, 0)
+      | first :: _ ->
+          let _, bp, br, bt =
+            List.fold_left
+              (fun (i, bp, br, bt) (c : Ri_obs.Decision.candidate) ->
+                if c.truth > bt || (c.truth = bt && c.peer < bp) then
+                  (i + 1, c.peer, i, c.truth)
+                else (i + 1, bp, br, bt))
+              (0, -1, 0, min_int) cands
+          in
+          (bp, br, bt - first.Ri_obs.Decision.truth)
+    in
+    Ri_obs.Decision.emit t.decide
+      (Decide
+         {
+           node = u;
+           from;
+           scheme = t.scheme_name;
+           candidates = cands;
+           oracle_best;
+           oracle_rank;
+           regret;
+           stale_demoted = 0;
+         })
+
+  let ordered t u ~from =
+    let order = order_neighbors t u ~from in
+    if t.live then emit_decide t u ~from order;
+    order
+
+  let next_rank t u =
+    let r = try Hashtbl.find t.ranks u with Not_found -> 0 in
+    Hashtbl.replace t.ranks u (r + 1);
+    r
+
+  (* Produce the walk's next outgoing message, doing the send-side
+     bookkeeping (link counts, counters, events, provenance) exactly
+     where the synchronous loop does it.  [None] means the query is
+     over: satisfied, or the origin's frame is exhausted. *)
+  let rec advance t =
+    if t.remaining <= 0 then None
+    else
+      match t.stack with
+      | [] -> None
+      | top :: rest -> (
+          match top.pending with
+          | [] ->
+              (* Exhausted: return the query to whoever sent it. *)
+              t.stack <- rest;
+              if top.from >= 0 then begin
+                t.counters.Message.query_returns <-
+                  t.counters.Message.query_returns + 1;
+                t.on_event (Returned { sender = top.node; receiver = top.from });
+                if t.live then
+                  Ri_obs.Decision.emit t.decide
+                    (Backtrack { node = top.node; target = top.from });
+                Some { src = top.node; dst = top.from; kind = Return }
+              end
+              else advance t
+          | v :: pending ->
+              top.pending <- pending;
+              Hashtbl.replace t.sent (top.node, v) (sends t top.node v + 1);
+              t.counters.Message.query_forwards <-
+                t.counters.Message.query_forwards + 1;
+              t.on_event (Forwarded { sender = top.node; receiver = v });
+              (if t.live then
+                 Ri_obs.Decision.emit t.decide
+                   (Follow
+                      { node = top.node; target = v; rank = next_rank t top.node }));
+              Some { src = top.node; dst = v; kind = Forward })
+
+  let deliver t { src; dst; kind } =
+    match kind with
+    | Return ->
+        (* The child frame was popped when this return was sent; the
+           receiver's own frame is on top again and resumes. *)
+        advance t
+    | Forward ->
+        if Network.cycle_policy t.net = Network.Detect_recover && t.visited.(dst)
+        then begin
+          (* The revisited node detects the duplicate and bounces the
+             query straight back. *)
+          t.counters.Message.query_returns <-
+            t.counters.Message.query_returns + 1;
+          t.on_event (Returned { sender = dst; receiver = src });
+          if t.live then
+            Ri_obs.Decision.emit t.decide (Backtrack { node = dst; target = src });
+          Some { src = dst; dst = src; kind = Return }
+        end
+        else begin
+          process_visit t dst;
+          if t.remaining > 0 then
+            t.stack <-
+              { node = dst; from = src; pending = ordered t dst ~from:src }
+              :: t.stack;
+          advance t
+        end
+
+  (* [who] labels validation errors, so [run]'s messages are unchanged
+     when it delegates here. *)
+  let start_for who ?rng ?(on_event = fun (_ : event) -> ())
+      ?(decide = Ri_obs.Decision.null) net ~origin ~query ~forwarding =
+    let n = Network.size net in
+    if origin < 0 || origin >= n then
+      invalid_arg (who ^ ": origin out of range");
+    (match forwarding with
+    | Ri_guided ->
+        if not (Network.has_ri net) then
+          invalid_arg (who ^ ": Ri_guided needs a network with routing indices")
+    | Random_walk -> ());
+    let rng = match rng with Some r -> r | None -> Network.rng net in
+    let live = Ri_obs.Decision.is_live decide in
+    let scheme_name =
+      match forwarding with
+      | Random_walk -> "none"
+      | Ri_guided -> (
+          match Network.scheme net with
+          | Some k -> Scheme.kind_name k
+          | None -> "none")
+    in
+    let t =
+      {
+        net;
+        query;
+        forwarding;
+        rng;
+        on_event;
+        decide;
+        live;
+        scheme_name;
+        projected = Network.project_query net query.Ri_content.Workload.topics;
+        topics = query.Ri_content.Workload.topics;
+        counters = Message.create ();
+        visited = Array.make n false;
+        sent = Hashtbl.create 64;
+        max_sends =
+          (match Network.cycle_policy net with
+          | Network.Detect_recover -> 1
+          | Network.No_op -> 2);
+        ranks = Hashtbl.create (if live then 32 else 1);
+        stack = [];
+        remaining = query.Ri_content.Workload.stop;
+        found = 0;
+        nodes_visited = 0;
+      }
+    in
+    process_visit t origin;
+    if t.remaining > 0 then
+      t.stack <-
+        [ { node = origin; from = -1; pending = ordered t origin ~from:(-1) } ];
+    (t, advance t)
+
+  let start ?rng ?on_event ?decide net ~origin ~query ~forwarding =
+    start_for "Query.Step.start" ?rng ?on_event ?decide net ~origin ~query
+      ~forwarding
+
+  let outcome t =
+    {
+      found = t.found;
+      satisfied = t.found >= t.query.Ri_content.Workload.stop;
+      nodes_visited = t.nodes_visited;
+      counters = t.counters;
+    }
+
+  let finish t =
+    (if t.live then
+       let reason =
+         if t.found >= t.query.Ri_content.Workload.stop then "satisfied"
+         else "exhausted"
+       in
+       Ri_obs.Decision.emit t.decide
+         (Stop
+            {
+              reason;
+              found = t.found;
+              forwards = t.counters.Message.query_forwards;
+              returns = t.counters.Message.query_returns;
+              visited = t.nodes_visited;
+            }));
+    record_outcome
+      (match t.forwarding with
+      | Ri_guided -> m_ri_guided
+      | Random_walk -> m_random_walk)
+      (outcome t)
+end
+
+let run_planned ?rng ?(on_event = fun (_ : event) -> ())
+    ?(decide = Ri_obs.Decision.null) ~plan net ~origin ~query ~forwarding =
+  (* The synchronous faulty walk.  [plan] is threaded below as an option
+     so the body stays textually the shared original; fault-free
+     execution never comes through here (see [run]). *)
+  let plan = Some plan in
   let n = Network.size net in
   if origin < 0 || origin >= n then invalid_arg "Query.run: origin out of range";
   (match plan with
@@ -464,6 +778,28 @@ let run ?rng ?(on_event = fun (_ : event) -> ())
       nodes_visited = !nodes_visited;
       counters;
     }
+
+let run ?rng ?on_event ?decide ?plan net ~origin ~query ~forwarding =
+  match plan with
+  | Some plan ->
+      run_planned ?rng ?on_event ?decide ~plan net ~origin ~query ~forwarding
+  | None ->
+      (* Fault-free queries execute on the step machine — the same
+         machine the event engine drives — drained inline: exactly the
+         zero-latency schedule, which replays the synchronous walk
+         bit-for-bit (see {!Step}). *)
+      let t, first =
+        Step.start_for "Query.run" ?rng ?on_event ?decide net ~origin ~query
+          ~forwarding
+      in
+      let next = ref first in
+      let continue = ref true in
+      while !continue do
+        match !next with
+        | None -> continue := false
+        | Some s -> next := Step.deliver t s
+      done;
+      Step.finish t
 
 type parallel_outcome = {
   p_found : int;

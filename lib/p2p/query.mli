@@ -87,6 +87,60 @@ val run :
     @raise Invalid_argument for [Ri_guided] on a No-RI network, an
     out-of-range origin, or a crash-stopped origin. *)
 
+(** The fault-free query as a message-driven state machine, for the
+    discrete-event engine ({!Ri_sim.Engine} drives one of these per
+    in-flight query).
+
+    The sequential walk keeps exactly one message in flight — the
+    forward it just sent, or the return bouncing it back — so
+    {!deliver}ing that message yields at most one successor [send].
+    Draining the machine inline is the zero-latency schedule and
+    reproduces {!run} (without a fault plan) bit-for-bit: same events
+    in the same order, same counters, same outcome.  An engine instead
+    routes each [send] through its receiver's mailbox and the link
+    latency model; because fault-free queries never write network
+    state, interleaving thousands of machines leaves each one's
+    behavior — and its random stream, when given a private [rng] —
+    untouched. *)
+module Step : sig
+  type t
+  (** One in-flight query: visited set, frame stack, counters. *)
+
+  type kind = Forward | Return
+
+  type send = { src : int; dst : int; kind : kind }
+  (** A message in flight.  [dst] is where it must be delivered;
+      servicing it there produces the successor. *)
+
+  val start :
+    ?rng:Ri_util.Prng.t ->
+    ?on_event:(event -> unit) ->
+    ?decide:Ri_obs.Decision.sink ->
+    Network.t ->
+    origin:int ->
+    query:Ri_content.Workload.query ->
+    forwarding:forwarding ->
+    t * send option
+  (** Process the query at its origin and emit the first hop ([None]
+      when the origin alone satisfies the stop condition).  Interleaved
+      machines sharing a PRNG would entangle their shuffle draws: give
+      each concurrent [Random_walk] query a private [rng].
+      @raise Invalid_argument as {!run}. *)
+
+  val deliver : t -> send -> send option
+  (** Service a delivered message at [send.dst]: process the visit (or
+      bounce a detected revisit), then emit the walk's next message.
+      [None] means the query just completed. *)
+
+  val outcome : t -> outcome
+  (** The outcome so far; final once {!deliver} returned [None]. *)
+
+  val finish : t -> outcome
+  (** Emit the final [Stop] decision record and publish the outcome's
+      metrics (query counters and cost sketches), exactly as {!run}
+      does on completion.  Call once, after the machine has drained. *)
+end
+
 type parallel_outcome = {
   p_found : int;
   p_satisfied : bool;

@@ -144,6 +144,78 @@ let default_budget net =
   done;
   20 * (n + !degrees)
 
+(* One update delivery, shared verbatim between the synchronous wave
+   loop below and the event engine's in-flight waves: judge
+   significance against the carried (or gap-corrected) baseline, store
+   the row, stamp provenance, and hand the onward exports to [forward]
+   — the sequential path enqueues them directly, the sharded path
+   buffers them per message for ordered replay, and an engine driver
+   turns each into a scheduled message. *)
+let deliver_one ?plan ?(on_event = fun (_ : event) -> ()) net ~reached ~wave_id
+    ~forward { sender; receiver; payload; baseline; tainted } =
+  let emit = on_event in
+  let detect = Network.cycle_policy net = Network.Detect_recover in
+  let ri = Network.ri net receiver in
+  let baseline =
+    match baseline with Some _ as b -> b | None -> Scheme.row ri ~peer:sender
+  in
+  (* A receiver that detectably missed updates from this sender (see
+     {!Fault}) judges the arriving absolute aggregate against its
+     stored — stale — row, not the sender-carried baseline: the gap
+     means the carried "before" never made it here, and the honest
+     marginal change is relative to what the receiver still holds.
+     A clean delivery heals the gap; one flagged with the staleness
+     bit does not — the sender's own inputs had gaps, so the payload
+     proves nothing about the lost updates. *)
+  let baseline =
+    match plan with
+    | Some p when Fault.missed p ~at:receiver ~peer:sender > 0 ->
+        if not tainted then Fault.clear_missed p ~at:receiver ~peer:sender;
+        Scheme.row ri ~peer:sender
+    | _ -> baseline
+  in
+  if significant net ~baseline ~payload then begin
+    let repeat = Bytes.get reached receiver <> '\000' in
+    Bytes.set reached receiver '\001';
+    emit
+      (Delivered
+         {
+           sender;
+           receiver;
+           significant = true;
+           forwarded = not (detect && repeat);
+         });
+    (* Detect-and-recover: a node reached for the second time updates
+       its row but breaks the cycle by not forwarding. *)
+    if detect && repeat then begin
+      Scheme.set_row ri ~peer:sender payload;
+      Scheme.stamp_row ri ~peer:sender wave_id
+    end
+    else begin
+      (* Align the stored row with the sender's pre-change export
+         before measuring the onward change: on a cyclic overlay the
+         stored row may lag the sender's current aggregate (the
+         resting state is not a strict fixed point), and that
+         historical drift — already judged insignificant when it
+         accrued — must not be charged to this update. *)
+      (match baseline with
+      | Some b -> Scheme.set_row ri ~peer:sender b
+      | None -> ());
+      let onward =
+        seeds_for_change ?plan net ~at:receiver ~except:[ sender ]
+          ~mutate:(fun () -> Scheme.set_row ri ~peer:sender payload)
+      in
+      Scheme.stamp_row ri ~peer:sender wave_id;
+      List.iter forward onward
+    end
+  end
+  else begin
+    Ri_obs.Metrics.incr m_insignificant;
+    emit (Delivered { sender; receiver; significant = false; forwarded = false })
+  end
+
+let wire_cost ?plan seed = wire_bytes plan seed
+
 (* A queued message: [Fresh] still has its fault draws (and its budget
    charge) ahead of it; [Due] is a delayed message re-entering the wave,
    already counted when it was first sent. *)
@@ -185,7 +257,6 @@ let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
          send count — empty-seed calls are invisible. *)
       Option.iter Fault.note_wave_start plan
     end;
-    let detect = Network.cycle_policy net = Network.Detect_recover in
     let sent = ref 0 in
     let wire = ref 0 in
     (* Provenance lineage: every row this wave rewrites is stamped with
@@ -193,69 +264,10 @@ let wave ?max_messages ?on_event ?plan ?pool net ~seeds ~already_reached
        update wave each consulted row came from.  One int write per
        delivery — cheap enough to leave ungated. *)
     let wave_id = Network.fresh_wave net in
-    (* [forward] receives the onward seeds this delivery generates —
-       the sequential path enqueues them directly, the sharded path
-       buffers them per message for ordered replay. *)
-    let deliver ~forward { sender; receiver; payload; baseline; tainted } =
-      let ri = Network.ri net receiver in
-      let baseline =
-        match baseline with Some _ as b -> b | None -> Scheme.row ri ~peer:sender
-      in
-      (* A receiver that detectably missed updates from this sender (see
-         {!Fault}) judges the arriving absolute aggregate against its
-         stored — stale — row, not the sender-carried baseline: the gap
-         means the carried "before" never made it here, and the honest
-         marginal change is relative to what the receiver still holds.
-         A clean delivery heals the gap; one flagged with the staleness
-         bit does not — the sender's own inputs had gaps, so the payload
-         proves nothing about the lost updates. *)
-      let baseline =
-        match plan with
-        | Some p when Fault.missed p ~at:receiver ~peer:sender > 0 ->
-            if not tainted then Fault.clear_missed p ~at:receiver ~peer:sender;
-            Scheme.row ri ~peer:sender
-        | _ -> baseline
-      in
-      if significant net ~baseline ~payload then begin
-        let repeat = Bytes.get reached receiver <> '\000' in
-        Bytes.set reached receiver '\001';
-        emit
-          (Delivered
-             {
-               sender;
-               receiver;
-               significant = true;
-               forwarded = not (detect && repeat);
-             });
-        (* Detect-and-recover: a node reached for the second time updates
-           its row but breaks the cycle by not forwarding. *)
-        if detect && repeat then begin
-          Scheme.set_row ri ~peer:sender payload;
-          Scheme.stamp_row ri ~peer:sender wave_id
-        end
-        else begin
-          (* Align the stored row with the sender's pre-change export
-             before measuring the onward change: on a cyclic overlay the
-             stored row may lag the sender's current aggregate (the
-             resting state is not a strict fixed point), and that
-             historical drift — already judged insignificant when it
-             accrued — must not be charged to this update. *)
-          (match baseline with
-          | Some b -> Scheme.set_row ri ~peer:sender b
-          | None -> ());
-          let onward =
-            seeds_for_change ?plan net ~at:receiver ~except:[ sender ]
-              ~mutate:(fun () -> Scheme.set_row ri ~peer:sender payload)
-          in
-          Scheme.stamp_row ri ~peer:sender wave_id;
-          List.iter forward onward
-        end
-      end
-      else begin
-        Ri_obs.Metrics.incr m_insignificant;
-        emit
-          (Delivered { sender; receiver; significant = false; forwarded = false })
-      end
+    (* [forward] receives the onward seeds this delivery generates; the
+       delivery logic itself is the shared {!deliver_one}. *)
+    let deliver ~forward seed =
+      deliver_one ?plan ~on_event:emit net ~reached ~wave_id ~forward seed
     in
     let forward_next s = Queue.add (Fresh s) next in
     (* An active partition severs the link outright.  Unlike a loss

@@ -121,6 +121,33 @@ val seeds_for_change :
     neighbor not in [except].  Feed them to {!wave}.  With [plan], the
     seeds carry the staleness bit when [at] has an open gap. *)
 
+val deliver_one :
+  ?plan:Fault.t ->
+  ?on_event:(event -> unit) ->
+  Network.t ->
+  reached:Bytes.t ->
+  wave_id:int ->
+  forward:(wave_seed -> unit) ->
+  wave_seed ->
+  unit
+(** Apply one update message at its receiver — the exact delivery logic
+    of {!wave}, exposed so the discrete-event engine can run waves as
+    in-flight message streams.  [reached] is the wave's duplicate map
+    (one byte per node, ['\001'] = already reached; mutated in place),
+    [wave_id] the provenance stamp for rewritten rows, and [forward]
+    receives the onward seeds the delivery generates.  The caller owns
+    transport: link checks, budget, and the message/wire-byte counters
+    are charged at send time, not here.  With zero link latency and
+    service time an engine-driven wave delivers in exactly the
+    sequential wave's FIFO order, so events and counters match
+    {!local_change} bit-for-bit (fault-free; the engine does not model
+    the plan's round-delay machinery). *)
+
+val wire_cost : ?plan:Fault.t -> wave_seed -> int
+(** Simulated wire bytes of sending this seed (sparse delta vs dense
+    full encoding — see the module doc), for callers that charge
+    transport themselves. *)
+
 val anti_entropy :
   ?on_event:(event -> unit) ->
   plan:Fault.t ->

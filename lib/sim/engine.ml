@@ -1,0 +1,172 @@
+(* Discrete-event scheduler: a logical nanosecond clock, a binary-heap
+   event queue ordered by (time, seq), and per-node FIFO mailboxes with
+   a deterministic service model.  One engine drives one trial, on one
+   domain; cross-trial parallelism stays at the pool layer, so nothing
+   here needs synchronization and the (seed, trial, seq) determinism
+   contract holds by construction. *)
+
+type handler = unit -> unit
+
+(* Array-backed binary min-heap over (time, seq).  [seq] is assigned at
+   push in program order, so equal-time events pop exactly in the order
+   they were scheduled — the tiebreak that makes a zero-latency schedule
+   replay the synchronous execution order. *)
+module Heap = struct
+  type entry = { time : int; seq : int; run : handler }
+
+  type t = { mutable a : entry array; mutable len : int }
+
+  let dummy = { time = 0; seq = 0; run = ignore }
+
+  let create () = { a = Array.make 256 dummy; len = 0 }
+
+  let before x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push t e =
+    if t.len = Array.length t.a then begin
+      let a = Array.make (2 * t.len) dummy in
+      Array.blit t.a 0 a 0 t.len;
+      t.a <- a
+    end;
+    let i = ref t.len in
+    t.len <- t.len + 1;
+    t.a.(!i) <- e;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if before t.a.(!i) t.a.(p) then begin
+        let tmp = t.a.(p) in
+        t.a.(p) <- t.a.(!i);
+        t.a.(!i) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let top = t.a.(0) in
+      t.len <- t.len - 1;
+      t.a.(0) <- t.a.(t.len);
+      t.a.(t.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before t.a.(l) t.a.(!smallest) then smallest := l;
+        if r < t.len && before t.a.(r) t.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.a.(!smallest) in
+          t.a.(!smallest) <- t.a.(!i);
+          t.a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  heap : Heap.t;
+  service_ns : int;
+  link_ns : int;
+  (* Mailboxes: a node services one message at a time; arrivals while
+     busy wait in FIFO order. *)
+  inbox : handler Queue.t array;
+  busy : bool array;
+  mutable processed : int;
+  mutable depth_peak : int;
+  mutable depth_sum : int;  (* queue length sampled at each arrival *)
+  mutable arrivals : int;
+}
+
+let ns_per_s = 1_000_000_000.
+
+let of_seconds s = int_of_float (Float.round (s *. ns_per_s))
+
+let to_seconds ns = float_of_int ns /. ns_per_s
+
+let create ?(service_ns = 0) ?(link_ns = 0) ~nodes () =
+  if nodes <= 0 then invalid_arg "Engine.create: nodes must be positive";
+  if service_ns < 0 || link_ns < 0 then
+    invalid_arg "Engine.create: negative latency";
+  {
+    now = 0;
+    seq = 0;
+    heap = Heap.create ();
+    service_ns;
+    link_ns;
+    inbox = Array.init nodes (fun _ -> Queue.create ());
+    busy = Array.make nodes false;
+    processed = 0;
+    depth_peak = 0;
+    depth_sum = 0;
+    arrivals = 0;
+  }
+
+let now t = t.now
+
+let processed t = t.processed
+
+let queue_peak t = t.depth_peak
+
+let queue_mean t =
+  if t.arrivals = 0 then 0.
+  else float_of_int t.depth_sum /. float_of_int t.arrivals
+
+let schedule t ~at run =
+  if at < t.now then invalid_arg "Engine.schedule: event in the past";
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push t.heap { Heap.time = at; seq; run }
+
+(* Service completion at [dst]: process the message, then start on the
+   next one waiting, if any. *)
+let rec complete t dst run =
+  t.processed <- t.processed + 1;
+  run ();
+  if Queue.is_empty t.inbox.(dst) then t.busy.(dst) <- false
+  else
+    let next = Queue.pop t.inbox.(dst) in
+    schedule t ~at:(t.now + t.service_ns) (fun () -> complete t dst next)
+
+(* A message lands in [dst]'s mailbox: start service now if the node is
+   idle, otherwise join the FIFO. *)
+let arrive t dst run =
+  t.arrivals <- t.arrivals + 1;
+  let depth = Queue.length t.inbox.(dst) in
+  t.depth_sum <- t.depth_sum + depth;
+  if t.busy.(dst) then begin
+    Queue.add run t.inbox.(dst);
+    if depth + 1 > t.depth_peak then t.depth_peak <- depth + 1
+  end
+  else begin
+    t.busy.(dst) <- true;
+    schedule t ~at:(t.now + t.service_ns) (fun () -> complete t dst run)
+  end
+
+let inject t ~at ~dst run =
+  if dst < 0 || dst >= Array.length t.inbox then
+    invalid_arg "Engine.inject: node out of range";
+  schedule t ~at (fun () -> arrive t dst run)
+
+let send t ~dst run =
+  if dst < 0 || dst >= Array.length t.inbox then
+    invalid_arg "Engine.send: node out of range";
+  if t.link_ns = 0 then arrive t dst run
+  else schedule t ~at:(t.now + t.link_ns) (fun () -> arrive t dst run)
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.heap with
+    | None -> continue := false
+    | Some e ->
+        t.now <- e.Heap.time;
+        e.Heap.run ()
+  done

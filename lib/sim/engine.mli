@@ -1,0 +1,69 @@
+(** Discrete-event scheduler for in-flight traffic.
+
+    The synchronous simulator runs each query or update wave to
+    completion before the next begins; this engine lets thousands of
+    them interleave.  It owns a logical nanosecond clock, a binary-heap
+    event queue, and one FIFO mailbox per node: a message sent to a
+    node crosses the link (constant [link_ns]), waits its turn in the
+    mailbox, is serviced for [service_ns], and only then runs its
+    handler — which typically advances a query state machine one hop
+    and sends the next message.
+
+    {b Determinism.}  Heap order is [(time, seq)]: [seq] is assigned in
+    program order at scheduling time, so equal-time events fire exactly
+    in the order they were scheduled.  One engine drives one trial on
+    one domain, and every random draw comes from streams derived from
+    [(seed, trial)] — so the full event order is a function of
+    [(seed, trial, seq)], independent of the pool width; cross-trial
+    parallelism composes through the usual per-trial observability
+    merge.  With [service_ns = 0] and [link_ns = 0] the schedule
+    degenerates to pure scheduling order, which replays the synchronous
+    execution of each message chain bit-for-bit. *)
+
+type t
+
+type handler = unit -> unit
+
+val create : ?service_ns:int -> ?link_ns:int -> nodes:int -> unit -> t
+(** Fresh engine at logical time 0.  [service_ns] (default [0]) is the
+    per-message service time of every node; [link_ns] (default [0]) the
+    per-hop propagation delay.
+    @raise Invalid_argument on a non-positive node count or negative
+    latency. *)
+
+val now : t -> int
+(** Current logical time in nanoseconds. *)
+
+val schedule : t -> at:int -> handler -> unit
+(** Raw event at absolute time [at] (>= [now]), bypassing the mailbox
+    model — used for workload arrivals and timers.
+    @raise Invalid_argument when [at] is in the past. *)
+
+val inject : t -> at:int -> dst:int -> handler -> unit
+(** Deliver a message into [dst]'s mailbox at absolute time [at]
+    (queueing + service apply; no link latency — the message originates
+    at [dst], like a client query handed to its entry node). *)
+
+val send : t -> dst:int -> handler -> unit
+(** Send a message from the currently executing event to [dst]: it
+    arrives after [link_ns] and then queues for service.  Call only
+    from inside a running handler (uses the current logical time). *)
+
+val run : t -> unit
+(** Drain the event queue to empty, advancing the clock. *)
+
+val of_seconds : float -> int
+(** Seconds to logical nanoseconds (rounded). *)
+
+val to_seconds : int -> float
+
+val processed : t -> int
+(** Messages serviced through mailboxes so far. *)
+
+val queue_peak : t -> int
+(** Largest mailbox backlog observed (waiting messages, excluding the
+    one in service). *)
+
+val queue_mean : t -> float
+(** Mean backlog seen by an arriving message (its queue wait in units
+    of service times) — 0 on an unloaded engine. *)

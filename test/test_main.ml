@@ -35,6 +35,7 @@ let () =
       Test_sketch.suite;
       Test_provenance.suite;
       Test_sim.suite;
+      Test_traffic.suite;
       Test_experiments.suite;
       Test_extensions.suite;
       Test_invariants.suite;

@@ -1,0 +1,469 @@
+(* Event-driven traffic plane: heap tiebreak order, the mailbox service
+   model, zero-latency equivalence of the Step machine with the
+   synchronous query and of the engine-driven wave with the sequential
+   wave, Poisson/Zipf workload sanity, and the determinism contract —
+   traffic traces byte-identical at any pool width. *)
+
+open Ri_util
+open Ri_content
+open Ri_obs
+open Ri_p2p
+open Ri_sim
+module Traffic = Ri_experiments.Traffic
+
+let small = Config.scaled Config.base ~num_nodes:300
+
+let eri_cfg = Config.with_search small (Config.Ri (Config.eri small))
+
+let nori_cfg = Config.with_search small Config.No_ri
+
+(* ------------------------------------------------------------------ *)
+(* Engine: heap order and mailbox model.                               *)
+
+let test_heap_tiebreak () =
+  let eng = Engine.create ~nodes:1 () in
+  let order = ref [] in
+  let note i () = order := i :: !order in
+  Engine.schedule eng ~at:10 (note 0);
+  Engine.schedule eng ~at:5 (note 1);
+  Engine.schedule eng ~at:10 (note 2);
+  Engine.schedule eng ~at:5 (note 3);
+  Engine.schedule eng ~at:0 (note 4);
+  Engine.run eng;
+  (* Time first; equal times pop in scheduling order. *)
+  Alcotest.(check (list int)) "(time, seq) order" [ 4; 1; 3; 0; 2 ]
+    (List.rev !order);
+  Alcotest.(check int) "clock at last event" 10 (Engine.now eng)
+
+let test_heap_stress_sorted () =
+  let eng = Engine.create ~nodes:1 () in
+  let rng = Prng.create 7 in
+  let times = ref [] in
+  for _ = 1 to 1000 do
+    let at = Prng.int rng 50 in
+    Engine.schedule eng ~at (fun () -> times := Engine.now eng :: !times)
+  done;
+  Engine.run eng;
+  let ts = List.rev !times in
+  Alcotest.(check int) "all ran" 1000 (List.length ts);
+  Alcotest.(check bool) "nondecreasing" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) t -> (ok && t >= prev, t))
+          (true, 0) ts))
+
+let test_schedule_past_rejected () =
+  let eng = Engine.create ~nodes:1 () in
+  Engine.schedule eng ~at:5 (fun () ->
+      Alcotest.check_raises "past event"
+        (Invalid_argument "Engine.schedule: event in the past") (fun () ->
+          Engine.schedule eng ~at:4 ignore));
+  Engine.run eng
+
+let test_mailbox_service () =
+  let eng = Engine.create ~service_ns:10 ~nodes:2 () in
+  let done_at = ref [] in
+  Engine.inject eng ~at:0 ~dst:0 (fun () ->
+      done_at := ("a", Engine.now eng) :: !done_at);
+  Engine.inject eng ~at:0 ~dst:0 (fun () ->
+      done_at := ("b", Engine.now eng) :: !done_at);
+  Engine.inject eng ~at:0 ~dst:1 (fun () ->
+      done_at := ("c", Engine.now eng) :: !done_at);
+  Engine.run eng;
+  (* Node 0 services one message at a time (10 ns each); node 1 is an
+     independent server. *)
+  Alcotest.(check (list (pair string int)))
+    "FIFO service, independent nodes"
+    [ ("a", 10); ("c", 10); ("b", 20) ]
+    (List.rev !done_at);
+  Alcotest.(check int) "one message waited" 1 (Engine.queue_peak eng);
+  Alcotest.(check int) "three serviced" 3 (Engine.processed eng)
+
+let test_link_latency () =
+  let eng = Engine.create ~link_ns:100 ~nodes:2 () in
+  let hops = ref [] in
+  Engine.inject eng ~at:0 ~dst:0 (fun () ->
+      hops := Engine.now eng :: !hops;
+      Engine.send eng ~dst:1 (fun () ->
+          hops := Engine.now eng :: !hops;
+          Engine.send eng ~dst:0 (fun () -> hops := Engine.now eng :: !hops)));
+  Engine.run eng;
+  Alcotest.(check (list int)) "100 ns per hop" [ 0; 100; 200 ]
+    (List.rev !hops)
+
+(* ------------------------------------------------------------------ *)
+(* Zero latency: the engine replays the synchronous executions.        *)
+
+let query_event_str = function
+  | Query.Forwarded { sender; receiver } ->
+      Printf.sprintf "fwd %d->%d" sender receiver
+  | Query.Returned { sender; receiver } ->
+      Printf.sprintf "ret %d->%d" sender receiver
+  | Query.Results { at; count } -> Printf.sprintf "res %d:%d" at count
+  | Query.Timed_out _ -> "timeout"
+  | Query.Gave_up _ -> "gave_up"
+  | Query.Reconciled _ -> "reconciled"
+
+let run_query_sync setup forwarding rng =
+  let events = ref [] in
+  let o =
+    Query.run ~rng
+      ~on_event:(fun e -> events := query_event_str e :: !events)
+      setup.Trial.network ~origin:setup.Trial.origin ~query:setup.Trial.query
+      ~forwarding
+  in
+  (o, List.rev !events)
+
+let run_query_engine setup forwarding rng =
+  let events = ref [] in
+  let net = setup.Trial.network in
+  let eng = Engine.create ~nodes:(Network.size net) () in
+  let result = ref None in
+  Engine.inject eng ~at:0 ~dst:setup.Trial.origin (fun () ->
+      let st, first =
+        Query.Step.start ~rng
+          ~on_event:(fun e -> events := query_event_str e :: !events)
+          net ~origin:setup.Trial.origin ~query:setup.Trial.query ~forwarding
+      in
+      let rec dispatch = function
+        | None -> result := Some (Query.Step.finish st)
+        | Some (s : Query.Step.send) ->
+            Engine.send eng ~dst:s.Query.Step.dst (fun () ->
+                dispatch (Query.Step.deliver st s))
+      in
+      dispatch first);
+  Engine.run eng;
+  (Option.get !result, List.rev !events)
+
+let check_query_equiv cfg forwarding trial =
+  let rng_seed = Prng.create (1000 + trial) in
+  let s1 = Trial.build ~purpose:Trial.For_update cfg ~trial in
+  let o1, e1 = run_query_sync s1 forwarding (Prng.copy rng_seed) in
+  let s2 = Trial.build ~purpose:Trial.For_update cfg ~trial in
+  let o2, e2 = run_query_engine s2 forwarding (Prng.copy rng_seed) in
+  Alcotest.(check (list string)) "same events in the same order" e1 e2;
+  Alcotest.(check int) "found" o1.Query.found o2.Query.found;
+  Alcotest.(check bool) "satisfied" o1.Query.satisfied o2.Query.satisfied;
+  Alcotest.(check int) "nodes visited" o1.Query.nodes_visited
+    o2.Query.nodes_visited;
+  Alcotest.(check int) "messages" (Query.messages o1) (Query.messages o2)
+
+let test_step_matches_run_ri () =
+  for trial = 0 to 3 do
+    check_query_equiv eri_cfg Query.Ri_guided trial
+  done
+
+let test_step_matches_run_random_walk () =
+  for trial = 0 to 3 do
+    check_query_equiv nori_cfg Query.Random_walk trial
+  done
+
+(* Engine-driven wave vs the sequential wave: same local change on two
+   identical builds of the same trial must deliver the same messages in
+   the same order and charge the same counters. *)
+let delivered_str = function
+  | Update.Delivered { sender; receiver; significant; forwarded } ->
+      Some
+        (Printf.sprintf "%d->%d sig=%b fwd=%b" sender receiver significant
+           forwarded)
+  | Update.Dropped _ | Update.Delayed _ | Update.Round _ | Update.Repaired _
+    ->
+      None
+
+let bumped_summary setup =
+  let base =
+    Network.raw_local_summary setup.Trial.network setup.Trial.origin
+  in
+  let by_topic = Array.copy base.Summary.by_topic in
+  by_topic.(0) <- by_topic.(0) +. 5.;
+  Summary.make ~total:(base.Summary.total +. 5.) ~by_topic
+
+let test_engine_wave_matches_sync () =
+  for trial = 0 to 2 do
+    let s1 = Trial.build ~purpose:Trial.For_update eri_cfg ~trial in
+    let events1 = ref [] in
+    let counters1 = Message.create () in
+    Update.local_change
+      ~on_event:(fun e -> events1 := e :: !events1)
+      s1.Trial.network ~origin:s1.Trial.origin ~summary:(bumped_summary s1)
+      ~counters:counters1;
+    let s2 = Trial.build ~purpose:Trial.For_update eri_cfg ~trial in
+    let net = s2.Trial.network in
+    let n = Network.size net in
+    let origin = s2.Trial.origin in
+    let events2 = ref [] in
+    let counters2 = Message.create () in
+    let eng = Engine.create ~nodes:n () in
+    let budget =
+      let d = ref 0 in
+      for v = 0 to n - 1 do
+        d := !d + Network.degree net v
+      done;
+      20 * (n + !d)
+    in
+    let reached = Bytes.make n '\000' in
+    Bytes.set reached origin '\001';
+    let wave_id = Network.fresh_wave net in
+    let sent = ref 0 in
+    let rec send_seed (seed : Update.wave_seed) =
+      if
+        Network.has_link net seed.Update.sender seed.Update.receiver
+        && !sent < budget
+      then begin
+        incr sent;
+        counters2.Message.update_messages <-
+          counters2.Message.update_messages + 1;
+        counters2.Message.update_wire_bytes <-
+          counters2.Message.update_wire_bytes + Update.wire_cost seed;
+        Engine.send eng ~dst:seed.Update.receiver (fun () ->
+            Update.deliver_one
+              ~on_event:(fun e -> events2 := e :: !events2)
+              net ~reached ~wave_id ~forward:send_seed seed)
+      end
+    in
+    let summary = bumped_summary s2 in
+    Engine.inject eng ~at:0 ~dst:origin (fun () ->
+        List.iter send_seed
+          (Update.seeds_for_change net ~at:origin ~except:[]
+             ~mutate:(fun () -> Network.set_local_summary net origin summary)));
+    Engine.run eng;
+    let deliveries evs = List.rev !evs |> List.filter_map delivered_str in
+    Alcotest.(check (list string))
+      "same deliveries in the same order" (deliveries events1)
+      (deliveries events2);
+    Alcotest.(check int) "same message count"
+      counters1.Message.update_messages counters2.Message.update_messages;
+    Alcotest.(check int) "same wire bytes" counters1.Message.update_wire_bytes
+      counters2.Message.update_wire_bytes;
+    Alcotest.(check bool) "wave went somewhere" true
+      (counters1.Message.update_messages > 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Workload: Poisson gaps and Zipf popularity.                         *)
+
+let test_poisson_mean () =
+  let rng = Prng.create 11 in
+  let rate = 5. in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let gap = Workload.poisson_next rng ~rate in
+    Alcotest.(check bool) "gap positive" true (gap > 0.);
+    sum := !sum +. gap
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true
+    (Float.abs (mean -. (1. /. rate)) < 0.01)
+
+let test_poisson_rejects_bad_rate () =
+  let rng = Prng.create 1 in
+  List.iter
+    (fun rate ->
+      match Workload.poisson_next rng ~rate with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "rate %g accepted" rate)
+    [ 0.; -1.; Float.nan ]
+
+let test_zipf_pmf () =
+  let universe = Topic.make 10 in
+  let z = Workload.Zipf.create ~exponent:1. universe in
+  let pmf = Workload.Zipf.pmf z in
+  Alcotest.(check int) "full support" 10 (Array.length pmf);
+  Alcotest.(check (float 1e-9)) "normalized" 1.
+    (Array.fold_left ( +. ) 0. pmf);
+  Alcotest.(check (float 1e-9)) "rank 0 twice rank 1" 2.
+    (pmf.(0) /. pmf.(1));
+  let u = Workload.Zipf.pmf (Workload.Zipf.create ~exponent:0. universe) in
+  Alcotest.(check (float 1e-9)) "exponent 0 is uniform" 0.1 u.(3)
+
+let test_zipf_draw_frequencies () =
+  let universe = Topic.make 10 in
+  let z = Workload.Zipf.create ~exponent:1. universe in
+  let pmf = Workload.Zipf.pmf z in
+  let rng = Prng.create 23 in
+  let n = 50_000 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to n do
+    let t = Workload.Zipf.draw z rng in
+    counts.(t) <- counts.(t) + 1
+  done;
+  Alcotest.(check int) "draw counter" n (Workload.Zipf.draws z);
+  Array.iteri
+    (fun i c ->
+      let observed = float_of_int c /. float_of_int n in
+      if Float.abs (observed -. pmf.(i)) > 0.015 then
+        Alcotest.failf "rank %d: observed %.4f vs pmf %.4f" i observed pmf.(i))
+    counts
+
+let test_zipf_shift () =
+  let universe = Topic.make 10 in
+  let z = Workload.Zipf.create ~exponent:1. ~shift_every:100 universe in
+  Alcotest.(check int) "rank 0 maps to topic 0" 0
+    (Workload.Zipf.topic_of_rank z 0);
+  let rng = Prng.create 3 in
+  for _ = 1 to 250 do
+    ignore (Workload.Zipf.draw z rng)
+  done;
+  (* 250 draws / shift_every 100 = 2 rotations. *)
+  Alcotest.(check int) "hot rank rotated" 2 (Workload.Zipf.topic_of_rank z 0);
+  Alcotest.(check int) "wraps modulo the universe" 1
+    (Workload.Zipf.topic_of_rank z 9)
+
+let test_zipf_rejects_bad_args () =
+  let universe = Topic.make 5 in
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad Zipf argument accepted")
+    [
+      (fun () -> Workload.Zipf.create ~exponent:(-1.) universe);
+      (fun () -> Workload.Zipf.create ~exponent:Float.nan universe);
+      (fun () -> Workload.Zipf.create ~shift_every:(-1) universe);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Traffic driver: determinism and option validation.                  *)
+
+let fast_opts =
+  {
+    Traffic.default_opts with
+    Traffic.o_qps = [ 200. ];
+    o_duration = 0.1;
+    o_service_rate = 5000.;
+    o_link_latency = 0.1;
+    o_update_rate = 20.;
+    o_trials = 3;
+  }
+
+let test_simulate_deterministic () =
+  let a = Traffic.simulate eri_cfg ~opts:fast_opts ~qps:200. ~trial:0 in
+  let b = Traffic.simulate eri_cfg ~opts:fast_opts ~qps:200. ~trial:0 in
+  Alcotest.(check int) "arrivals" a.Traffic.r_arrivals b.Traffic.r_arrivals;
+  Alcotest.(check int) "completed" a.Traffic.r_completed
+    b.Traffic.r_completed;
+  Alcotest.(check int) "messages" a.Traffic.r_messages b.Traffic.r_messages;
+  Alcotest.(check int) "update messages" a.Traffic.r_update_messages
+    b.Traffic.r_update_messages;
+  Alcotest.(check int) "queue peak" a.Traffic.r_queue_peak
+    b.Traffic.r_queue_peak;
+  Alcotest.(check (float 0.)) "makespan" a.Traffic.r_makespan_s
+    b.Traffic.r_makespan_s;
+  Alcotest.(check string) "latency sketch byte-identical"
+    (Sketch.encode a.Traffic.r_sketch)
+    (Sketch.encode b.Traffic.r_sketch);
+  Alcotest.(check bool) "queries completed" true (a.Traffic.r_completed > 0);
+  Alcotest.(check bool) "updates flowed" true
+    (a.Traffic.r_update_messages > 0)
+
+let traffic_trace_run jobs =
+  let prev = Pool.jobs (Pool.global ()) in
+  Pool.set_global_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_global_jobs prev)
+    (fun () ->
+      Trace.clear ();
+      Trace.start ();
+      let points =
+        Fun.protect ~finally:Trace.stop (fun () ->
+            Traffic.sweep ~opts:fast_opts eri_cfg ())
+      in
+      let jsonl = Trace.render_jsonl () in
+      Trace.clear ();
+      (points, jsonl))
+
+let test_traffic_trace_bit_identical () =
+  let points1, jsonl1 = traffic_trace_run 1 in
+  let points4, jsonl4 = traffic_trace_run 4 in
+  Alcotest.(check bool) "trace not empty" true (String.length jsonl1 > 0);
+  Alcotest.(check bool) "query hops recorded" true
+    (Astring.String.is_infix ~affix:"\"name\":\"forward\"" jsonl1);
+  Alcotest.(check bool) "update hops recorded" true
+    (Astring.String.is_infix ~affix:"\"name\":\"update_hop\"" jsonl1);
+  Alcotest.(check bool) "completions recorded" true
+    (Astring.String.is_infix ~affix:"\"name\":\"complete\"" jsonl1);
+  Alcotest.(check string) "traces byte-identical at jobs 1 vs 4" jsonl1
+    jsonl4;
+  Alcotest.(check string) "points identical at jobs 1 vs 4"
+    (Traffic.json_of ~opts:fast_opts points1)
+    (Traffic.json_of ~opts:fast_opts points4)
+
+let test_sweep_shape () =
+  let opts = { fast_opts with Traffic.o_qps = [ 100.; 400. ]; o_trials = 1 } in
+  let points = Traffic.sweep ~opts eri_cfg () in
+  Alcotest.(check int) "one point per rate" 2 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "p50 <= p95" true
+        (p.Traffic.q_p50_ms <= p.Traffic.q_p95_ms);
+      Alcotest.(check bool) "p95 <= p99" true
+        (p.Traffic.q_p95_ms <= p.Traffic.q_p99_ms);
+      Alcotest.(check bool) "completed all arrivals" true
+        (p.Traffic.q_completed = p.Traffic.q_arrivals);
+      Alcotest.(check bool) "makespan covers the window" true
+        (p.Traffic.q_makespan_s >= opts.Traffic.o_duration))
+    points;
+  let report = Traffic.report_of points in
+  Alcotest.(check int) "report rows" 2
+    (List.length report.Ri_experiments.Report.rows)
+
+let test_invalid_opts_rejected () =
+  List.iter
+    (fun opts ->
+      match Traffic.measure ~opts eri_cfg ~qps:100. with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "invalid traffic opts accepted")
+    [
+      { fast_opts with Traffic.o_duration = 0. };
+      { fast_opts with Traffic.o_service_rate = 0. };
+      { fast_opts with Traffic.o_link_latency = -1. };
+      { fast_opts with Traffic.o_qps = [] };
+      { fast_opts with Traffic.o_qps = [ -5. ] };
+      { fast_opts with Traffic.o_trials = 0 };
+      { fast_opts with Traffic.o_snapshot = Some "x.risnap" };
+      (* snapshot with trials <> 1 *)
+    ];
+  match
+    Traffic.simulate
+      (Config.with_search small (Config.Flooding { ttl = None }))
+      ~opts:fast_opts ~qps:100. ~trial:0
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "flooding traffic accepted"
+
+let suite =
+  ( "traffic",
+    [
+      Alcotest.test_case "heap pops (time, seq)" `Quick test_heap_tiebreak;
+      Alcotest.test_case "heap stress stays sorted" `Quick
+        test_heap_stress_sorted;
+      Alcotest.test_case "scheduling into the past rejected" `Quick
+        test_schedule_past_rejected;
+      Alcotest.test_case "mailbox FIFO service" `Quick test_mailbox_service;
+      Alcotest.test_case "link latency per hop" `Quick test_link_latency;
+      Alcotest.test_case "zero-latency Step replays Query.run (RI)" `Quick
+        test_step_matches_run_ri;
+      Alcotest.test_case "zero-latency Step replays Query.run (random walk)"
+        `Quick test_step_matches_run_random_walk;
+      Alcotest.test_case "zero-latency engine wave replays local_change"
+        `Quick test_engine_wave_matches_sync;
+      Alcotest.test_case "poisson gaps average 1/rate" `Quick
+        test_poisson_mean;
+      Alcotest.test_case "poisson rejects bad rates" `Quick
+        test_poisson_rejects_bad_rate;
+      Alcotest.test_case "zipf pmf shape" `Quick test_zipf_pmf;
+      Alcotest.test_case "zipf draws follow the pmf" `Quick
+        test_zipf_draw_frequencies;
+      Alcotest.test_case "zipf popularity shifts" `Quick test_zipf_shift;
+      Alcotest.test_case "zipf rejects bad arguments" `Quick
+        test_zipf_rejects_bad_args;
+      Alcotest.test_case "simulate is deterministic" `Quick
+        test_simulate_deterministic;
+      Alcotest.test_case "traffic traces byte-identical across jobs" `Quick
+        test_traffic_trace_bit_identical;
+      Alcotest.test_case "sweep shape and quantile ordering" `Quick
+        test_sweep_shape;
+      Alcotest.test_case "invalid options rejected" `Quick
+        test_invalid_opts_rejected;
+    ] )
