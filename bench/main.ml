@@ -241,6 +241,33 @@ let core_micros () =
         ignore
           (Ri_experiments.Traffic.simulate traffic_cfg ~opts ~qps:2000.
              ~trial:3) );
+    (* The identical trial with the observatory timeline recording
+       live: every gated capture site takes its one load-and-branch and
+       then actually records, flushes and clears.  The committed
+       baseline entry for this name is the OFF-path time of the same
+       trial, so the regression gate bounds the on-vs-off overhead at
+       its threshold instead of merely tracking drift. *)
+    ( "traffic-observatory-on-vs-off",
+      let traffic_cfg =
+        Config.with_search micro_base (Config.Ri (Config.eri micro_base))
+      in
+      let opts =
+        {
+          Ri_experiments.Traffic.default_opts with
+          Ri_experiments.Traffic.o_qps = [ 2000. ];
+          o_duration = 0.02;
+          o_service_rate = 20_000.;
+          o_link_latency = 0.05;
+          o_trials = 1;
+        }
+      in
+      fun () ->
+        Ri_obs.Observatory.start ();
+        ignore
+          (Ri_experiments.Traffic.simulate traffic_cfg ~opts ~qps:2000.
+             ~trial:3);
+        Ri_obs.Observatory.stop ();
+        Ri_obs.Observatory.clear () );
     ("core-export-all-100-peers", fun () -> ignore (Scheme.export_all big_ri));
     ( "core-rank-100-peers",
       fun () -> ignore (Scheme.rank big_ri ~query:[ 3 ] ~exclude:[]) );

@@ -311,17 +311,19 @@ let stop_flusher = function
    with the cache/pool gauges refreshed so one file carries the whole
    picture.  The HTTP server and the periodic flusher are torn down even
    when the run raises. *)
-let with_obs ?(serve = None) ?(spans = None) ?(span_fmt = `Jsonl) metrics trace
-    fmt decisions f =
+let with_obs ?(serve = None) ?(spans = None) ?(span_fmt = `Jsonl)
+    ?(timeline = None) metrics trace fmt decisions f =
   if metrics <> None || serve <> None then Ri_obs.Metrics.set_enabled true;
   if trace <> None then Ri_obs.Trace.start ();
   if decisions <> None then Ri_obs.Decision.start ();
   if spans <> None then Ri_obs.Span.start ();
+  if timeline <> None then Ri_obs.Observatory.start ();
   let server =
     Option.map
       (fun port ->
         let s = Ri_obs.Serve.start ~port ~metrics:Telemetry.render_metrics () in
-        Printf.printf "obs endpoint: http://127.0.0.1:%d (/metrics /progress /healthz)\n%!"
+        Printf.printf
+          "obs endpoint: http://127.0.0.1:%d (/metrics /progress /traffic /healthz)\n%!"
           (Ri_obs.Serve.port s);
         s)
       serve
@@ -357,6 +359,12 @@ let with_obs ?(serve = None) ?(spans = None) ?(span_fmt = `Jsonl) metrics trace
       | `Chrome -> Ri_obs.Span.export_chrome file
       | `Otlp -> Ri_obs.Span.export_otlp file);
       Printf.printf "spans written to %s\n" file);
+  (match timeline with
+  | None -> ()
+  | Some file ->
+      Ri_obs.Observatory.stop ();
+      Ri_obs.Observatory.export_jsonl file;
+      Printf.printf "timeline written to %s\n" file);
   (match metrics with
   | None -> ()
   | Some file ->
@@ -832,9 +840,35 @@ let traffic_cmd =
     let doc = "Also write the sweep's points and knee as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
+  let hotspots_t =
+    let doc =
+      "Report the top $(docv) nodes per swept point by accumulated \
+       queue-wait (with busy time, utilization, peak depth and \
+       critical-hop counts); 0 hides the table."
+    in
+    Arg.(value & opt int d.T.o_hotspots & info [ "hotspots" ] ~docv:"K" ~doc)
+  in
+  let timeline_bins_t =
+    let doc =
+      "Number of logical-time bins in the $(b,--timeline) export (>= 1)."
+    in
+    Arg.(
+      value
+      & opt int d.T.o_timeline_bins
+      & info [ "timeline-bins" ] ~docv:"N" ~doc)
+  in
+  let timeline_t =
+    let doc =
+      "Record the per-trial logical-time timeline — arrivals, \
+       completions, aggregate mailbox backlog per bin — and write it to \
+       $(docv) as JSONL.  Like $(b,--trace), timestamps are logical, so \
+       the file is byte-identical at any $(b,--jobs) width."
+    in
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE" ~doc)
+  in
   let run nodes seed topology search qps duration service_rate link_latency
-      update_rate zipf shift_every trials snapshot json jobs metrics trace fmt
-      decisions spans span_fmt serve =
+      update_rate zipf shift_every trials snapshot json hotspots timeline_bins
+      timeline jobs metrics trace fmt decisions spans span_fmt serve =
     apply_jobs jobs;
     let cfg = base_config nodes seed in
     let cfg = Config.with_topology cfg topology in
@@ -853,11 +887,13 @@ let traffic_cmd =
             o_shift_every = shift_every;
             o_trials = trials;
             o_snapshot = snapshot;
+            o_hotspots = hotspots;
+            o_timeline_bins = timeline_bins;
           }
         in
         let swept =
-          with_obs ~serve ~spans ~span_fmt metrics trace fmt decisions
-            (fun () ->
+          with_obs ~serve ~spans ~span_fmt ~timeline metrics trace fmt
+            decisions (fun () ->
               try Ok (T.sweep ~opts cfg ())
               with Invalid_argument msg | Sys_error msg -> Error msg)
         in
@@ -865,6 +901,8 @@ let traffic_cmd =
         | Error msg -> `Error (false, msg)
         | Ok points ->
             Ri_experiments.Report.print (T.report_of points);
+            if opts.T.o_hotspots > 0 then
+              Ri_experiments.Report.print (T.hotspots_report_of points);
             (match T.knee_of points with
             | Some q -> Printf.printf "saturation knee: ~%g QPS offered\n" q
             | None ->
@@ -899,9 +937,9 @@ let traffic_cmd =
       ret
         (const run $ nodes_t $ seed_t $ topology_t $ search_t $ qps_t
        $ duration_t $ service_rate_t $ link_latency_t $ update_rate_t $ zipf_t
-       $ shift_every_t $ trials_t $ snapshot_t $ json_t $ jobs_t $ metrics_t
-       $ trace_t $ trace_format_t $ decisions_t $ spans_t $ span_format_t
-       $ serve_obs_t))
+       $ shift_every_t $ trials_t $ snapshot_t $ json_t $ hotspots_t
+       $ timeline_bins_t $ timeline_t $ jobs_t $ metrics_t $ trace_t
+       $ trace_format_t $ decisions_t $ spans_t $ span_format_t $ serve_obs_t))
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -997,6 +1035,22 @@ let report_cmd =
     Arg.(
       value & opt (some string) None & info [ "metrics-file" ] ~docv:"FILE" ~doc)
   in
+  let traffic_file_t =
+    let doc =
+      "Sweep JSON from $(b,risim traffic --json); adds the knee chart, \
+       the latency-decomposition stacked bars and the hotspot table.  \
+       Parsed strictly: malformed rows fail the report with the \
+       offending point named."
+    in
+    Arg.(value & opt (some string) None & info [ "traffic" ] ~docv:"FILE" ~doc)
+  in
+  let timeline_file_t =
+    let doc =
+      "Timeline JSONL from $(b,risim traffic --timeline); adds the \
+       logical-time bin table (arrivals, completions, backlog depth)."
+    in
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE" ~doc)
+  in
   let out_t =
     let doc = "Write the report to $(docv) instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
@@ -1006,7 +1060,7 @@ let report_cmd =
       value & flag
       & info [ "html" ] ~doc:"Render a self-contained HTML page instead of Markdown.")
   in
-  let run bench baseline decisions metrics_file out html =
+  let run bench baseline decisions metrics_file traffic timeline out html =
     let module D = Ri_experiments.Dashboard in
     let tables = ref [] in
     let errors = ref [] in
@@ -1073,6 +1127,25 @@ let report_cmd =
             | Some t -> add [ t ]
             | None ->
                 errors := Printf.sprintf "%s: no metrics" path :: !errors));
+    (match traffic with
+    | None -> ()
+    | Some path ->
+        with_input "--traffic" path (fun text ->
+            match Ri_util.Json.parse text with
+            | Error e -> errors := Printf.sprintf "%s: %s" path e :: !errors
+            | Ok j -> (
+                match D.of_traffic j with
+                | Ok ts -> add ts
+                | Error e ->
+                    errors := Printf.sprintf "%s: %s" path e :: !errors)));
+    (match timeline with
+    | None -> ()
+    | Some path ->
+        with_input "--timeline" path (fun text ->
+            match D.of_timeline text with
+            | Ok t -> add [ t ]
+            | Error e ->
+                errors := Printf.sprintf "%s: %s" path e :: !errors));
     let title = "risim observability report" in
     let text =
       if html then D.render_html ~title !tables
@@ -1087,12 +1160,13 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:
          "Aggregate run artifacts (bench results, decision provenance, \
-          metrics) into a Markdown or HTML dashboard, optionally with the \
-          bench regression gate against a committed baseline")
+          metrics, traffic sweeps and timelines) into a Markdown or HTML \
+          dashboard, optionally with the bench regression gate against a \
+          committed baseline")
     Term.(
       ret
         (const run $ bench_t $ baseline_t $ decisions_file_t $ metrics_file_t
-       $ out_t $ html_t))
+       $ traffic_file_t $ timeline_file_t $ out_t $ html_t))
 
 let chaos_cmd =
   let nodes_t =
@@ -1183,9 +1257,35 @@ let json_verify_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"JSON file to validate.")
   in
-  let run file =
+  let jsonl_t =
+    let doc =
+      "Treat the file as JSONL: validate each non-empty line as a \
+       standalone strict-JSON document (timeline, trace and decision \
+       exports), reporting the first offending line."
+    in
+    Arg.(value & flag & info [ "jsonl" ] ~doc)
+  in
+  let run file jsonl =
     if not (Sys.file_exists file) then
       `Error (false, file ^ ": no such file")
+    else if jsonl then begin
+      let bad = ref None in
+      let count = ref 0 in
+      String.split_on_char '\n' (read_file file)
+      |> List.iteri (fun i line ->
+             if !bad = None && String.trim line <> "" then begin
+               incr count;
+               match Ri_util.Json.parse line with
+               | Ok _ -> ()
+               | Error e ->
+                   bad := Some (Printf.sprintf "%s: line %d: %s" file (i + 1) e)
+             end);
+      match !bad with
+      | Some e -> `Error (false, e)
+      | None ->
+          Printf.printf "%s: %d valid JSONL records\n" file !count;
+          `Ok ()
+    end
     else
       match Ri_util.Json.parse (read_file file) with
       | Ok _ ->
@@ -1198,8 +1298,9 @@ let json_verify_cmd =
        ~doc:
          "Validate a file against the simulator's strict RFC 8259 JSON \
           parser — what CI runs over the /progress endpoint's output and \
-          exported artifacts")
-    Term.(ret (const run $ file_t))
+          exported artifacts; $(b,--jsonl) validates line-delimited \
+          exports record by record")
+    Term.(ret (const run $ file_t $ jsonl_t))
 
 let () =
   Printexc.record_backtrace true;

@@ -25,6 +25,20 @@ val of_metrics : string -> table option
 (** A flat metric/value table from Prometheus text exposition (comment
     lines skipped).  [None] on empty input. *)
 
+val of_traffic : Ri_util.Json.t -> (table list, string) result
+(** Tables from a parsed [risim traffic --json] document: the knee
+    chart (p50 text bars per swept QPS), the latency-decomposition
+    stacked bars (queue / service / link per completed query) and the
+    per-point hotspot table.  Unlike the other ingesters this one is
+    strict — the input is a machine-written artifact, so a missing or
+    mistyped field is reported as [Error] naming the point (and
+    hotspot) index rather than silently dropped. *)
+
+val of_timeline : string -> (table, string) result
+(** A per-(unit, trial) bin table from timeline JSONL (see
+    {!Ri_obs.Observatory.render_jsonl}); strict like {!of_traffic},
+    with errors naming the offending line. *)
+
 val of_bench : Ri_util.Json.t -> table list
 (** Tables from a parsed BENCH_results.json: microbenchmark ns/run,
     figure wall-clock seconds, phase timings and the run config, with

@@ -1,6 +1,7 @@
 (* Live observability endpoint: a dependency-free Unix HTTP server on
    its own domain, serving /metrics (Prometheus text), /progress
-   (JSON) and /healthz while a run executes.
+   (JSON), /traffic (JSON traffic-observatory snapshot) and /healthz
+   while a run executes.
 
    The server never touches simulation state: every handler reads only
    atomic Progress fields and registry snapshots taken under their own
@@ -54,6 +55,23 @@ module Progress = struct
       done_ total elapsed eta (Sketch.render_json ())
 end
 
+module Traffic = struct
+  (* The traffic driver renders one JSON snapshot per finished sweep
+     point and publishes it whole; handlers only ever read a complete
+     string, so a scrape racing a publish still sees valid JSON.  The
+     empty-state body is itself valid JSON so /traffic is always
+     parseable. *)
+  let empty = "{\"points\": [], \"knee_qps\": null}"
+
+  let state = Atomic.make empty
+
+  let publish s = Atomic.set state s
+
+  let clear () = Atomic.set state empty
+
+  let json () = Atomic.get state
+end
+
 type t = {
   sock : Unix.file_descr;
   port : int;
@@ -103,6 +121,7 @@ let route metrics path =
   match path with
   | "/metrics" -> Some ("text/plain; version=0.0.4; charset=utf-8", metrics ())
   | "/progress" -> Some ("application/json", Progress.json ())
+  | "/traffic" -> Some ("application/json", Traffic.json ())
   | "/healthz" -> Some ("text/plain; charset=utf-8", "ok\n")
   | _ -> None
 

@@ -1,6 +1,7 @@
 (** Live observability endpoint: a dependency-free [Unix] HTTP server
     on its own domain serving [/metrics] (Prometheus text),
-    [/progress] (JSON run status) and [/healthz] during a run.
+    [/progress] (JSON run status), [/traffic] (JSON traffic-observatory
+    snapshot) and [/healthz] during a run.
 
     Handlers read only atomic {!Progress} fields and registry
     snapshots taken under their own locks, never simulation state, so
@@ -27,6 +28,21 @@ module Progress : sig
   (** [{"phase":..,"label":..,"trials_done":..,"trials_total":..,
       "elapsed_s":..,"eta_s":..,"sketches":{..}}] — [eta_s] is [null]
       until at least one trial has finished. *)
+end
+
+(** Live traffic-observatory snapshot behind [/traffic]: the open-loop
+    driver publishes one complete JSON document per finished sweep
+    point (points so far, decomposition, hotspots, knee), and handlers
+    read it whole — a scrape racing a publish still sees valid JSON. *)
+module Traffic : sig
+  val publish : string -> unit
+  (** Replace the snapshot.  The argument must be a complete JSON
+      document; {!Ri_experiments.Traffic} renders it. *)
+
+  val clear : unit -> unit
+  (** Back to the empty-state body (valid JSON, no points). *)
+
+  val json : unit -> string
 end
 
 type t

@@ -69,6 +69,11 @@ module Heap = struct
     end
 end
 
+(* Per-message queued entry: the handler plus the logical time it
+   entered the mailbox, so the wait it accrued is known when service
+   finally starts. *)
+type queued = { enq : int; run : handler }
+
 type t = {
   mutable now : int;
   mutable seq : int;
@@ -77,12 +82,23 @@ type t = {
   link_ns : int;
   (* Mailboxes: a node services one message at a time; arrivals while
      busy wait in FIFO order. *)
-  inbox : handler Queue.t array;
+  inbox : queued Queue.t array;
   busy : bool array;
   mutable processed : int;
-  mutable depth_peak : int;
-  mutable depth_sum : int;  (* queue length sampled at each arrival *)
-  mutable arrivals : int;
+  mutable backlog : int;  (* waiting messages across all mailboxes *)
+  (* Per-node attribution, accumulated in flat arrays — the hotspot
+     profiler's raw feed.  Always on: plain int stores on paths that
+     already pay a heap operation per event, and the engine only exists
+     while traffic actually flows. *)
+  n_arrivals : int array;
+  n_completions : int array;
+  n_busy_ns : int array;
+  n_wait_ns : int array;
+  n_depth_sum : int array;  (* backlog seen by each arriving message *)
+  n_peak : int array;
+  (* Queue wait of the delivery whose handler is currently running;
+     meaningful only inside a mailbox-delivered handler. *)
+  mutable last_wait : int;
 }
 
 let ns_per_s = 1_000_000_000.
@@ -104,20 +120,62 @@ let create ?(service_ns = 0) ?(link_ns = 0) ~nodes () =
     inbox = Array.init nodes (fun _ -> Queue.create ());
     busy = Array.make nodes false;
     processed = 0;
-    depth_peak = 0;
-    depth_sum = 0;
-    arrivals = 0;
+    backlog = 0;
+    n_arrivals = Array.make nodes 0;
+    n_completions = Array.make nodes 0;
+    n_busy_ns = Array.make nodes 0;
+    n_wait_ns = Array.make nodes 0;
+    n_depth_sum = Array.make nodes 0;
+    n_peak = Array.make nodes 0;
+    last_wait = 0;
   }
 
 let now t = t.now
 
+let nodes t = Array.length t.inbox
+
+let service_ns t = t.service_ns
+
+let link_ns t = t.link_ns
+
 let processed t = t.processed
 
-let queue_peak t = t.depth_peak
+let backlog t = t.backlog
+
+let last_wait_ns t = t.last_wait
+
+(* Global depth statistics are folds over the per-node arrays; both use
+   the same convention as the per-node fields — waiting messages only,
+   the one in service excluded. *)
+let queue_peak t = Array.fold_left max 0 t.n_peak
 
 let queue_mean t =
-  if t.arrivals = 0 then 0.
-  else float_of_int t.depth_sum /. float_of_int t.arrivals
+  let arrivals = Array.fold_left ( + ) 0 t.n_arrivals in
+  if arrivals = 0 then 0.
+  else
+    float_of_int (Array.fold_left ( + ) 0 t.n_depth_sum)
+    /. float_of_int arrivals
+
+type node_stat = {
+  s_arrivals : int;
+  s_completions : int;
+  s_busy_ns : int;
+  s_wait_ns : int;
+  s_depth_sum : int;
+  s_peak : int;
+}
+
+let node_stat t v =
+  if v < 0 || v >= Array.length t.inbox then
+    invalid_arg "Engine.node_stat: node out of range";
+  {
+    s_arrivals = t.n_arrivals.(v);
+    s_completions = t.n_completions.(v);
+    s_busy_ns = t.n_busy_ns.(v);
+    s_wait_ns = t.n_wait_ns.(v);
+    s_depth_sum = t.n_depth_sum.(v);
+    s_peak = t.n_peak.(v);
+  }
 
 let schedule t ~at run =
   if at < t.now then invalid_arg "Engine.schedule: event in the past";
@@ -125,29 +183,43 @@ let schedule t ~at run =
   t.seq <- seq + 1;
   Heap.push t.heap { Heap.time = at; seq; run }
 
-(* Service completion at [dst]: process the message, then start on the
-   next one waiting, if any. *)
-let rec complete t dst run =
+(* Service completion at [dst]: attribute the finished message's wait
+   and busy time to the node, process it, then start on the next one
+   waiting, if any (its wait = now - enqueue time). *)
+let rec complete t dst ~wait run =
   t.processed <- t.processed + 1;
+  t.n_completions.(dst) <- t.n_completions.(dst) + 1;
+  t.n_busy_ns.(dst) <- t.n_busy_ns.(dst) + t.service_ns;
+  t.n_wait_ns.(dst) <- t.n_wait_ns.(dst) + wait;
+  t.last_wait <- wait;
   run ();
   if Queue.is_empty t.inbox.(dst) then t.busy.(dst) <- false
-  else
+  else begin
     let next = Queue.pop t.inbox.(dst) in
-    schedule t ~at:(t.now + t.service_ns) (fun () -> complete t dst next)
+    t.backlog <- t.backlog - 1;
+    let wait = t.now - next.enq in
+    schedule t
+      ~at:(t.now + t.service_ns)
+      (fun () -> complete t dst ~wait next.run)
+  end
 
 (* A message lands in [dst]'s mailbox: start service now if the node is
-   idle, otherwise join the FIFO. *)
+   idle, otherwise join the FIFO.  The backlog it sees — waiting
+   messages, excluding any in service — feeds both the per-node depth
+   mean and the peak. *)
 let arrive t dst run =
-  t.arrivals <- t.arrivals + 1;
+  t.n_arrivals.(dst) <- t.n_arrivals.(dst) + 1;
   let depth = Queue.length t.inbox.(dst) in
-  t.depth_sum <- t.depth_sum + depth;
+  t.n_depth_sum.(dst) <- t.n_depth_sum.(dst) + depth;
   if t.busy.(dst) then begin
-    Queue.add run t.inbox.(dst);
-    if depth + 1 > t.depth_peak then t.depth_peak <- depth + 1
+    Queue.add { enq = t.now; run } t.inbox.(dst);
+    t.backlog <- t.backlog + 1;
+    if depth + 1 > t.n_peak.(dst) then t.n_peak.(dst) <- depth + 1
   end
   else begin
     t.busy.(dst) <- true;
-    schedule t ~at:(t.now + t.service_ns) (fun () -> complete t dst run)
+    schedule t ~at:(t.now + t.service_ns) (fun () ->
+        complete t dst ~wait:0 run)
   end
 
 let inject t ~at ~dst run =

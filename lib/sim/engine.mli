@@ -18,7 +18,24 @@
     parallelism composes through the usual per-trial observability
     merge.  With [service_ns = 0] and [link_ns = 0] the schedule
     degenerates to pure scheduling order, which replays the synchronous
-    execution of each message chain bit-for-bit. *)
+    execution of each message chain bit-for-bit.
+
+    {b Attribution.}  Every mailbox delivery is attributed to its node
+    in flat per-node arrays — arrivals, completions, busy and
+    queue-wait nanoseconds, depth sum and peak — the raw feed of the
+    traffic observatory's hotspot profiler ({!Ri_obs.Observatory}).
+    The accounting is always on: plain integer stores on paths that
+    already pay a heap operation per event.
+
+    {b Depth conventions.}  Two related statistics, one definition of
+    "queue depth": the number of {e waiting} messages in a mailbox,
+    {b excluding} any message currently in service.  {!queue_mean} is
+    the mean depth seen by an arriving message (sampled at every
+    arrival, before the arriver joins); {!queue_peak} is the largest
+    depth any mailbox reached (sampled after the arriver joins).  The
+    per-node [s_depth_sum]/[s_peak] fields use the same definition, so
+    per-node and global figures are directly comparable: the global
+    values are exactly folds of the per-node arrays. *)
 
 type t
 
@@ -33,6 +50,13 @@ val create : ?service_ns:int -> ?link_ns:int -> nodes:int -> unit -> t
 
 val now : t -> int
 (** Current logical time in nanoseconds. *)
+
+val nodes : t -> int
+(** The node count the engine was created with. *)
+
+val service_ns : t -> int
+
+val link_ns : t -> int
 
 val schedule : t -> at:int -> handler -> unit
 (** Raw event at absolute time [at] (>= [now]), bypassing the mailbox
@@ -60,10 +84,39 @@ val to_seconds : int -> float
 val processed : t -> int
 (** Messages serviced through mailboxes so far. *)
 
+val backlog : t -> int
+(** Messages currently waiting across all mailboxes (in-service
+    messages excluded) — the aggregate-depth sample the timeline
+    records per bin. *)
+
+val last_wait_ns : t -> int
+(** Queue wait of the mailbox delivery whose handler is currently
+    running: service-start minus mailbox-arrival time, [0] when the
+    message found its node idle.  Meaningful only inside a handler
+    delivered through {!inject}/{!send} — raw {!schedule} events do not
+    update it.  This is the per-hop queue-wait stamp of the latency
+    decomposition. *)
+
 val queue_peak : t -> int
-(** Largest mailbox backlog observed (waiting messages, excluding the
-    one in service). *)
+(** Largest mailbox backlog observed at any single node: {e waiting}
+    messages only, the one in service excluded.  Equals the max over
+    the per-node [s_peak] fields. *)
 
 val queue_mean : t -> float
-(** Mean backlog seen by an arriving message (its queue wait in units
-    of service times) — 0 on an unloaded engine. *)
+(** Mean backlog seen by an arriving message, before it joins the
+    queue and excluding any message in service (its expected queue
+    wait in units of service times) — 0 on an unloaded engine.  Equals
+    total per-node [s_depth_sum] over total arrivals. *)
+
+(** Per-node attribution counters, all using the conventions above. *)
+type node_stat = {
+  s_arrivals : int;  (** messages that entered this node's mailbox *)
+  s_completions : int;  (** messages fully serviced here *)
+  s_busy_ns : int;  (** total service time burned by this node *)
+  s_wait_ns : int;  (** total queue wait accrued in this mailbox *)
+  s_depth_sum : int;  (** backlog seen by each arriving message, summed *)
+  s_peak : int;  (** largest waiting backlog at this node *)
+}
+
+val node_stat : t -> int -> node_stat
+(** @raise Invalid_argument when the node is out of range. *)

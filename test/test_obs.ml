@@ -521,6 +521,140 @@ let test_serve_endpoints () =
        false
      with Unix.Unix_error _ -> true)
 
+let body_of response =
+  match Astring.String.cut ~sep:"\r\n\r\n" response with
+  | Some (_, body) -> body
+  | None -> Alcotest.failf "no header/body split in %S" response
+
+let strict_json what response =
+  Alcotest.(check bool) (what ^ " 200") true
+    (Astring.String.is_prefix ~affix:"HTTP/1.1 200 OK" response);
+  match Json.parse (body_of response) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s not strict JSON: %s" what e
+
+let test_serve_traffic_endpoint () =
+  Serve.Traffic.clear ();
+  let srv = Serve.start ~port:0 ~metrics:(fun () -> "") () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop srv;
+      Serve.Traffic.clear ())
+    (fun () ->
+      let port = Serve.port srv in
+      (* the empty state is itself valid JSON with an empty point list *)
+      let j = strict_json "/traffic (empty)" (http_get port "/traffic") in
+      Alcotest.(check bool) "empty points" true
+        (Json.member "points" j = Some (Json.Arr []));
+      Serve.Traffic.publish "{\"points\": [{\"qps\": 7}], \"knee_qps\": 7}";
+      let j = strict_json "/traffic (published)" (http_get port "/traffic") in
+      (match Json.member "points" j with
+      | Some (Json.Arr [ p ]) ->
+          Alcotest.(check bool) "published point served" true
+            (Option.bind (Json.member "qps" p) Json.to_float = Some 7.)
+      | _ -> Alcotest.fail "published snapshot not served back");
+      Serve.Traffic.clear ();
+      let j = strict_json "/traffic (cleared)" (http_get port "/traffic") in
+      Alcotest.(check bool) "clear resets to the empty state" true
+        (Json.member "points" j = Some (Json.Arr [])))
+
+(* Two servers racing for ephemeral ports must come up independently:
+   distinct ports, both serving, both stopping cleanly.  (This is the
+   CI pattern: a backgrounded sweep's server plus an ad-hoc one.) *)
+let test_serve_ephemeral_port_race () =
+  let a = Serve.start ~port:0 ~metrics:(fun () -> "a\n") () in
+  let b =
+    try Serve.start ~port:0 ~metrics:(fun () -> "b\n") ()
+    with e ->
+      Serve.stop a;
+      raise e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop a;
+      Serve.stop b)
+    (fun () ->
+      Alcotest.(check bool) "distinct ephemeral ports" true
+        (Serve.port a <> Serve.port b);
+      Alcotest.(check bool) "first serves its own metrics" true
+        (Astring.String.is_suffix ~affix:"a\n"
+           (http_get (Serve.port a) "/metrics"));
+      Alcotest.(check bool) "second serves its own metrics" true
+        (Astring.String.is_suffix ~affix:"b\n"
+           (http_get (Serve.port b) "/metrics")))
+
+(* The live-endpoint contract under load: while a traffic sweep runs in
+   the background, /progress and /traffic stay strict-JSON at every
+   poll, the sweep's own publishes land, and shutdown is clean with the
+   port refusing connections afterwards. *)
+let test_serve_under_background_sweep () =
+  let module Traffic = Ri_experiments.Traffic in
+  let small = Config.scaled Config.base ~num_nodes:300 in
+  let cfg = Config.with_search small (Config.Ri (Config.eri small)) in
+  let opts =
+    {
+      Traffic.default_opts with
+      Traffic.o_qps = [ 200.; 400. ];
+      o_duration = 0.1;
+      o_service_rate = 5000.;
+      o_link_latency = 0.1;
+      o_trials = 2;
+    }
+  in
+  Serve.Traffic.clear ();
+  let srv = Serve.start ~port:0 ~metrics:(fun () -> "") () in
+  let stopped = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !stopped then Serve.stop srv;
+      Serve.Traffic.clear ())
+    (fun () ->
+      let port = Serve.port srv in
+      let sweep_done = Atomic.make false in
+      let dom =
+        Domain.spawn (fun () ->
+            Fun.protect
+              ~finally:(fun () -> Atomic.set sweep_done true)
+              (fun () -> Traffic.sweep ~opts cfg ()))
+      in
+      (* poll both endpoints until the sweep finishes; every response
+         must parse strictly *)
+      let polls = ref 0 in
+      while not (Atomic.get sweep_done) do
+        incr polls;
+        ignore (strict_json "/progress (mid-sweep)" (http_get port "/progress"));
+        ignore (strict_json "/traffic (mid-sweep)" (http_get port "/traffic"))
+      done;
+      let points = Domain.join dom in
+      Alcotest.(check bool) "polled at least once mid-sweep" true (!polls > 0);
+      Alcotest.(check int) "sweep finished both points" 2 (List.length points);
+      (* after the sweep, /traffic carries the full document *)
+      let j = strict_json "/traffic (after)" (http_get port "/traffic") in
+      (match Json.member "points" j with
+      | Some (Json.Arr ps) ->
+          Alcotest.(check int) "both points published" 2 (List.length ps);
+          List.iter
+            (fun p ->
+              Alcotest.(check bool) "decomposition present" true
+                (Json.member "queue_ms" p <> None);
+              match Json.member "q_hotspots" p with
+              | Some (Json.Arr (_ :: _)) -> ()
+              | _ -> Alcotest.fail "hotspots missing from the live snapshot")
+            ps
+      | _ -> Alcotest.fail "no points array after the sweep");
+      let progress = strict_json "/progress (after)" (http_get port "/progress") in
+      Alcotest.(check bool) "progress label names the sweep" true
+        (match Json.member "label" progress with
+        | Some (Json.Str s) -> Astring.String.is_prefix ~affix:"traffic" s
+        | _ -> false);
+      Serve.stop srv;
+      stopped := true;
+      Alcotest.(check bool) "port refuses after clean shutdown" true
+        (try
+           ignore (http_get port "/healthz");
+           false
+         with Unix.Unix_error _ -> true))
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry surfacing.                                                *)
 
@@ -571,4 +705,10 @@ let suite =
         test_racing_registration;
       Alcotest.test_case "gcprof wrap accumulates" `Quick test_gcprof_wrap;
       Alcotest.test_case "live HTTP endpoint" `Quick test_serve_endpoints;
+      Alcotest.test_case "/traffic publish, read back, clear" `Quick
+        test_serve_traffic_endpoint;
+      Alcotest.test_case "ephemeral-port race" `Quick
+        test_serve_ephemeral_port_race;
+      Alcotest.test_case "endpoints strict under a backgrounded sweep"
+        `Quick test_serve_under_background_sweep;
     ] )

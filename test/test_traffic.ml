@@ -408,6 +408,286 @@ let test_sweep_shape () =
   Alcotest.(check int) "report rows" 2
     (List.length report.Ri_experiments.Report.rows)
 
+(* ------------------------------------------------------------------ *)
+(* Traffic observatory: depth conventions, decomposition, hotspots,    *)
+(* timeline.                                                           *)
+
+(* Pin the one depth definition (satellite of the observatory PR):
+   depth = waiting messages excluding the one in service; queue_mean
+   samples at arrival BEFORE the arriver joins; queue_peak samples
+   AFTER it joins; the per-node fields use the same definition and the
+   globals are folds of them. *)
+let test_queue_depth_conventions () =
+  let eng = Engine.create ~service_ns:10 ~nodes:2 () in
+  for _ = 1 to 3 do
+    Engine.inject eng ~at:0 ~dst:0 ignore
+  done;
+  Engine.run eng;
+  (* Arrival depths seen: 0 (goes straight to service), 0 (mailbox
+     empty, server busy -> joins, peak 1), 1 (-> peak 2). *)
+  Alcotest.(check int) "global peak counts the joined arrival" 2
+    (Engine.queue_peak eng);
+  Alcotest.(check (float 1e-9)) "global mean samples before joining"
+    (1. /. 3.) (Engine.queue_mean eng);
+  let s = Engine.node_stat eng 0 in
+  Alcotest.(check int) "per-node arrivals" 3 s.Engine.s_arrivals;
+  Alcotest.(check int) "per-node completions" 3 s.Engine.s_completions;
+  Alcotest.(check int) "per-node peak = global peak" 2 s.Engine.s_peak;
+  Alcotest.(check int) "per-node depth sum (0+0+1)" 1 s.Engine.s_depth_sum;
+  (* Waits: 0, 10 (enq at 0, service starts at 10), 20. *)
+  Alcotest.(check int) "per-node queue-wait ns" 30 s.Engine.s_wait_ns;
+  Alcotest.(check int) "per-node busy ns" 30 s.Engine.s_busy_ns;
+  let idle = Engine.node_stat eng 1 in
+  Alcotest.(check int) "idle node untouched" 0 idle.Engine.s_arrivals;
+  Alcotest.(check int) "backlog drains to zero" 0 (Engine.backlog eng);
+  match Engine.node_stat eng 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range node_stat accepted"
+
+(* The decomposition invariant: queue + service + link sums exactly to
+   end-to-end, in integer nanoseconds, over every completed query —
+   with and without interleaved update waves sharing the mailboxes. *)
+let test_decomposition_exact () =
+  List.iter
+    (fun opts ->
+      List.iter
+        (fun trial ->
+          let r = Traffic.simulate eri_cfg ~opts ~qps:400. ~trial in
+          let d = r.Traffic.r_decomp in
+          Alcotest.(check int) "one record per completed query"
+            r.Traffic.r_completed d.Observatory.d_queries;
+          Alcotest.(check bool) "queue+service+link = end-to-end" true
+            (Observatory.decomp_exact d);
+          Alcotest.(check bool) "components non-negative" true
+            (d.Observatory.d_queue_ns >= 0
+            && d.Observatory.d_service_ns > 0
+            && d.Observatory.d_link_ns >= 0);
+          (* Every completed query names exactly one critical hop. *)
+          Alcotest.(check int) "critical hops sum to completions"
+            r.Traffic.r_completed
+            (Array.fold_left ( + ) 0 r.Traffic.r_nodes.Observatory.a_critical))
+        [ 0; 1 ])
+    [ fast_opts; { fast_opts with Traffic.o_update_rate = 0. } ]
+
+(* The same invariant as a property: whatever the load, capacity, link
+   delay or trial, the split never leaks a nanosecond. *)
+let prop_decomposition_exact =
+  QCheck.Test.make ~name:"decomposition sums exactly under random loads"
+    ~count:8
+    QCheck.(
+      quad (float_range 50. 2000.) (float_range 2000. 20000.)
+        (float_range 0. 0.5) (int_range 0 2))
+    (fun (qps, service_rate, link_latency, trial) ->
+      let opts =
+        {
+          fast_opts with
+          Traffic.o_service_rate = service_rate;
+          o_link_latency = link_latency;
+        }
+      in
+      let r = Traffic.simulate eri_cfg ~opts ~qps ~trial in
+      Observatory.decomp_exact r.Traffic.r_decomp
+      && r.Traffic.r_decomp.Observatory.d_queries = r.Traffic.r_completed)
+
+(* With no update traffic every mailbox delivery belongs to a query, so
+   the engine's per-node attribution must reconcile exactly with the
+   decomposition totals — and the globals with the per-node folds. *)
+let test_node_attribution_consistent () =
+  let opts = { fast_opts with Traffic.o_update_rate = 0. } in
+  let r = Traffic.simulate eri_cfg ~opts ~qps:400. ~trial:0 in
+  let acc = r.Traffic.r_nodes in
+  let sum a = Array.fold_left ( + ) 0 a in
+  Alcotest.(check int) "per-node waits fold to the decomposition"
+    r.Traffic.r_decomp.Observatory.d_queue_ns
+    (sum acc.Observatory.a_wait_ns);
+  Alcotest.(check int) "per-node busy folds to the decomposition"
+    r.Traffic.r_decomp.Observatory.d_service_ns
+    (sum acc.Observatory.a_busy_ns);
+  Alcotest.(check int) "global peak = max per-node peak"
+    r.Traffic.r_queue_peak
+    (Array.fold_left max 0 acc.Observatory.a_peak);
+  Alcotest.(check bool) "traffic reached several nodes" true
+    (Array.to_seq acc.Observatory.a_arrivals
+    |> Seq.filter (fun a -> a > 0)
+    |> Seq.length > 1)
+
+let test_hotspot_ranking () =
+  let acc = Observatory.acc_create 4 in
+  (* node 1: most wait; node 3: less wait; node 0: busy only; 2: idle *)
+  acc.Observatory.a_arrivals.(0) <- 5;
+  acc.Observatory.a_busy_ns.(0) <- 500;
+  acc.Observatory.a_arrivals.(1) <- 9;
+  acc.Observatory.a_wait_ns.(1) <- 900;
+  acc.Observatory.a_peak.(1) <- 7;
+  acc.Observatory.a_arrivals.(3) <- 2;
+  acc.Observatory.a_wait_ns.(3) <- 100;
+  let hs = Observatory.hotspots acc ~makespan_ns:1000 ~k:3 in
+  Alcotest.(check (list int)) "wait-ns ranking, idle node excluded"
+    [ 1; 3; 0 ]
+    (List.map (fun h -> h.Observatory.h_node) hs);
+  Alcotest.(check (float 1e-9)) "utilization = busy/makespan" 0.5
+    (List.nth hs 2).Observatory.h_utilization;
+  Alcotest.(check int) "k caps the table" 1
+    (List.length (Observatory.hotspots acc ~makespan_ns:1000 ~k:1));
+  Alcotest.(check (list int)) "k=0 hides it" []
+    (List.map
+       (fun h -> h.Observatory.h_node)
+       (Observatory.hotspots acc ~makespan_ns:1000 ~k:0));
+  (* merge: sums element-wise, peak with max *)
+  let acc2 = Observatory.acc_create 4 in
+  acc2.Observatory.a_wait_ns.(1) <- 50;
+  acc2.Observatory.a_peak.(1) <- 3;
+  Observatory.acc_merge ~into:acc acc2;
+  Alcotest.(check int) "wait merged by sum" 950 acc.Observatory.a_wait_ns.(1);
+  Alcotest.(check int) "peak merged by max" 7 acc.Observatory.a_peak.(1);
+  match Observatory.acc_merge ~into:acc (Observatory.acc_create 3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "size-mismatched merge accepted"
+
+let test_timeline_clamps () =
+  Observatory.clear ();
+  Observatory.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Observatory.stop ();
+      Observatory.clear ())
+    (fun () ->
+      Observatory.with_trial ~trial:0 (fun sink ->
+          let tl = Observatory.Timeline.create ~bins:4 ~width_ns:10 in
+          Observatory.Timeline.arrival tl ~at:0 ~depth:2;
+          Observatory.Timeline.arrival tl ~at:35 ~depth:1;
+          (* past the last bin: the drain overhang clamps into it *)
+          Observatory.Timeline.completion tl ~at:400 ~depth:0;
+          Observatory.Timeline.flush tl sink);
+      let jsonl = Observatory.render_jsonl () in
+      let lines =
+        String.split_on_char '\n' jsonl
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      (* bins 0 and 3 are non-empty; 1 and 2 are skipped *)
+      Alcotest.(check int) "only non-empty bins exported" 2
+        (List.length lines);
+      Alcotest.(check bool) "bin 0 carries its arrival and depth" true
+        (Astring.String.is_infix
+           ~affix:
+             "\"bin\":0,\"start_ns\":0,\"width_ns\":10,\"arrivals\":1,\
+              \"completions\":0,\"depth_sum\":2,\"samples\":1,\
+              \"depth_peak\":2"
+           jsonl);
+      Alcotest.(check bool) "overhang clamped into the last bin" true
+        (Astring.String.is_infix
+           ~affix:"\"bin\":3,\"start_ns\":30,\"width_ns\":10,\"arrivals\":1,\
+                   \"completions\":1"
+           jsonl));
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad Timeline.create accepted")
+    [
+      (fun () -> Observatory.Timeline.create ~bins:0 ~width_ns:10);
+      (fun () -> Observatory.Timeline.create ~bins:4 ~width_ns:0);
+    ]
+
+(* The recorder only reads engine state: a simulation with timeline
+   recording on must be bit-identical to one with it off. *)
+let test_recording_does_not_perturb () =
+  let off = Traffic.simulate eri_cfg ~opts:fast_opts ~qps:200. ~trial:0 in
+  Observatory.clear ();
+  Observatory.start ();
+  let on_ =
+    Fun.protect
+      ~finally:(fun () ->
+        Observatory.stop ();
+        Observatory.clear ())
+      (fun () -> Traffic.simulate eri_cfg ~opts:fast_opts ~qps:200. ~trial:0)
+  in
+  Alcotest.(check string) "sketch bytes identical with recording on"
+    (Sketch.encode off.Traffic.r_sketch)
+    (Sketch.encode on_.Traffic.r_sketch);
+  Alcotest.(check int) "same completions" off.Traffic.r_completed
+    on_.Traffic.r_completed;
+  Alcotest.(check int) "same decomposition total"
+    off.Traffic.r_decomp.Observatory.d_total_ns
+    on_.Traffic.r_decomp.Observatory.d_total_ns
+
+let traffic_timeline_run jobs =
+  let prev = Pool.jobs (Pool.global ()) in
+  Pool.set_global_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_global_jobs prev)
+    (fun () ->
+      Observatory.clear ();
+      Observatory.start ();
+      let points =
+        Fun.protect ~finally:Observatory.stop (fun () ->
+            Traffic.sweep ~opts:fast_opts eri_cfg ())
+      in
+      let jsonl = Observatory.render_jsonl () in
+      Observatory.clear ();
+      (points, jsonl))
+
+let test_timeline_bit_identical () =
+  let points1, jsonl1 = traffic_timeline_run 1 in
+  let points4, jsonl4 = traffic_timeline_run 4 in
+  Alcotest.(check bool) "timeline not empty" true (String.length jsonl1 > 0);
+  Alcotest.(check string) "timeline byte-identical at jobs 1 vs 4" jsonl1
+    jsonl4;
+  Alcotest.(check string)
+    "points (incl. hotspots) identical at jobs 1 vs 4"
+    (Traffic.json_of ~opts:fast_opts points1)
+    (Traffic.json_of ~opts:fast_opts points4);
+  (* every trial of the sweep's one point flushed a timeline *)
+  List.iter
+    (fun trial ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trial %d present" trial)
+        true
+        (Astring.String.is_infix
+           ~affix:(Printf.sprintf "\"trial\":%d," trial)
+           jsonl1))
+    [ 0; 1; 2 ]
+
+(* Past the knee the decomposition must attribute the latency growth to
+   queue-wait, concentrated on the top-K hotspot nodes. *)
+let test_knee_attribution () =
+  let opts =
+    { fast_opts with Traffic.o_qps = [ 200.; 4000. ]; o_update_rate = 0. }
+  in
+  match Traffic.sweep ~opts eri_cfg () with
+  | [ calm; hot ] ->
+      Alcotest.(check bool) "high rate saturates" true hot.Traffic.q_saturated;
+      Alcotest.(check bool) "low rate does not" false calm.Traffic.q_saturated;
+      Alcotest.(check bool) "queue-wait dominates past the knee" true
+        (hot.Traffic.q_queue_share > 0.5);
+      Alcotest.(check bool) "queue share grew with load" true
+        (hot.Traffic.q_queue_share > calm.Traffic.q_queue_share);
+      Alcotest.(check bool) "service+link stay flat across load" true
+        (Float.abs
+           (hot.Traffic.q_service_ms +. hot.Traffic.q_link_ms
+           -. (calm.Traffic.q_service_ms +. calm.Traffic.q_link_ms))
+        < 0.5
+           *. (calm.Traffic.q_service_ms +. calm.Traffic.q_link_ms));
+      let hs = hot.Traffic.q_hotspots in
+      Alcotest.(check int) "top-K table filled" opts.Traffic.o_hotspots
+        (List.length hs);
+      Alcotest.(check bool) "ranked by accumulated queue-wait" true
+        (let rec sorted = function
+           | a :: (b :: _ as tl) ->
+               a.Observatory.h_wait_ns >= b.Observatory.h_wait_ns && sorted tl
+           | _ -> true
+         in
+         sorted hs);
+      let top = List.hd hs in
+      Alcotest.(check bool) "top hotspot accumulated real wait" true
+        (top.Observatory.h_wait_ns > 0);
+      Alcotest.(check bool) "top hotspot took critical hops" true
+        (top.Observatory.h_critical > 0);
+      Alcotest.(check bool) "utilization in (0, 1]" true
+        (top.Observatory.h_utilization > 0.
+        && top.Observatory.h_utilization <= 1.)
+  | points -> Alcotest.failf "expected 2 points, got %d" (List.length points)
+
 let test_invalid_opts_rejected () =
   List.iter
     (fun opts ->
@@ -423,6 +703,8 @@ let test_invalid_opts_rejected () =
       { fast_opts with Traffic.o_trials = 0 };
       { fast_opts with Traffic.o_snapshot = Some "x.risnap" };
       (* snapshot with trials <> 1 *)
+      { fast_opts with Traffic.o_hotspots = -1 };
+      { fast_opts with Traffic.o_timeline_bins = 0 };
     ];
   match
     Traffic.simulate
@@ -464,6 +746,23 @@ let suite =
         test_traffic_trace_bit_identical;
       Alcotest.test_case "sweep shape and quantile ordering" `Quick
         test_sweep_shape;
+      Alcotest.test_case "queue depth conventions pinned" `Quick
+        test_queue_depth_conventions;
+      Alcotest.test_case "latency decomposition is exact" `Quick
+        test_decomposition_exact;
+      QCheck_alcotest.to_alcotest prop_decomposition_exact;
+      Alcotest.test_case "per-node attribution reconciles" `Quick
+        test_node_attribution_consistent;
+      Alcotest.test_case "hotspot ranking and merging" `Quick
+        test_hotspot_ranking;
+      Alcotest.test_case "timeline bins clamp and flush" `Quick
+        test_timeline_clamps;
+      Alcotest.test_case "recording does not perturb the run" `Quick
+        test_recording_does_not_perturb;
+      Alcotest.test_case "timeline byte-identical across jobs" `Quick
+        test_timeline_bit_identical;
+      Alcotest.test_case "past the knee, queue-wait dominates" `Quick
+        test_knee_attribution;
       Alcotest.test_case "invalid options rejected" `Quick
         test_invalid_opts_rejected;
     ] )
